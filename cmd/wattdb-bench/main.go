@@ -1,0 +1,91 @@
+// Command wattdb-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wattdb-bench -exp fig1|fig2|fig3|fig6|fig7|fig8|all [-preset quick|paper] [-seed N]
+//
+// Output is the textual equivalent of each figure: the same series/bars the
+// paper plots. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"wattdb/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment: fig1, fig2, fig3, fig6, fig7, fig8, or all")
+	preset := flag.String("preset", "quick", "scale preset: quick or paper")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var pre experiments.Preset
+	switch *preset {
+	case "quick":
+		pre = experiments.Quick()
+	case "paper":
+		pre = experiments.Paper()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+	pre.Seed = *seed
+
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+	}
+
+	all := *exp == "all"
+	matched := false
+	if all || *exp == "fig1" {
+		matched = true
+		rows := 20000
+		if pre.Name == "quick" {
+			rows = 5000
+		}
+		run("fig1", func() (fmt.Stringer, error) { return experiments.Fig1(rows, pre.Seed) })
+	}
+	if all || *exp == "fig2" {
+		matched = true
+		rows, levels := 2000, []int{1, 10, 100, 1000}
+		if pre.Name == "quick" {
+			rows, levels = 1000, []int{1, 10, 100, 400}
+		}
+		run("fig2", func() (fmt.Stringer, error) { return experiments.Fig2(rows, levels, pre.Seed) })
+	}
+	if all || *exp == "fig3" {
+		matched = true
+		records, ratios := 20000, []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		if pre.Name == "quick" {
+			records, ratios = 5000, []int{0, 25, 50, 75, 100}
+		}
+		run("fig3", func() (fmt.Stringer, error) { return experiments.Fig3(records, ratios, pre.Seed) })
+	}
+	if all || *exp == "fig6" {
+		matched = true
+		run("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(pre) })
+	}
+	if all || *exp == "fig7" {
+		matched = true
+		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(pre) })
+	}
+	if all || *exp == "fig8" {
+		matched = true
+		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(pre) })
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,118 @@
+// Rebalance: the paper's core scenario as a minimal program. A TPC-C
+// cluster on two nodes runs continuous load while 50% of all records are
+// migrated onto two freshly booted nodes with physiological partitioning;
+// the program prints ownership before/after and the throughput around the
+// move.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/cluster"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/tpcc"
+)
+
+func main() {
+	env := sim.NewEnv(7)
+	defer env.Close()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	c := cluster.New(env, cfg)
+	c.Nodes[1].HW.ForceActive()
+
+	tcfg := tpcc.DefaultConfig(4)
+	tcfg.CustomersPerDistrict = 40
+	tcfg.InitialOrdersPerDist = 40
+	dep, err := tpcc.Deploy(c.Master, tcfg, table.Physiological, []tpcc.WarehouseRange{
+		{FromW: 1, ToW: 2, Owner: c.Nodes[0]},
+		{FromW: 3, ToW: 4, Owner: c.Nodes[1]},
+	}, c.Nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.Spawn("load", func(p *sim.Proc) {
+		if err := dep.Load(p); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	printOwners := func(when string) {
+		tm, _ := c.Master.Table(tpcc.TCustomer)
+		fmt.Printf("%s, customer table partition map:\n", when)
+		for _, e := range tm.Entries() {
+			lo := "-inf"
+			if e.Low != nil {
+				w, _, _ := keycodec.DecodeInt64(e.Low)
+				lo = fmt.Sprint(w)
+			}
+			hi := "+inf"
+			if e.High != nil {
+				w, _, _ := keycodec.DecodeInt64(e.High)
+				hi = fmt.Sprint(w)
+			}
+			dual := ""
+			if e.OldPart != nil {
+				dual = fmt.Sprintf("  (dual pointer: old owner node %d)", e.OldOwner.ID)
+			}
+			fmt.Printf("  [w %s .. %s) -> node %d%s\n", lo, hi, e.Owner.ID, dual)
+		}
+	}
+	printOwners("before rebalancing")
+
+	// Continuous TPC-C load.
+	committed := 0
+	var windowCommits [3]int // before / during / after
+	phase := 0
+	for i := 0; i < 16; i++ {
+		cl := tpcc.NewClient(i, c.Master, dep, 50*time.Millisecond, cc.SnapshotIsolation)
+		cl.OnResult = func(r tpcc.Result) {
+			if r.Committed {
+				committed++
+				windowCommits[phase]++
+			}
+		}
+		cl.Start()
+	}
+	// Rebalance: move warehouse 2 from node 0 -> node 2, warehouse 4 from
+	// node 1 -> node 3.
+	env.Spawn("controller", func(p *sim.Proc) {
+		p.Sleep(20 * time.Second)
+		phase = 1
+		fmt.Printf("\nt=%v: powering nodes 2 and 3 and migrating 50%% of records...\n", p.Now())
+		c.Nodes[2].PowerOn(p)
+		c.Nodes[3].PowerOn(p)
+		start := p.Now()
+		for _, tbl := range tpcc.PartitionedTables() {
+			if err := c.Master.MigrateRangeFraction(p, tbl,
+				keycodec.Int64Key(2), keycodec.Int64Key(3), 0.5, c.Nodes[2]); err != nil {
+				log.Fatal(err)
+			}
+			if err := c.Master.MigrateRangeFraction(p, tbl,
+				keycodec.Int64Key(4), nil, 0.5, c.Nodes[3]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("t=%v: migration done in %v (transactions kept running throughout)\n",
+			p.Now(), p.Now()-start)
+		phase = 2
+	})
+	if err := env.RunUntil(60 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	printOwners("\nafter rebalancing")
+	fmt.Printf("\ncommitted transactions: %d total (before move: %d, during: %d, after: %d)\n",
+		committed, windowCommits[0], windowCommits[1], windowCommits[2])
+	for _, n := range c.Nodes {
+		fmt.Printf("node %d: %d partitions, power state %v\n", n.ID, len(n.Parts), n.HW.State())
+	}
+}

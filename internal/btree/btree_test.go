@@ -1,0 +1,393 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// testTree builds an empty tree over a fresh segment, running fn inside a
+// simulation process (the pager ignores timing, but the API needs a proc).
+func testTree(t *testing.T, pages int, fn func(p *sim.Proc, tr *Tree, seg *storage.Segment)) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, pages)
+	tr := New(MemPager{seg}, 0, func(no storage.PageNo) { seg.TreeRoot = no })
+	env.Spawn("test", func(p *sim.Proc) { fn(p, tr, seg) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ik(v int64) []byte  { return keycodec.Int64Key(v) }
+func val(v int64) []byte { return []byte(fmt.Sprintf("value-%d", v)) }
+
+func TestPutGetSingle(t *testing.T) {
+	testTree(t, 16, func(p *sim.Proc, tr *Tree, seg *storage.Segment) {
+		replaced, err := tr.Put(p, ik(42), val(42), 0)
+		if err != nil || replaced {
+			t.Errorf("put: %v, replaced=%v", err, replaced)
+		}
+		got, ok, err := tr.Get(p, ik(42))
+		if err != nil || !ok || !bytes.Equal(got, val(42)) {
+			t.Errorf("get = %q, %v, %v", got, ok, err)
+		}
+		if _, ok, _ := tr.Get(p, ik(43)); ok {
+			t.Error("get of absent key succeeded")
+		}
+		if seg.TreeRoot != tr.Root() {
+			t.Error("root change not propagated to segment")
+		}
+	})
+}
+
+func TestPutReplaces(t *testing.T) {
+	testTree(t, 16, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		tr.Put(p, ik(1), []byte("old"), 0)
+		replaced, err := tr.Put(p, ik(1), []byte("new-and-much-longer-value"), 0)
+		if err != nil || !replaced {
+			t.Fatalf("replace: %v, %v", replaced, err)
+		}
+		got, _, _ := tr.Get(p, ik(1))
+		if string(got) != "new-and-much-longer-value" {
+			t.Fatalf("got %q", got)
+		}
+		if n, _ := tr.Count(p); n != 1 {
+			t.Fatalf("count = %d", n)
+		}
+	})
+}
+
+func TestManyInsertsSplitAndValidate(t *testing.T) {
+	const n = 2000
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		perm := rand.New(rand.NewSource(7)).Perm(n)
+		for _, v := range perm {
+			if _, err := tr.Put(p, ik(int64(v)), val(int64(v)), 0); err != nil {
+				t.Fatalf("put %d: %v", v, err)
+			}
+		}
+		if err := tr.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got, ok, err := tr.Get(p, ik(int64(i)))
+			if err != nil || !ok || !bytes.Equal(got, val(int64(i))) {
+				t.Fatalf("get %d = %q, %v, %v", i, got, ok, err)
+			}
+		}
+		if c, _ := tr.Count(p); c != n {
+			t.Fatalf("count = %d, want %d", c, n)
+		}
+	})
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		for _, v := range rand.New(rand.NewSource(3)).Perm(500) {
+			tr.Put(p, ik(int64(v)), val(int64(v)), 0)
+		}
+		var got []int64
+		err := tr.Scan(p, ik(100), ik(200), func(k, v []byte) bool {
+			d, _, _ := keycodec.DecodeInt64(k)
+			got = append(got, d)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("scan returned %d keys, want 100", len(got))
+		}
+		for i, v := range got {
+			if v != int64(100+i) {
+				t.Fatalf("scan[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	testTree(t, 64, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		for i := 0; i < 100; i++ {
+			tr.Put(p, ik(int64(i)), val(int64(i)), 0)
+		}
+		n := 0
+		tr.Scan(p, nil, nil, func(_, _ []byte) bool {
+			n++
+			return n < 10
+		})
+		if n != 10 {
+			t.Fatalf("early stop at %d", n)
+		}
+	})
+}
+
+func TestDeleteAndShrink(t *testing.T) {
+	const n = 800
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, seg *storage.Segment) {
+		for i := 0; i < n; i++ {
+			tr.Put(p, ik(int64(i)), val(int64(i)), 0)
+		}
+		usedBefore := seg.UsedPages()
+		// Delete in random order.
+		for _, v := range rand.New(rand.NewSource(11)).Perm(n) {
+			ok, err := tr.Delete(p, ik(int64(v)), 0)
+			if err != nil || !ok {
+				t.Fatalf("delete %d: %v %v", v, ok, err)
+			}
+		}
+		if c, _ := tr.Count(p); c != 0 {
+			t.Fatalf("count after deleting all = %d", c)
+		}
+		if tr.Root() != 0 {
+			t.Fatalf("root = %d after emptying, want 0", tr.Root())
+		}
+		if seg.UsedPages() != 0 {
+			t.Fatalf("pages leaked: %d used (before: %d)", seg.UsedPages(), usedBefore)
+		}
+	})
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	testTree(t, 16, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		tr.Put(p, ik(1), val(1), 0)
+		ok, err := tr.Delete(p, ik(99), 0)
+		if err != nil || ok {
+			t.Fatalf("delete absent = %v, %v", ok, err)
+		}
+	})
+}
+
+func TestSegmentFullSurfaces(t *testing.T) {
+	testTree(t, 4, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		var err error
+		for i := 0; err == nil && i < 100000; i++ {
+			_, err = tr.Put(p, ik(int64(i)), bytes.Repeat([]byte{1}, 100), 0)
+		}
+		if err != ErrSegmentFull {
+			t.Fatalf("err = %v, want ErrSegmentFull", err)
+		}
+	})
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	const n = 3000
+	testTree(t, 600, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		i := 0
+		err := tr.BulkLoad(p, 0.9, func() ([]byte, []byte, bool) {
+			if i >= n {
+				return nil, nil, false
+			}
+			k, v := ik(int64(i)), val(int64(i))
+			i++
+			return k, v, true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		if c, _ := tr.Count(p); c != n {
+			t.Fatalf("count = %d", c)
+		}
+		for _, probe := range []int64{0, 1, n / 2, n - 1} {
+			got, ok, _ := tr.Get(p, ik(probe))
+			if !ok || !bytes.Equal(got, val(probe)) {
+				t.Fatalf("get %d after bulk load = %q, %v", probe, got, ok)
+			}
+		}
+		// Bulk-loaded trees must still accept regular inserts.
+		if _, err := tr.Put(p, ik(-5), val(-5), 0); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok, _ := tr.Get(p, ik(-5)); !ok || !bytes.Equal(got, val(-5)) {
+			t.Fatal("insert after bulk load failed")
+		}
+	})
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	testTree(t, 16, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		keys := [][]byte{ik(2), ik(1)}
+		i := 0
+		err := tr.BulkLoad(p, 0.9, func() ([]byte, []byte, bool) {
+			if i >= len(keys) {
+				return nil, nil, false
+			}
+			k := keys[i]
+			i++
+			return k, []byte("v"), true
+		})
+		if err == nil {
+			t.Fatal("unsorted bulk load should fail")
+		}
+	})
+}
+
+func TestCursorSurvivesConcurrentSplit(t *testing.T) {
+	// A cursor mid-scan must deliver remaining keys even if another
+	// process splits pages between Next calls.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, 800)
+	tr := New(MemPager{seg}, 0, nil)
+	var scanned []int64
+	env.Spawn("writer-then-scan", func(p *sim.Proc) {
+		for i := 0; i < 500; i += 5 {
+			tr.Put(p, ik(int64(i)), val(int64(i)), 0)
+		}
+		c, err := tr.Seek(p, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for c.Valid() {
+			d, _, _ := keycodec.DecodeInt64(c.Key())
+			scanned = append(scanned, d)
+			// Interleave inserts that split pages under the cursor.
+			if len(scanned)%10 == 0 {
+				for j := 0; j < 5; j++ {
+					tr.Put(p, ik(int64(1000+len(scanned)*10+j)), bytes.Repeat([]byte{9}, 60), 0)
+				}
+			}
+			if err := c.Next(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All original keys 0,5,...,495 must appear in order.
+	want := int64(0)
+	for _, k := range scanned {
+		if k >= 1000 {
+			continue
+		}
+		if k != want {
+			t.Fatalf("scan missed or reordered: got %d, want %d", k, want)
+		}
+		want += 5
+	}
+	if want != 500 {
+		t.Fatalf("scan ended early at %d", want)
+	}
+}
+
+// Property test: the tree behaves like a sorted map under arbitrary
+// operation sequences.
+func TestTreeMatchesModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := sim.NewEnv(seed)
+		defer env.Close()
+		seg := storage.NewSegment(1, 512, 2000)
+		tr := New(MemPager{seg}, 0, nil)
+		model := map[int64]string{}
+		okAll := true
+		env.Spawn("ops", func(p *sim.Proc) {
+			for step := 0; step < 1500; step++ {
+				k := int64(rng.Intn(300))
+				switch rng.Intn(4) {
+				case 0, 1: // put
+					v := fmt.Sprintf("v%d-%d", k, step)
+					tr.Put(p, ik(k), []byte(v), 0)
+					model[k] = v
+				case 2: // delete
+					gone, _ := tr.Delete(p, ik(k), 0)
+					_, had := model[k]
+					if gone != had {
+						okAll = false
+						return
+					}
+					delete(model, k)
+				case 3: // get
+					got, ok, _ := tr.Get(p, ik(k))
+					want, had := model[k]
+					if ok != had || (ok && string(got) != want) {
+						okAll = false
+						return
+					}
+				}
+			}
+			// Final: full scan equals sorted model.
+			var wantKeys []int64
+			for k := range model {
+				wantKeys = append(wantKeys, k)
+			}
+			sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+			var gotKeys []int64
+			tr.Scan(p, nil, nil, func(kb, vb []byte) bool {
+				d, _, _ := keycodec.DecodeInt64(kb)
+				gotKeys = append(gotKeys, d)
+				if string(vb) != model[d] {
+					okAll = false
+				}
+				return true
+			})
+			if len(gotKeys) != len(wantKeys) {
+				okAll = false
+				return
+			}
+			for i := range gotKeys {
+				if gotKeys[i] != wantKeys[i] {
+					okAll = false
+					return
+				}
+			}
+			if err := tr.Validate(p); err != nil {
+				okAll = false
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableLengthValues(t *testing.T) {
+	testTree(t, 800, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		rng := rand.New(rand.NewSource(9))
+		want := map[int64][]byte{}
+		for i := 0; i < 400; i++ {
+			k := int64(i)
+			v := make([]byte, 1+rng.Intn(180))
+			rng.Read(v)
+			tr.Put(p, ik(k), v, 0)
+			want[k] = v
+		}
+		if err := tr.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range want {
+			got, ok, _ := tr.Get(p, ik(k))
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("key %d mismatch", k)
+			}
+		}
+	})
+}
+
+func TestOversizeCellRejected(t *testing.T) {
+	testTree(t, 16, func(p *sim.Proc, tr *Tree, _ *storage.Segment) {
+		_, err := tr.Put(p, ik(1), bytes.Repeat([]byte{1}, 400), 0)
+		if err == nil {
+			t.Fatal("oversize cell accepted on 512-byte page")
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// Cursor iterates a tree in key order. It keeps no pages pinned between
+// Next calls; if the tree changes structurally underneath it (another
+// transaction splits or frees a page at a blocking point), the cursor
+// re-seeks its last key transparently.
+type Cursor struct {
+	t     *Tree
+	stack []cursorLevel
+	gen   uint64
+	key   []byte
+	val   []byte
+	valid bool
+}
+
+type cursorLevel struct {
+	no   storage.PageNo
+	slot int
+}
+
+// Seek positions a cursor at the first key >= key. A nil key starts at the
+// beginning.
+func (t *Tree) Seek(p *sim.Proc, key []byte) (*Cursor, error) {
+	c := &Cursor{t: t}
+	if err := c.seek(p, key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cursor) seek(p *sim.Proc, key []byte) error {
+	c.stack = c.stack[:0]
+	c.valid = false
+	c.gen = c.t.gen
+	if c.t.root == 0 {
+		return nil
+	}
+	no := c.t.root
+	for {
+		pg, rel, err := c.t.pager.Read(p, no)
+		if err != nil {
+			return err
+		}
+		if pg.Type() == storage.PageInner {
+			slot := 0
+			if key != nil {
+				slot = childSlot(pg, key)
+			}
+			child := innerCellChild(pg.Cell(slot))
+			c.stack = append(c.stack, cursorLevel{no, slot})
+			rel()
+			no = child
+			continue
+		}
+		slot := 0
+		if key != nil {
+			slot, _ = search(pg, key)
+		}
+		c.stack = append(c.stack, cursorLevel{no, slot})
+		if slot < pg.NumSlots() {
+			c.load(pg, slot)
+			rel()
+			return nil
+		}
+		rel()
+		// Leaf exhausted (or empty): advance to the next leaf.
+		return c.advance(p)
+	}
+}
+
+func (c *Cursor) load(pg storage.Page, slot int) {
+	cell := pg.Cell(slot)
+	c.key = append(c.key[:0], cellKey(cell)...)
+	c.val = append(c.val[:0], leafCellValue(cell)...)
+	c.valid = true
+}
+
+// Valid reports whether the cursor is positioned on a record.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current key. The slice is reused by Next; copy to retain.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Value returns the current value. The slice is reused by Next.
+func (c *Cursor) Value() []byte { return c.val }
+
+// Next advances to the following key.
+func (c *Cursor) Next(p *sim.Proc) error {
+	if !c.valid {
+		return nil
+	}
+	if c.gen != c.t.gen {
+		return c.reseekForward(p)
+	}
+	return c.step(p)
+}
+
+// reseekForward rebuilds the cursor position after a structural change and
+// moves to the key following the one last returned.
+func (c *Cursor) reseekForward(p *sim.Proc) error {
+	last := bytes.Clone(c.key)
+	if err := c.seek(p, last); err != nil {
+		return err
+	}
+	if c.valid && bytes.Equal(c.key, last) {
+		return c.step(p)
+	}
+	return nil
+}
+
+// step moves one slot forward within the current leaf, spilling into the
+// next leaf when exhausted.
+func (c *Cursor) step(p *sim.Proc) error {
+	leaf := &c.stack[len(c.stack)-1]
+	pg, rel, err := c.t.pager.Read(p, leaf.no)
+	if err != nil {
+		return err
+	}
+	if c.gen != c.t.gen { // page fetch yielded and the tree changed
+		rel()
+		return c.reseekForward(p)
+	}
+	leaf.slot++
+	if leaf.slot < pg.NumSlots() {
+		c.load(pg, leaf.slot)
+		rel()
+		return nil
+	}
+	rel()
+	return c.advance(p)
+}
+
+// advance pops exhausted levels and descends to the leftmost leaf of the
+// next subtree.
+func (c *Cursor) advance(p *sim.Proc) error {
+	c.valid = false
+	for len(c.stack) > 1 {
+		c.stack = c.stack[:len(c.stack)-1]
+		lvl := &c.stack[len(c.stack)-1]
+		pg, rel, err := c.t.pager.Read(p, lvl.no)
+		if err != nil {
+			return err
+		}
+		if c.gen != c.t.gen {
+			rel()
+			c.valid = true // restore: c.key still holds the last-returned key
+			return c.reseekForward(p)
+		}
+		lvl.slot++
+		if lvl.slot >= pg.NumSlots() {
+			rel()
+			continue
+		}
+		no := innerCellChild(pg.Cell(lvl.slot))
+		rel()
+		// Descend to the leftmost leaf under no.
+		for {
+			pg, rel, err := c.t.pager.Read(p, no)
+			if err != nil {
+				return err
+			}
+			if pg.Type() == storage.PageInner {
+				c.stack = append(c.stack, cursorLevel{no, 0})
+				child := innerCellChild(pg.Cell(0))
+				rel()
+				no = child
+				continue
+			}
+			c.stack = append(c.stack, cursorLevel{no, 0})
+			if pg.NumSlots() > 0 {
+				c.load(pg, 0)
+				rel()
+				return nil
+			}
+			rel()
+			break // empty leaf: keep popping
+		}
+	}
+	return nil
+}
+
+// Scan iterates keys in [lo, hi) (nil bounds are open) and calls fn for each
+// record; fn returning false stops the scan. Key and value slices passed to
+// fn are only valid during the call.
+func (t *Tree) Scan(p *sim.Proc, lo, hi []byte, fn func(key, val []byte) bool) error {
+	c, err := t.Seek(p, lo)
+	if err != nil {
+		return err
+	}
+	for c.Valid() {
+		if hi != nil && bytes.Compare(c.Key(), hi) >= 0 {
+			return nil
+		}
+		if !fn(c.Key(), c.Value()) {
+			return nil
+		}
+		if err := c.Next(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records in the tree.
+func (t *Tree) Count(p *sim.Proc) (int, error) {
+	n := 0
+	err := t.Scan(p, nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// MinKey returns the smallest key, ok=false for an empty tree.
+func (t *Tree) MinKey(p *sim.Proc) ([]byte, bool, error) {
+	c, err := t.Seek(p, nil)
+	if err != nil || !c.Valid() {
+		return nil, false, err
+	}
+	return bytes.Clone(c.Key()), true, nil
+}
+
+// Validate checks structural invariants: key ordering within and across
+// pages, separator coverage, and uniform leaf depth. It returns a
+// descriptive error on the first violation.
+func (t *Tree) Validate(p *sim.Proc) error {
+	if t.root == 0 {
+		return nil
+	}
+	_, _, _, err := t.validatePage(p, t.root, nil, nil, -1, 0)
+	return err
+}
+
+func (t *Tree) validatePage(p *sim.Proc, no storage.PageNo, lo, hi []byte, wantDepth, depth int) (minKey, maxKey []byte, leafDepth int, err error) {
+	pg, rel, err := t.pager.Read(p, no)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	n := pg.NumSlots()
+	typ := pg.Type()
+	var keys [][]byte
+	var children []storage.PageNo
+	for i := 0; i < n; i++ {
+		cell := pg.Cell(i)
+		keys = append(keys, bytes.Clone(cellKey(cell)))
+		if typ == storage.PageInner {
+			children = append(children, innerCellChild(cell))
+		}
+	}
+	rel()
+	for i := 1; i < n; i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			return nil, nil, 0, fmt.Errorf("btree: page %d keys out of order at slot %d", no, i)
+		}
+	}
+	if typ == storage.PageLeaf {
+		if n == 0 && no != t.root {
+			return nil, nil, 0, fmt.Errorf("btree: empty non-root leaf %d", no)
+		}
+		for _, k := range keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return nil, nil, 0, fmt.Errorf("btree: leaf %d key below bound", no)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return nil, nil, 0, fmt.Errorf("btree: leaf %d key above bound", no)
+			}
+		}
+		if wantDepth >= 0 && depth != wantDepth {
+			return nil, nil, 0, fmt.Errorf("btree: leaf %d at depth %d, want %d", no, depth, wantDepth)
+		}
+		if n == 0 {
+			return nil, nil, depth, nil
+		}
+		return keys[0], keys[n-1], depth, nil
+	}
+	if n == 0 {
+		return nil, nil, 0, fmt.Errorf("btree: empty inner page %d", no)
+	}
+	leafDepth = wantDepth
+	for i := 0; i < n; i++ {
+		clo := lo
+		if i > 0 {
+			clo = keys[i]
+		}
+		chi := hi
+		if i+1 < n {
+			chi = keys[i+1]
+		}
+		_, _, d, err := t.validatePage(p, children[i], clo, chi, leafDepth, depth+1)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		leafDepth = d
+	}
+	return keys[0], nil, leafDepth, nil
+}

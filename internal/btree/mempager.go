@@ -1,0 +1,50 @@
+package btree
+
+import (
+	"errors"
+
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// ErrSegmentFull is returned when a page allocation fails because the
+// backing segment has no free pages. For physiological partitions this is
+// the signal to start a new mini-partition segment.
+var ErrSegmentFull = errors.New("btree: segment full")
+
+// MemPager serves a tree directly from a segment's bytes with no buffering
+// and no simulated I/O cost. It backs unit tests and zero-cost bulk setup
+// (initial data generation happens "before" the measured experiment).
+type MemPager struct {
+	Seg *storage.Segment
+}
+
+var noopRelease Release = func() {}
+
+// Read returns the page bytes; the release is a no-op.
+func (m MemPager) Read(_ *sim.Proc, no storage.PageNo) (storage.Page, Release, error) {
+	return m.Seg.Page(no), noopRelease, nil
+}
+
+// Write returns the page bytes for modification.
+func (m MemPager) Write(_ *sim.Proc, no storage.PageNo) (storage.Page, Release, error) {
+	return m.Seg.Page(no), noopRelease, nil
+}
+
+// Alloc grabs a fresh page from the segment.
+func (m MemPager) Alloc(_ *sim.Proc) (storage.PageNo, storage.Page, Release, error) {
+	no, ok := m.Seg.AllocPage()
+	if !ok {
+		return 0, nil, nil, ErrSegmentFull
+	}
+	return no, m.Seg.Page(no), noopRelease, nil
+}
+
+// Free returns a page to the segment.
+func (m MemPager) Free(_ *sim.Proc, no storage.PageNo) error {
+	m.Seg.FreePage(no)
+	return nil
+}
+
+// PageSize returns the segment's page size.
+func (m MemPager) PageSize() int { return m.Seg.PageSize() }

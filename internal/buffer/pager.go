@@ -1,0 +1,66 @@
+package buffer
+
+import (
+	"wattdb/internal/btree"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// Allocator extends Backend with page allocation, needed by trees that grow.
+type Allocator interface {
+	// AllocPage allocates a zeroed durable page in seg.
+	AllocPage(p *sim.Proc, seg storage.SegID) (storage.PageNo, error)
+	// FreePage returns a durable page to seg.
+	FreePage(p *sim.Proc, seg storage.SegID, no storage.PageNo) error
+}
+
+// SegPager adapts one segment's pages, served through a node's buffer pool,
+// to the btree.Pager interface. All tree I/O — buffer hits, misses, disk
+// reads, write-backs — is therefore timed against the owning node.
+type SegPager struct {
+	Pool      *Pool
+	Allocator Allocator
+	Seg       storage.SegID
+}
+
+var _ btree.Pager = SegPager{}
+
+// Read pins the page for reading.
+func (sp SegPager) Read(p *sim.Proc, no storage.PageNo) (storage.Page, btree.Release, error) {
+	f, err := sp.Pool.Pin(p, storage.PageID{Seg: sp.Seg, Page: no})
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Data, func() { sp.Pool.Unpin(f, false) }, nil
+}
+
+// Write pins the page for modification.
+func (sp SegPager) Write(p *sim.Proc, no storage.PageNo) (storage.Page, btree.Release, error) {
+	f, err := sp.Pool.Pin(p, storage.PageID{Seg: sp.Seg, Page: no})
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Data, func() { sp.Pool.Unpin(f, true) }, nil
+}
+
+// Alloc allocates a durable page and pins a zeroed frame for it.
+func (sp SegPager) Alloc(p *sim.Proc) (storage.PageNo, storage.Page, btree.Release, error) {
+	no, err := sp.Allocator.AllocPage(p, sp.Seg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	f, err := sp.Pool.PinNew(p, storage.PageID{Seg: sp.Seg, Page: no})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return no, f.Data, func() { sp.Pool.Unpin(f, true) }, nil
+}
+
+// Free drops any buffered frame and releases the durable page.
+func (sp SegPager) Free(p *sim.Proc, no storage.PageNo) error {
+	sp.Pool.Discard(storage.PageID{Seg: sp.Seg, Page: no})
+	return sp.Allocator.FreePage(p, sp.Seg, no)
+}
+
+// PageSize returns the pool's page size.
+func (sp SegPager) PageSize() int { return sp.Pool.pageSize }

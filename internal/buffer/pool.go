@@ -1,0 +1,352 @@
+// Package buffer implements each node's page buffer: pin/unpin with clock
+// eviction, write-back of dirty frames under the WAL rule, latch waits when
+// two transactions race on a page being fetched, and an optional remote
+// (rDMA) extension used by helper nodes during rebalancing (Sect. 5.2).
+package buffer
+
+import (
+	"fmt"
+
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// Backend supplies durable page bytes. The cluster layer implements it with
+// full disk and network timing; tests can use a trivial in-memory version.
+type Backend interface {
+	// ReadPage copies the durable bytes of id into dst, charging I/O time
+	// to p.
+	ReadPage(p *sim.Proc, id storage.PageID, dst []byte) error
+	// WritePage persists src as the durable bytes of id.
+	WritePage(p *sim.Proc, id storage.PageID, src []byte) error
+}
+
+type frameState int
+
+const (
+	frameIdle frameState = iota
+	frameLoading
+	frameFlushing
+)
+
+// Frame is one buffered page.
+type Frame struct {
+	ID    storage.PageID
+	Data  storage.Page
+	pins  int
+	dirty bool
+	state frameState
+	cond  *sim.Signal
+	ref   bool // clock reference bit
+	dead  bool
+}
+
+// Dirty reports whether the frame has unflushed modifications.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// Stats aggregates buffer pool counters.
+type Stats struct {
+	Hits, Misses, Evictions, Flushes int64
+	LatchWaits                       int64
+	RemoteHits                       int64
+}
+
+// Pool is a single node's buffer pool.
+type Pool struct {
+	env      *sim.Env
+	backend  Backend
+	pageSize int
+	capacity int
+	frames   map[storage.PageID]*Frame
+	clock    []*Frame
+	hand     int
+	stats    Stats
+
+	// walFlush, when set, is invoked before a dirty frame is written back
+	// so the log is durable up to the page LSN (the WAL rule).
+	walFlush func(p *sim.Proc, lsn uint64)
+
+	remote *Remote
+}
+
+// NewPool creates a pool of capacity frames of pageSize bytes over backend.
+func NewPool(env *sim.Env, backend Backend, pageSize, capacity int) *Pool {
+	if capacity < 8 {
+		panic("buffer: pool too small")
+	}
+	return &Pool{
+		env:      env,
+		backend:  backend,
+		pageSize: pageSize,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*Frame, capacity),
+	}
+}
+
+// SetWALFlush installs the WAL-rule hook.
+func (bp *Pool) SetWALFlush(fn func(p *sim.Proc, lsn uint64)) { bp.walFlush = fn }
+
+// AttachRemote connects an rDMA page cache (on a helper node). Pass nil to
+// detach.
+func (bp *Pool) AttachRemote(r *Remote) { bp.remote = r }
+
+// Stats returns a snapshot of the pool's counters.
+func (bp *Pool) Stats() Stats { return bp.stats }
+
+// InUse returns the number of resident frames.
+func (bp *Pool) InUse() int { return len(bp.frames) }
+
+// Pin fetches page id into the pool and pins it. New pages (not yet durable)
+// are pinned with pinNew instead.
+func (bp *Pool) Pin(p *sim.Proc, id storage.PageID) (*Frame, error) {
+	for {
+		f, ok := bp.frames[id]
+		if !ok {
+			break
+		}
+		if f.state == frameIdle {
+			f.pins++
+			f.ref = true
+			bp.stats.Hits++
+			return f, nil
+		}
+		// Another transaction is moving this page between buffer and
+		// disk: wait on its latch.
+		bp.stats.LatchWaits++
+		stop := p.Meter(sim.CatLatching)
+		f.cond.Wait(p)
+		stop()
+	}
+	f := &Frame{
+		ID:    id,
+		Data:  make([]byte, bp.pageSize),
+		pins:  1,
+		state: frameLoading,
+		cond:  sim.NewSignal(bp.env),
+		ref:   true,
+	}
+	bp.frames[id] = f
+	bp.clock = append(bp.clock, f)
+	if err := bp.makeRoom(p); err != nil {
+		f.dead = true
+		delete(bp.frames, id)
+		f.cond.Fire()
+		return nil, err
+	}
+	bp.stats.Misses++
+	var err error
+	if bp.remote != nil && bp.remote.Fetch(p, id, f.Data) {
+		bp.stats.RemoteHits++
+	} else {
+		err = bp.backend.ReadPage(p, id, f.Data)
+	}
+	f.state = frameIdle
+	f.cond.Fire()
+	if err != nil {
+		f.pins--
+		bp.drop(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// PinNew installs a freshly allocated (zeroed, dirty) page without a backend
+// read. The caller must have allocated id in its segment already.
+func (bp *Pool) PinNew(p *sim.Proc, id storage.PageID) (*Frame, error) {
+	if _, ok := bp.frames[id]; ok {
+		return nil, fmt.Errorf("buffer: PinNew of resident page %v", id)
+	}
+	f := &Frame{
+		ID:    id,
+		Data:  make([]byte, bp.pageSize),
+		pins:  1,
+		dirty: true,
+		state: frameIdle,
+		cond:  sim.NewSignal(bp.env),
+		ref:   true,
+	}
+	bp.frames[id] = f
+	bp.clock = append(bp.clock, f)
+	if err := bp.makeRoom(p); err != nil {
+		f.pins--
+		bp.drop(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Unpin releases one pin; dirty marks the frame modified. Dirtied pages are
+// invalidated in the remote cache (its copies are stale).
+func (bp *Pool) Unpin(f *Frame, dirty bool) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned frame %v", f.ID))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+		if bp.remote != nil {
+			bp.remote.Invalidate(f.ID)
+		}
+	}
+}
+
+// Discard drops a frame without flushing, regardless of dirtiness. Used when
+// the underlying page is being freed.
+func (bp *Pool) Discard(id storage.PageID) {
+	if f, ok := bp.frames[id]; ok {
+		if f.pins > 0 {
+			panic(fmt.Sprintf("buffer: discard of pinned frame %v", id))
+		}
+		bp.drop(f)
+		f.cond.Fire()
+	}
+	if bp.remote != nil {
+		bp.remote.Invalidate(id)
+	}
+}
+
+// makeRoom evicts frames until the pool is within capacity.
+func (bp *Pool) makeRoom(p *sim.Proc) error {
+	for len(bp.frames) > bp.capacity {
+		victim := bp.pickVictim()
+		if victim == nil {
+			return fmt.Errorf("buffer: pool exhausted (%d frames, all pinned)", len(bp.frames))
+		}
+		if err := bp.evict(p, victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim runs the clock algorithm over unpinned idle frames.
+func (bp *Pool) pickVictim() *Frame {
+	bp.compactClock()
+	n := len(bp.clock)
+	for sweep := 0; sweep < 2*n; sweep++ {
+		if n == 0 {
+			return nil
+		}
+		f := bp.clock[bp.hand%n]
+		bp.hand++
+		if f.dead || f.pins > 0 || f.state != frameIdle {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (bp *Pool) compactClock() {
+	if len(bp.clock) < 2*bp.capacity {
+		return
+	}
+	live := bp.clock[:0]
+	for _, f := range bp.clock {
+		if !f.dead {
+			live = append(live, f)
+		}
+	}
+	bp.clock = live
+	bp.hand = 0
+}
+
+// evict flushes f if dirty (WAL rule first) and removes it from the pool.
+// If a remote cache is attached, the page bytes are offloaded there so a
+// later miss can be served over the network instead of from disk.
+func (bp *Pool) evict(p *sim.Proc, f *Frame) error {
+	bp.stats.Evictions++
+	if f.dirty {
+		f.state = frameFlushing
+		if bp.walFlush != nil {
+			bp.walFlush(p, f.Data.LSN())
+		}
+		if err := bp.backend.WritePage(p, f.ID, f.Data); err != nil {
+			f.state = frameIdle
+			f.cond.Fire()
+			return err
+		}
+		bp.stats.Flushes++
+		f.dirty = false
+		f.state = frameIdle
+	}
+	if bp.remote != nil {
+		bp.remote.Store(f.ID, f.Data)
+	}
+	bp.drop(f)
+	f.cond.Fire()
+	return nil
+}
+
+func (bp *Pool) drop(f *Frame) {
+	f.dead = true
+	delete(bp.frames, f.ID)
+}
+
+// FlushSegment writes back every dirty frame of seg and drops all of the
+// segment's frames from the pool. Called before a segment is shipped so the
+// durable bytes are complete ("flushed to disk", Sect. 4.3 Logging).
+func (bp *Pool) FlushSegment(p *sim.Proc, seg storage.SegID) error {
+	var targets []*Frame
+	for id, f := range bp.frames {
+		if id.Seg == seg {
+			targets = append(targets, f)
+		}
+	}
+	for _, f := range targets {
+		if f.dead {
+			continue
+		}
+		for f.state != frameIdle {
+			f.cond.Wait(p)
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: FlushSegment %d: page %v still pinned", seg, f.ID)
+		}
+		if err := bp.evict(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty unpinned frame (checkpoint helper).
+func (bp *Pool) FlushAll(p *sim.Proc) error {
+	var targets []*Frame
+	for _, f := range bp.frames {
+		if f.dirty {
+			targets = append(targets, f)
+		}
+	}
+	for _, f := range targets {
+		if f.dead || !f.dirty || f.state != frameIdle || f.pins > 0 {
+			continue
+		}
+		f.state = frameFlushing
+		if bp.walFlush != nil {
+			bp.walFlush(p, f.Data.LSN())
+		}
+		if err := bp.backend.WritePage(p, f.ID, f.Data); err != nil {
+			return err
+		}
+		bp.stats.Flushes++
+		f.dirty = false
+		f.state = frameIdle
+		f.cond.Fire()
+	}
+	return nil
+}
+
+// DropSegment discards all frames of seg without flushing (used after a
+// segment's ownership moved away and old readers drained).
+func (bp *Pool) DropSegment(seg storage.SegID) {
+	for id, f := range bp.frames {
+		if id.Seg == seg && f.pins == 0 && f.state == frameIdle {
+			bp.drop(f)
+		}
+	}
+}

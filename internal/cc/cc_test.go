@@ -1,0 +1,439 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"wattdb/internal/sim"
+)
+
+func TestOracleTimestampsMonotonic(t *testing.T) {
+	o := NewOracle()
+	t1 := o.Begin(SnapshotIsolation)
+	t2 := o.Begin(SnapshotIsolation)
+	if t2.Begin <= t1.Begin {
+		t.Fatalf("begin timestamps not increasing: %d, %d", t1.Begin, t2.Begin)
+	}
+	c1 := o.CommitTS(t1)
+	if c1 <= t2.Begin {
+		t.Fatalf("commit ts %d not after begin %d", c1, t2.Begin)
+	}
+	if t1.State != TxnCommitted {
+		t.Fatal("commit did not set state")
+	}
+}
+
+func TestOracleWatermark(t *testing.T) {
+	o := NewOracle()
+	t1 := o.Begin(SnapshotIsolation)
+	t2 := o.Begin(SnapshotIsolation)
+	if wm := o.Watermark(); wm != t1.Begin {
+		t.Fatalf("watermark = %d, want %d", wm, t1.Begin)
+	}
+	o.CommitTS(t1)
+	if wm := o.Watermark(); wm != t2.Begin {
+		t.Fatalf("watermark after commit = %d, want %d", wm, t2.Begin)
+	}
+	o.Abort(t2)
+	if o.ActiveCount() != 0 {
+		t.Fatal("abort did not deregister")
+	}
+}
+
+func TestLockCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b LockMode
+		want bool
+	}{
+		{LockIR, LockIR, true}, {LockIR, LockIX, true}, {LockIR, LockR, true}, {LockIR, LockX, false},
+		{LockIX, LockIX, true}, {LockIX, LockR, false}, {LockIX, LockX, false},
+		{LockR, LockR, true}, {LockR, LockX, false},
+		{LockX, LockX, false},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.want {
+			t.Errorf("compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := compatible(c.b, c.a); got != c.want {
+			t.Errorf("compatible(%v,%v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSharedLocksCoexistExclusiveWaits(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	lm := NewLockManager(env)
+	var xAt time.Duration
+	r1, r2 := o.Begin(Locking), o.Begin(Locking)
+	w := o.Begin(Locking)
+	env.Spawn("r1", func(p *sim.Proc) {
+		if err := lm.Lock(p, r1, "k", LockR, time.Minute); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(2 * time.Second)
+		lm.ReleaseAll(r1)
+	})
+	env.Spawn("r2", func(p *sim.Proc) {
+		if err := lm.Lock(p, r2, "k", LockR, time.Minute); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(4 * time.Second)
+		lm.ReleaseAll(r2)
+	})
+	env.Spawn("w", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		if err := lm.Lock(p, w, "k", LockX, time.Minute); err != nil {
+			t.Error(err)
+		}
+		xAt = p.Now()
+		lm.ReleaseAll(w)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if xAt != 4*time.Second {
+		t.Fatalf("X granted at %v, want 4s (after both readers)", xAt)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	lm := NewLockManager(env)
+	holder, waiter := o.Begin(Locking), o.Begin(Locking)
+	var got error
+	env.Spawn("holder", func(p *sim.Proc) {
+		lm.Lock(p, holder, "k", LockX, time.Minute)
+		p.Sleep(time.Hour)
+		lm.ReleaseAll(holder)
+	})
+	env.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		got = lm.Lock(p, waiter, "k", LockX, time.Second)
+	})
+	if err := env.RunUntil(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got != ErrLockTimeout {
+		t.Fatalf("err = %v, want ErrLockTimeout", got)
+	}
+}
+
+func TestLockUpgrade(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	lm := NewLockManager(env)
+	a, b := o.Begin(Locking), o.Begin(Locking)
+	var upgradedAt time.Duration
+	env.Spawn("a", func(p *sim.Proc) {
+		lm.Lock(p, a, "k", LockR, time.Minute)
+		p.Sleep(time.Second)
+		// Upgrade R -> X must wait for b's R to go away.
+		if err := lm.Lock(p, a, "k", LockX, time.Minute); err != nil {
+			t.Error(err)
+		}
+		upgradedAt = p.Now()
+		lm.ReleaseAll(a)
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		lm.Lock(p, b, "k", LockR, time.Minute)
+		p.Sleep(3 * time.Second)
+		lm.ReleaseAll(b)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if upgradedAt != 3*time.Second {
+		t.Fatalf("upgrade at %v, want 3s", upgradedAt)
+	}
+}
+
+func TestIntentLocksAllowFineGrainedSharing(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	lm := NewLockManager(env)
+	a, b := o.Begin(Locking), o.Begin(Locking)
+	ok := true
+	env.Spawn("a", func(p *sim.Proc) {
+		if err := lm.Lock(p, a, "part", LockIX, time.Second); err != nil {
+			ok = false
+		}
+		if err := lm.Lock(p, a, "part/k1", LockX, time.Second); err != nil {
+			ok = false
+		}
+		p.Sleep(time.Second)
+		lm.ReleaseAll(a)
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		// IX on the same partition is fine; X on a different record too.
+		if err := lm.Lock(p, b, "part", LockIX, time.Second); err != nil {
+			ok = false
+		}
+		if err := lm.Lock(p, b, "part/k2", LockX, time.Second); err != nil {
+			ok = false
+		}
+		lm.ReleaseAll(b)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("intent-locked fine-grained access should not conflict")
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	lm := NewLockManager(env)
+	a, b := o.Begin(Locking), o.Begin(Locking)
+	got := false
+	env.Spawn("a", func(p *sim.Proc) {
+		lm.Lock(p, a, "k", LockX, time.Minute)
+		p.Sleep(time.Second)
+		lm.ReleaseAll(a)
+	})
+	env.Spawn("b", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		if err := lm.Lock(p, b, "k", LockX, time.Minute); err == nil {
+			got = true
+		}
+		lm.ReleaseAll(b)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("waiter never granted after ReleaseAll")
+	}
+}
+
+func TestMVCCSnapshotReadSeesOldVersion(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	var done bool
+	env.Spawn("test", func(p *sim.Proc) {
+		reader := o.Begin(SnapshotIsolation)
+		writer := o.Begin(SnapshotIsolation)
+
+		// Writer updates key "a" (old leaf was committed at ts 1).
+		oldLeaf := &Version{TS: 1, Val: []byte("v1")}
+		if err := vs.AcquireWriteIntent(p, writer, "a", oldLeaf.TS, time.Second); err != nil {
+			t.Error(err)
+		}
+		vs.StagePending(writer, "a", false, []byte("v2"))
+
+		// Reader must not see the pending write.
+		v, ok := vs.ReadVisible(reader, "a", oldLeaf)
+		if !ok || string(v.Val) != "v1" {
+			t.Errorf("reader saw %q, want v1", v.Val)
+		}
+		// Writer sees its own write.
+		v, ok = vs.ReadVisible(writer, "a", oldLeaf)
+		if !ok || string(v.Val) != "v2" {
+			t.Errorf("writer saw %q, want v2", v.Val)
+		}
+
+		cts := o.CommitTS(writer)
+		newLeaf := vs.CommitKey(writer, "a", oldLeaf, cts)
+		if newLeaf.TS != cts || string(newLeaf.Val) != "v2" {
+			t.Errorf("committed leaf = %+v", newLeaf)
+		}
+		// Reader's snapshot predates the commit: still v1, via history.
+		v, ok = vs.ReadVisible(reader, "a", &newLeaf)
+		if !ok || string(v.Val) != "v1" {
+			t.Errorf("after commit, reader saw %q, want v1", v.Val)
+		}
+		// A new transaction sees v2.
+		late := o.Begin(SnapshotIsolation)
+		v, ok = vs.ReadVisible(late, "a", &newLeaf)
+		if !ok || string(v.Val) != "v2" {
+			t.Errorf("late reader saw %q, want v2", v.Val)
+		}
+		done = true
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test body did not finish")
+	}
+}
+
+func TestMVCCFirstCommitterWins(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	env.Spawn("test", func(p *sim.Proc) {
+		t1 := o.Begin(SnapshotIsolation)
+		t2 := o.Begin(SnapshotIsolation)
+		leaf := &Version{TS: 1, Val: []byte("v0")}
+		if err := vs.AcquireWriteIntent(p, t1, "k", leaf.TS, time.Second); err != nil {
+			t.Error(err)
+		}
+		vs.StagePending(t1, "k", false, []byte("t1"))
+		cts := o.CommitTS(t1)
+		nl := vs.CommitKey(t1, "k", leaf, cts)
+		// t2 began before t1 committed: write must conflict.
+		err := vs.AcquireWriteIntent(p, t2, "k", nl.TS, time.Second)
+		if err != ErrWriteConflict {
+			t.Errorf("err = %v, want ErrWriteConflict", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVCCWriterWaitsForWriter(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	var secondErr error
+	var grantedAt time.Duration
+	t1 := o.Begin(SnapshotIsolation)
+	env.Spawn("t1", func(p *sim.Proc) {
+		vs.AcquireWriteIntent(p, t1, "k", 0, time.Second)
+		vs.StagePending(t1, "k", false, []byte("x"))
+		p.Sleep(2 * time.Second)
+		// Abort: t2 should then acquire without conflict.
+		vs.AbortKey(t1, "k")
+		o.Abort(t1)
+	})
+	env.Spawn("t2", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		t2 := o.Begin(SnapshotIsolation)
+		secondErr = vs.AcquireWriteIntent(p, t2, "k", 0, time.Minute)
+		grantedAt = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondErr != nil {
+		t.Fatalf("second writer err = %v", secondErr)
+	}
+	if grantedAt != 2*time.Second {
+		t.Fatalf("granted at %v, want 2s", grantedAt)
+	}
+}
+
+func TestMVCCDeleteVisibility(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	env.Spawn("test", func(p *sim.Proc) {
+		oldReader := o.Begin(SnapshotIsolation)
+		deleter := o.Begin(SnapshotIsolation)
+		leaf := &Version{TS: 1, Val: []byte("alive")}
+		vs.AcquireWriteIntent(p, deleter, "k", leaf.TS, time.Second)
+		vs.StagePending(deleter, "k", true, nil)
+		cts := o.CommitTS(deleter)
+		tomb := vs.CommitKey(deleter, "k", leaf, cts)
+		if !tomb.Deleted {
+			t.Error("committed version should be a tombstone")
+		}
+		// Old reader still sees the record.
+		if v, ok := vs.ReadVisible(oldReader, "k", &tomb); !ok || string(v.Val) != "alive" {
+			t.Errorf("old reader = %q, %v", v.Val, ok)
+		}
+		// New reader does not.
+		late := o.Begin(SnapshotIsolation)
+		if _, ok := vs.ReadVisible(late, "k", &tomb); ok {
+			t.Error("late reader saw deleted record")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVCCGCFreesOldVersions(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	env.Spawn("test", func(p *sim.Proc) {
+		var leaf *Version
+		for i := 0; i < 5; i++ {
+			w := o.Begin(SnapshotIsolation)
+			ts := Timestamp(0)
+			if leaf != nil {
+				ts = leaf.TS
+			}
+			if err := vs.AcquireWriteIntent(p, w, "k", ts, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			vs.StagePending(w, "k", false, []byte("version-payload"))
+			nl := vs.CommitKey(w, "k", leaf, o.CommitTS(w))
+			leaf = &nl
+		}
+		if vs.VersionBytes() == 0 {
+			t.Fatal("no version bytes retained")
+		}
+		freed := vs.GC(o.Watermark())
+		if freed == 0 {
+			t.Fatal("GC freed nothing with no active readers")
+		}
+		if vs.VersionBytes() != 0 {
+			t.Fatalf("version bytes after GC = %d", vs.VersionBytes())
+		}
+		if vs.Entries() != 0 {
+			t.Fatalf("entries after GC = %d", vs.Entries())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVCCGCKeepsVersionsForActiveSnapshot(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	env.Spawn("test", func(p *sim.Proc) {
+		leaf := Version{TS: 1, Val: []byte("v1")}
+		reader := o.Begin(SnapshotIsolation) // snapshot before the update
+		w := o.Begin(SnapshotIsolation)
+		vs.AcquireWriteIntent(p, w, "k", leaf.TS, time.Second)
+		vs.StagePending(w, "k", false, []byte("v2"))
+		nl := vs.CommitKey(w, "k", &leaf, o.CommitTS(w))
+		vs.GC(o.Watermark()) // reader still active: v1 must survive
+		if v, ok := vs.ReadVisible(reader, "k", &nl); !ok || string(v.Val) != "v1" {
+			t.Errorf("reader lost its version to GC: %q %v", v.Val, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnUndoRunsInReverse(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	txn := o.Begin(SnapshotIsolation)
+	var order []int
+	txn.PushUndo(func(*sim.Proc) { order = append(order, 1) })
+	txn.PushUndo(func(*sim.Proc) { order = append(order, 2) })
+	env.Spawn("abort", func(p *sim.Proc) {
+		txn.RunUndo(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order = %v", order)
+	}
+}

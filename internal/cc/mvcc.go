@@ -1,0 +1,236 @@
+package cc
+
+import (
+	"time"
+
+	"wattdb/internal/sim"
+)
+
+// Version is one record state: a commit timestamp plus payload, or a delete
+// marker. The newest committed version of a record lives in the partition's
+// B*-tree; the VersionStore keeps older versions and uncommitted intents, so
+// "readers can still access old versions, even if new transactions changed
+// the data" (Sect. 3.5) — crucial while records are on the move.
+type Version struct {
+	TS      Timestamp
+	Deleted bool
+	Val     []byte
+}
+
+// Bytes returns the version's storage footprint for the Fig. 3 metric.
+func (v Version) Bytes() int64 { return int64(len(v.Val)) + 9 }
+
+type mvccEntry struct {
+	writer     *Txn
+	pending    Version
+	hasPending bool
+	history    []Version // committed versions, newest first
+	lastCommit Timestamp
+	released   *sim.Signal
+}
+
+// VersionStore holds MVCC state for one partition. All methods must be
+// called from simulation processes of the owning node.
+type VersionStore struct {
+	env     *sim.Env
+	entries map[string]*mvccEntry
+
+	// versionBytes tracks retained old-version bytes (Fig. 3's storage
+	// overhead line).
+	versionBytes int64
+}
+
+// NewVersionStore returns an empty store.
+func NewVersionStore(env *sim.Env) *VersionStore {
+	return &VersionStore{env: env, entries: make(map[string]*mvccEntry)}
+}
+
+func (vs *VersionStore) entry(key string) *mvccEntry {
+	e, ok := vs.entries[key]
+	if !ok {
+		e = &mvccEntry{released: sim.NewSignal(vs.env)}
+		vs.entries[key] = e
+	}
+	return e
+}
+
+// AcquireWriteIntent makes txn the exclusive pending writer of key. leafTS
+// is the commit timestamp of the record's current tree version (0 if the
+// record does not exist); it feeds the first-committer-wins check. Waiting
+// for a competing writer is metered as CatLocking.
+func (vs *VersionStore) AcquireWriteIntent(p *sim.Proc, txn *Txn, key string, leafTS Timestamp, timeout time.Duration) error {
+	if !txn.Active() {
+		return ErrTxnNotActive
+	}
+	e := vs.entry(key)
+	if e.writer == txn {
+		return nil
+	}
+	deadline := vs.env.Now() + timeout
+	for e.writer != nil {
+		remaining := deadline - vs.env.Now()
+		stop := p.Meter(sim.CatLocking)
+		ok := remaining > 0 && e.released.WaitTimeout(p, remaining)
+		stop()
+		if !ok {
+			return ErrLockTimeout
+		}
+		if !txn.Active() {
+			return ErrTxnNotActive
+		}
+	}
+	last := e.lastCommit
+	if leafTS > last {
+		last = leafTS
+	}
+	if last > txn.Begin {
+		// Someone committed this record after we took our snapshot.
+		return ErrWriteConflict
+	}
+	e.writer = txn
+	e.hasPending = false
+	return nil
+}
+
+// StagePending records txn's new value for key. txn must hold the write
+// intent.
+func (vs *VersionStore) StagePending(txn *Txn, key string, deleted bool, val []byte) {
+	e := vs.entry(key)
+	if e.writer != txn {
+		panic("cc: StagePending without write intent")
+	}
+	e.pending = Version{Deleted: deleted, Val: val}
+	e.hasPending = true
+}
+
+// ReadVisible resolves the version of key visible to txn. leaf is the
+// current tree version (nil if the key is absent from the tree). It returns
+// ok=false if no version is visible at txn's snapshot.
+func (vs *VersionStore) ReadVisible(txn *Txn, key string, leaf *Version) (Version, bool) {
+	e := vs.entries[key]
+	if e != nil && e.writer == txn && e.hasPending {
+		// Own uncommitted write.
+		if e.pending.Deleted {
+			return Version{}, false
+		}
+		return e.pending, true
+	}
+	if e != nil && e.writer != nil && e.writer != txn && e.hasPending &&
+		e.writer.State == TxnCommitted && e.writer.Commit <= txn.Begin {
+		// The writer has committed (its timestamp is assigned and below our
+		// snapshot) but the tree install is still in flight — this happens
+		// while a distributed commit walks its participants. The staged
+		// value is the authoritative newest version for this snapshot.
+		if e.pending.Deleted {
+			return Version{}, false
+		}
+		v := e.pending
+		v.TS = e.writer.Commit
+		return v, true
+	}
+	if leaf != nil && leaf.TS <= txn.Begin {
+		if leaf.Deleted {
+			return Version{}, false
+		}
+		return *leaf, true
+	}
+	if e != nil {
+		for _, v := range e.history {
+			if v.TS <= txn.Begin {
+				if v.Deleted {
+					return Version{}, false
+				}
+				return v, true
+			}
+		}
+	}
+	return Version{}, false
+}
+
+// HasIntent reports whether txn holds the write intent on key with a staged
+// value (used by scans to include own inserts).
+func (vs *VersionStore) HasIntent(txn *Txn, key string) (Version, bool) {
+	e := vs.entries[key]
+	if e != nil && e.writer == txn && e.hasPending {
+		return e.pending, true
+	}
+	return Version{}, false
+}
+
+// CommitKey finalises txn's pending write of key at commitTS. oldLeaf (the
+// tree version being replaced, nil if none) is pushed into the history so
+// older snapshots can still read it. It returns the version the caller must
+// install in the tree.
+func (vs *VersionStore) CommitKey(txn *Txn, key string, oldLeaf *Version, commitTS Timestamp) Version {
+	e := vs.entry(key)
+	if e.writer != txn || !e.hasPending {
+		panic("cc: CommitKey without staged write")
+	}
+	if oldLeaf != nil && oldLeaf.TS > txn.Begin {
+		panic("cc: first-committer-wins violation: overwriting a version newer than the snapshot")
+	}
+	if oldLeaf != nil {
+		e.history = append([]Version{*oldLeaf}, e.history...)
+		vs.versionBytes += oldLeaf.Bytes()
+	}
+	v := e.pending
+	v.TS = commitTS
+	e.lastCommit = commitTS
+	e.writer = nil
+	e.hasPending = false
+	e.released.Fire()
+	return v
+}
+
+// AbortKey drops txn's write intent on key.
+func (vs *VersionStore) AbortKey(txn *Txn, key string) {
+	e, ok := vs.entries[key]
+	if !ok || e.writer != txn {
+		return
+	}
+	e.writer = nil
+	e.hasPending = false
+	e.released.Fire()
+}
+
+// GC discards history versions that no active snapshot can read (all but
+// the newest version older than watermark) and returns the bytes freed.
+func (vs *VersionStore) GC(watermark Timestamp) int64 {
+	var freed int64
+	for key, e := range vs.entries {
+		if len(e.history) > 0 {
+			// Keep versions needed by snapshots >= watermark: drop all
+			// versions strictly older than the newest one <= watermark.
+			keep := len(e.history)
+			for i, v := range e.history {
+				if v.TS <= watermark {
+					keep = i + 1
+					break
+				}
+			}
+			for _, v := range e.history[keep:] {
+				freed += v.Bytes()
+			}
+			e.history = e.history[:keep:keep]
+			// The tree's leaf version supersedes any history version
+			// fully below the watermark.
+			if len(e.history) > 0 && e.lastCommit <= watermark {
+				for _, v := range e.history {
+					freed += v.Bytes()
+				}
+				e.history = nil
+			}
+		}
+		if e.writer == nil && len(e.history) == 0 && e.released.Waiting() == 0 {
+			delete(vs.entries, key)
+		}
+	}
+	vs.versionBytes -= freed
+	return freed
+}
+
+// VersionBytes returns retained old-version bytes.
+func (vs *VersionStore) VersionBytes() int64 { return vs.versionBytes }
+
+// Entries returns the number of keys with MVCC state.
+func (vs *VersionStore) Entries() int { return len(vs.entries) }

@@ -1,0 +1,318 @@
+// Package cluster assembles WattDB: data nodes (buffer pool, segment
+// store, WAL, lock manager) on simulated hardware, a master node holding
+// the catalog and global partition table with dual old/new pointers during
+// migration (Sect. 4.3 Housekeeping), utilisation monitoring with
+// threshold-driven scale-out/scale-in (Sect. 3.4), and the three
+// repartitioning protocols of Sect. 4.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wattdb/internal/btree"
+	"wattdb/internal/buffer"
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// Config tunes a cluster.
+type Config struct {
+	Nodes       int
+	Cal         hw.Calibration
+	LockTimeout time.Duration
+	// VectorSize is the record batch size for remote operators.
+	VectorSize int
+}
+
+// DefaultConfig returns the paper's 10-node cluster with test-scale
+// segments.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:       10,
+		Cal:         hw.TestCalibration(),
+		LockTimeout: 2 * time.Second,
+		VectorSize:  256,
+	}
+}
+
+// segHome records where a segment's durable bytes live.
+type segHome struct {
+	seg    *storage.Segment
+	node   *DataNode
+	disk   *hw.Disk
+	moving bool // physical relocation in progress: flushes must wait
+	moved  *sim.Signal
+}
+
+// Cluster owns the hardware, the nodes, and the segment location map.
+type Cluster struct {
+	Env    *sim.Env
+	Cal    hw.Calibration
+	Net    *hw.Network
+	Nodes  []*DataNode
+	Master *Master
+	Meter  *hw.PowerMeter
+
+	homes     map[storage.SegID]*segHome
+	nextSegID storage.SegID
+
+	cfg Config
+}
+
+// New builds a cluster of cfg.Nodes data nodes. Node 0 hosts the master.
+// All nodes start in standby except node 0; activate more with PowerOn or
+// the scale-out policy.
+func New(env *sim.Env, cfg Config) *Cluster {
+	c := &Cluster{
+		Env:   env,
+		Cal:   cfg.Cal,
+		Net:   hw.NewNetwork(env, cfg.Cal),
+		homes: make(map[storage.SegID]*segHome),
+		cfg:   cfg,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, newDataNode(c, i))
+	}
+	c.Nodes[0].HW.ForceActive()
+	c.Master = newMaster(c)
+	var hwNodes []*hw.Node
+	for _, n := range c.Nodes {
+		hwNodes = append(hwNodes, n.HW)
+	}
+	c.Meter = hw.NewPowerMeter(env, cfg.Cal, hwNodes, time.Second)
+	return c
+}
+
+// NextSegID issues a cluster-unique segment ID.
+func (c *Cluster) NextSegID() storage.SegID {
+	c.nextSegID++
+	return c.nextSegID
+}
+
+func (c *Cluster) home(id storage.SegID) (*segHome, error) {
+	h, ok := c.homes[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown segment %d", id)
+	}
+	return h, nil
+}
+
+// registerSegment homes seg on node's given disk.
+func (c *Cluster) registerSegment(seg *storage.Segment, node *DataNode, disk *hw.Disk) {
+	c.homes[seg.ID] = &segHome{seg: seg, node: node, disk: disk, moved: sim.NewSignal(c.Env)}
+}
+
+// dropSegment forgets a segment's storage.
+func (c *Cluster) dropSegment(id storage.SegID) { delete(c.homes, id) }
+
+// DataNode is one cluster machine running the WattDB engine: page buffer,
+// WAL, lock manager, and the partitions it owns.
+type DataNode struct {
+	ID      int
+	HW      *hw.Node
+	Pool    *buffer.Pool
+	Log     *wal.Log
+	Locks   *cc.LockManager
+	cluster *Cluster
+
+	diskRR int // round-robin over data disks for new segments
+
+	// Owned partitions by ID (server-side registry).
+	Parts map[table.PartID]*table.Partition
+
+	// helper wiring (Fig. 8): non-nil while log shipping is active.
+	shippedFrom wal.Device
+}
+
+func newDataNode(c *Cluster, id int) *DataNode {
+	n := &DataNode{
+		ID:      id,
+		HW:      hw.NewNode(c.Env, id, c.Cal, c.Net),
+		Locks:   cc.NewLockManager(c.Env),
+		cluster: c,
+		Parts:   make(map[table.PartID]*table.Partition),
+	}
+	n.Pool = buffer.NewPool(c.Env, (*nodeBackend)(n), c.Cal.PageSize, c.Cal.BufferFrames)
+	n.Log = wal.NewLog(c.Env, wal.DiskDevice{Disk: n.HW.LogDisk()})
+	n.Pool.SetWALFlush(func(p *sim.Proc, lsn uint64) { n.Log.Flush(p, lsn) })
+	return n
+}
+
+// Deps builds the table.Deps for partitions owned by this node.
+func (n *DataNode) Deps() table.Deps {
+	return table.Deps{
+		Env:         n.cluster.Env,
+		Oracle:      n.cluster.Master.Oracle,
+		Locks:       n.Locks,
+		Log:         n.Log,
+		Factory:     n,
+		Compute:     n.HW.Compute,
+		CPUPerOp:    n.cluster.Cal.CPUBTreeOp,
+		CPUPerTuple: n.cluster.Cal.CPUTupleScan,
+		LockTimeout: n.cluster.cfg.LockTimeout,
+		PageSize:    n.cluster.Cal.PageSize,
+	}
+}
+
+// NewSegment implements table.PagerFactory: allocate a segment on one of
+// this node's data disks.
+func (n *DataNode) NewSegment(p *sim.Proc) (*storage.Segment, error) {
+	seg := storage.NewSegment(n.cluster.NextSegID(), n.cluster.Cal.PageSize, n.cluster.Cal.SegmentPages)
+	disks := n.HW.DataDisks()
+	disk := disks[n.diskRR%len(disks)]
+	n.diskRR++
+	n.cluster.registerSegment(seg, n, disk)
+	return seg, nil
+}
+
+// Pager implements table.PagerFactory: buffered access through this node's
+// pool.
+func (n *DataNode) Pager(seg *storage.Segment) btree.Pager {
+	return buffer.SegPager{Pool: n.Pool, Allocator: (*nodeBackend)(n), Seg: seg.ID}
+}
+
+// DropSegment implements table.PagerFactory.
+func (n *DataNode) DropSegment(p *sim.Proc, id storage.SegID) {
+	n.Pool.DropSegment(id)
+	n.cluster.dropSegment(id)
+}
+
+// AdoptShippedSegment homes an arriving segment locally (physiological
+// migration target side).
+func (n *DataNode) AdoptShippedSegment(seg *storage.Segment) {
+	disks := n.HW.DataDisks()
+	disk := disks[n.diskRR%len(disks)]
+	n.diskRR++
+	n.cluster.registerSegment(seg, n, disk)
+}
+
+// nodeBackend implements buffer.Backend and buffer.Allocator with full disk
+// and network timing. Reading a page whose segment is homed on another node
+// (physical partitioning) costs a request/response round trip plus the
+// remote disk access — the latency penalty Sect. 4.1 describes.
+type nodeBackend DataNode
+
+func (b *nodeBackend) self() *DataNode { return (*DataNode)(b) }
+
+// ReadPage copies the durable page into dst with timing.
+func (b *nodeBackend) ReadPage(p *sim.Proc, id storage.PageID, dst []byte) error {
+	h, err := b.cluster.home(id.Seg)
+	if err != nil {
+		return err
+	}
+	if h.node != b.self() {
+		b.cluster.Net.Transfer(p, b.ID, h.node.ID, 32)
+		h.disk.Read(p, int64(len(dst)))
+		b.cluster.Net.Transfer(p, h.node.ID, b.ID, int64(len(dst)))
+	} else {
+		h.disk.Read(p, int64(len(dst)))
+	}
+	copy(dst, h.seg.Page(id.Page))
+	return nil
+}
+
+// WritePage persists src with timing; during a physical relocation of the
+// segment the flush waits for the move to finish.
+func (b *nodeBackend) WritePage(p *sim.Proc, id storage.PageID, src []byte) error {
+	h, err := b.cluster.home(id.Seg)
+	if err != nil {
+		return err
+	}
+	for h.moving {
+		stop := p.Meter(sim.CatLatching)
+		h.moved.Wait(p)
+		stop()
+	}
+	if h.node != b.self() {
+		b.cluster.Net.Transfer(p, b.ID, h.node.ID, int64(len(src))+32)
+		h.disk.Write(p, int64(len(src)))
+	} else {
+		h.disk.Write(p, int64(len(src)))
+	}
+	copy(h.seg.Page(id.Page), src)
+	return nil
+}
+
+// AllocPage allocates a durable page (metadata operation; remote homes pay
+// a round trip).
+func (b *nodeBackend) AllocPage(p *sim.Proc, segID storage.SegID) (storage.PageNo, error) {
+	h, err := b.cluster.home(segID)
+	if err != nil {
+		return 0, err
+	}
+	if h.node != b.self() {
+		b.cluster.Net.Transfer(p, b.ID, h.node.ID, 32)
+		b.cluster.Net.Transfer(p, h.node.ID, b.ID, 32)
+	}
+	no, ok := h.seg.AllocPage()
+	if !ok {
+		return 0, btree.ErrSegmentFull
+	}
+	return no, nil
+}
+
+// FreePage returns a durable page.
+func (b *nodeBackend) FreePage(p *sim.Proc, segID storage.SegID, no storage.PageNo) error {
+	h, err := b.cluster.home(segID)
+	if err != nil {
+		return err
+	}
+	h.seg.FreePage(no)
+	return nil
+}
+
+// StartVacuum spawns a background process that periodically removes
+// tombstones and garbage-collects version chains on every partition the
+// node owns (a system-transaction housekeeping duty, Sect. 3.5).
+func (n *DataNode) StartVacuum(interval time.Duration) {
+	n.cluster.Env.Spawn(fmt.Sprintf("vacuum-%d", n.ID), func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			ids := make([]table.PartID, 0, len(n.Parts))
+			for id := range n.Parts {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			wm := n.cluster.Master.Oracle.Watermark()
+			for _, id := range ids {
+				if pt, ok := n.Parts[id]; ok {
+					pt.Vacuum(p, wm)
+				}
+			}
+		}
+	})
+}
+
+// PowerOn boots the node (blocking p for the boot time).
+func (n *DataNode) PowerOn(p *sim.Proc) { n.HW.PowerOn(p) }
+
+// PowerOff quiesces and powers the node down. The caller must have moved
+// all partitions away first; nodes "still having data on disk must not shut
+// down" (Sect. 4).
+func (n *DataNode) PowerOff(p *sim.Proc) error {
+	// Shed read-only replicas and partitions fully migrated away.
+	for id, pt := range n.Parts {
+		if pt.Empty() || pt.Replica {
+			for _, h := range pt.Segments() {
+				n.DropSegment(p, h.Seg.ID)
+			}
+			delete(n.Parts, id)
+		}
+	}
+	if len(n.Parts) > 0 {
+		return fmt.Errorf("cluster: node %d still owns %d partitions", n.ID, len(n.Parts))
+	}
+	for id, h := range n.cluster.homes {
+		if h.node == n {
+			return fmt.Errorf("cluster: node %d still stores segment %d", n.ID, id)
+		}
+	}
+	n.HW.PowerOff(p)
+	return nil
+}

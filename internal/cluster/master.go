@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// Master is the cluster coordinator (Sect. 3.2): catalog, global partition
+// table, timestamp oracle, and client endpoint. It runs on node 0, which
+// also serves data ("the smallest configuration of WattDB is a single
+// server hosting all DBMS functions").
+type Master struct {
+	cluster *Cluster
+	Node    *DataNode
+	Oracle  *cc.Oracle
+
+	tables     map[string]*TableMeta
+	nextPartID table.PartID
+
+	// MoveMode is the concurrency control mode used by record-movement
+	// system transactions (Fig. 3 compares both).
+	MoveMode cc.Mode
+}
+
+// TableMeta is the master's view of one table.
+type TableMeta struct {
+	Schema  *table.Schema
+	Scheme  table.Scheme
+	entries []*RangeEntry
+	// replicas, when non-nil, marks a read-only replicated table (e.g.
+	// TPC-C ITEM): every node holds a full copy and reads go to the local
+	// one.
+	replicas map[*DataNode]*table.Partition
+}
+
+// Replicated reports whether the table is a read-only replicated table.
+func (tm *TableMeta) Replicated() bool { return tm.replicas != nil }
+
+// Replica returns the node-local copy of a replicated table.
+func (tm *TableMeta) Replica(n *DataNode) *table.Partition { return tm.replicas[n] }
+
+// CreateReplicatedTable registers a read-only table fully copied to every
+// node (reads are always node-local; writes are rejected by sessions).
+func (m *Master) CreateReplicatedTable(schema *table.Schema, nodes []*DataNode) (*TableMeta, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := m.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("cluster: table %s exists", schema.Name)
+	}
+	tm := &TableMeta{Schema: schema, Scheme: table.Physiological, replicas: map[*DataNode]*table.Partition{}}
+	for _, n := range nodes {
+		m.nextPartID++
+		pt := table.NewPartition(m.nextPartID, schema, table.Physiological, nil, nil, n.Deps())
+		pt.Replica = true
+		n.Parts[pt.ID] = pt
+		tm.replicas[n] = pt
+	}
+	m.tables[schema.Name] = tm
+	return tm, nil
+}
+
+// BulkLoadReplicated feeds the same sorted stream into every replica. The
+// stream function is called once per replica, so it must be restartable.
+func (m *Master) BulkLoadReplicated(p *sim.Proc, tableName string, stream func() func() (key, payload []byte, ok bool)) error {
+	tm, err := m.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if tm.replicas == nil {
+		return fmt.Errorf("cluster: table %s is not replicated", tableName)
+	}
+	for _, pt := range tm.replicas {
+		next := stream()
+		err := pt.BulkLoad(p, 0.7, func() ([]byte, []byte, bool) {
+			k, v, ok := next()
+			if !ok {
+				return nil, nil, false
+			}
+			return k, table.EncodeLoadValue(1, v), true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeEntry maps a primary-key range to its owning partition. During
+// migration both the new and the old location are kept ("the master keeps
+// two pointers, indicating both the new and old partition location, and
+// queries are advised to visit both", Sect. 4.3).
+type RangeEntry struct {
+	Low, High []byte // High exclusive; nil = unbounded
+	Part      *table.Partition
+	Owner     *DataNode
+	OldPart   *table.Partition
+	OldOwner  *DataNode
+	// MovedBelow is the logical-migration progress boundary: keys below it
+	// have moved to the new location, keys at or above still live at the
+	// old one. nil means the boundary does not apply (move complete, or a
+	// segment-wise move where ErrNotOwned drives the fallback).
+	MovedBelow []byte
+}
+
+func (e *RangeEntry) contains(key []byte) bool {
+	if bytes.Compare(key, e.Low) < 0 && e.Low != nil {
+		return false
+	}
+	return e.High == nil || bytes.Compare(key, e.High) < 0
+}
+
+func newMaster(c *Cluster) *Master {
+	return &Master{
+		cluster: c,
+		Node:    c.Nodes[0],
+		Oracle:  cc.NewOracle(),
+		tables:  make(map[string]*TableMeta),
+	}
+}
+
+// RangeSpec declares one initial partition of a table.
+type RangeSpec struct {
+	Low, High []byte
+	Owner     *DataNode
+}
+
+// CreateTable registers a table split into the given ranges. Ranges must be
+// sorted and contiguous.
+func (m *Master) CreateTable(schema *table.Schema, scheme table.Scheme, ranges []RangeSpec) (*TableMeta, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := m.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("cluster: table %s exists", schema.Name)
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("cluster: table %s needs at least one range", schema.Name)
+	}
+	tm := &TableMeta{Schema: schema, Scheme: scheme}
+	for i, r := range ranges {
+		if i > 0 && !bytes.Equal(ranges[i-1].High, r.Low) {
+			return nil, fmt.Errorf("cluster: ranges of %s not contiguous at %d", schema.Name, i)
+		}
+		m.nextPartID++
+		pt := table.NewPartition(m.nextPartID, schema, scheme, r.Low, r.High, r.Owner.Deps())
+		r.Owner.Parts[pt.ID] = pt
+		tm.entries = append(tm.entries, &RangeEntry{Low: r.Low, High: r.High, Part: pt, Owner: r.Owner})
+	}
+	m.tables[schema.Name] = tm
+	return tm, nil
+}
+
+// Table returns a table's metadata.
+func (m *Master) Table(name string) (*TableMeta, error) {
+	tm, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no table %s", name)
+	}
+	return tm, nil
+}
+
+// Entries returns the partition table of a table (diagnostics, migration).
+func (tm *TableMeta) Entries() []*RangeEntry { return tm.entries }
+
+// Route returns the entry covering key.
+func (tm *TableMeta) Route(key []byte) (*RangeEntry, error) { return tm.route(key) }
+
+// Cluster returns the cluster the master coordinates.
+func (m *Master) Cluster() *Cluster { return m.cluster }
+
+// route finds the entry covering key.
+func (tm *TableMeta) route(key []byte) (*RangeEntry, error) {
+	i := sort.Search(len(tm.entries), func(i int) bool {
+		return bytes.Compare(tm.entries[i].Low, key) > 0
+	})
+	if i > 0 {
+		i--
+	}
+	e := tm.entries[i]
+	if !e.contains(key) {
+		return nil, fmt.Errorf("cluster: key %x outside table %s ranges", key, tm.Schema.Name)
+	}
+	return e, nil
+}
+
+// replaceEntry substitutes old with news (splitting a range during
+// migration), keeping order.
+func (tm *TableMeta) replaceEntry(old *RangeEntry, news ...*RangeEntry) {
+	for i, e := range tm.entries {
+		if e == old {
+			tail := append([]*RangeEntry{}, tm.entries[i+1:]...)
+			tm.entries = append(append(tm.entries[:i], news...), tail...)
+			return
+		}
+	}
+}
+
+// BulkLoad feeds a strictly ascending key stream into a table's partitions
+// (experiment setup; charges no simulation time).
+func (m *Master) BulkLoad(p *sim.Proc, tableName string, next func() (key, payload []byte, ok bool)) error {
+	tm, err := m.Table(tableName)
+	if err != nil {
+		return err
+	}
+	var pendingK, pendingV []byte
+	exhausted := false
+	pull := func() ([]byte, []byte, bool) {
+		if pendingK != nil {
+			k, v := pendingK, pendingV
+			pendingK, pendingV = nil, nil
+			return k, v, true
+		}
+		if exhausted {
+			return nil, nil, false
+		}
+		k, v, ok := next()
+		if !ok {
+			exhausted = true
+		}
+		return k, v, ok
+	}
+	for _, e := range tm.entries {
+		e := e
+		err := e.Part.BulkLoad(p, 0.7, func() ([]byte, []byte, bool) {
+			k, v, ok := pull()
+			if !ok {
+				return nil, nil, false
+			}
+			if e.High != nil && bytes.Compare(k, e.High) >= 0 {
+				pendingK, pendingV = k, v // belongs to a later range
+				return nil, nil, false
+			}
+			return k, table.EncodeLoadValue(1, v), true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if pendingK != nil || !exhausted {
+		return fmt.Errorf("cluster: bulk load rows beyond table %s ranges", tableName)
+	}
+	return nil
+}
+
+// TableOwners lists the distinct nodes owning live partitions of the table.
+func (tm *TableMeta) TableOwners() []*DataNode {
+	seen := map[*DataNode]bool{}
+	var out []*DataNode
+	for _, e := range tm.entries {
+		if !seen[e.Owner] {
+			seen[e.Owner] = true
+			out = append(out, e.Owner)
+		}
+	}
+	return out
+}
+
+// RecordCount sums visible records across a table's partitions (testing).
+func (m *Master) RecordCount(p *sim.Proc, tableName string) (int, error) {
+	tm, err := m.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	counted := map[*table.Partition]bool{}
+	for _, e := range tm.entries {
+		if counted[e.Part] {
+			continue
+		}
+		counted[e.Part] = true
+		n, err := e.Part.RecordCount(p)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// appendCommitRecord writes and flushes a commit record on node's log.
+func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) {
+	lsn := node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
+	node.Log.Flush(p, lsn)
+}

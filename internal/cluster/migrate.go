@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// MigrateRange rebalances all records of tableName with keys in [lo, hi)
+// onto dst, using the protocol matching the table's partitioning scheme:
+//
+//   - Physical (Sect. 4.1): relocate the durable segments of the covering
+//     partitions to dst's disks; ownership stays put.
+//   - Logical (Sect. 4.2): move records with delete/insert transactions
+//     into a partition on dst; key ranges change.
+//   - Physiological (Sect. 4.3): ship whole mini-partition segments and
+//     transfer ownership as each one arrives.
+//
+// The call blocks p for the duration of the move.
+func (m *Master) MigrateRange(p *sim.Proc, tableName string, lo, hi []byte, dst *DataNode) error {
+	return m.MigrateRangeFraction(p, tableName, lo, hi, 1.0, dst)
+}
+
+// MigrateRangeFraction is MigrateRange with an explicit record fraction for
+// the physical scheme: physical partitioning has no key-to-segment mapping
+// (the logical layer is oblivious of segment placement), so "move the
+// records of [lo, hi)" can only be approximated by moving the corresponding
+// fraction of each covering partition's segments. The logical and
+// physiological protocols target the exact key range and ignore frac.
+func (m *Master) MigrateRangeFraction(p *sim.Proc, tableName string, lo, hi []byte, frac float64, dst *DataNode) error {
+	tm, err := m.Table(tableName)
+	if err != nil {
+		return err
+	}
+	switch tm.Scheme {
+	case table.Physical:
+		return m.migratePhysical(p, tm, lo, hi, frac, dst)
+	case table.Logical:
+		return m.migrateLogical(p, tm, lo, hi, dst)
+	case table.Physiological:
+		return m.migratePhysiological(p, tm, lo, hi, dst)
+	}
+	return fmt.Errorf("cluster: unknown scheme %v", tm.Scheme)
+}
+
+// overlapping returns entries intersecting [lo, hi).
+func (tm *TableMeta) overlapping(lo, hi []byte) []*RangeEntry {
+	var out []*RangeEntry
+	for _, e := range tm.entries {
+		if hi != nil && e.Low != nil && bytes.Compare(e.Low, hi) >= 0 {
+			continue
+		}
+		if lo != nil && e.High != nil && bytes.Compare(e.High, lo) <= 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// --- Physical partitioning -------------------------------------------------
+
+// migratePhysical relocates the durable bytes of every segment of the
+// covered partitions to dst. Only a lightweight flush freeze is needed: the
+// logical layer, ownership, and access paths are untouched — which is also
+// why query processing gains nothing (Sect. 5.2).
+func (m *Master) migratePhysical(p *sim.Proc, tm *TableMeta, lo, hi []byte, frac float64, dst *DataNode) error {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	for _, e := range tm.overlapping(lo, hi) {
+		if e.Owner == dst {
+			continue
+		}
+		segs := e.Part.Segments()
+		k := int(float64(len(segs))*frac + 0.5)
+		if k > len(segs) {
+			k = len(segs)
+		}
+		for _, h := range segs[len(segs)-k:] {
+			if err := m.relocateSegment(p, e.Owner, h, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// relocateSegment moves one segment's durable bytes between nodes' disks.
+func (m *Master) relocateSegment(p *sim.Proc, owner *DataNode, h *table.SegHandle, dst *DataNode) error {
+	home, err := m.cluster.home(h.Seg.ID)
+	if err != nil {
+		return err
+	}
+	if home.node == dst {
+		return nil
+	}
+	// Make the durable image current, then freeze flushes for the copy.
+	if err := owner.Pool.FlushSegment(p, h.Seg.ID); err != nil {
+		return err
+	}
+	home.moving = true
+	// Sequential read at the source disk, wire transfer, sequential write
+	// at the destination: segment movement "copies data almost at raw disk
+	// speed".
+	bytes := h.Seg.Bytes()
+	home.disk.ReadSeq(p, bytes)
+	m.cluster.Net.Transfer(p, home.node.ID, dst.ID, bytes)
+	disks := dst.HW.DataDisks()
+	newDisk := disks[dst.diskRR%len(disks)]
+	dst.diskRR++
+	newDisk.WriteSeq(p, bytes)
+	home.node = dst
+	home.disk = newDisk
+	home.moving = false
+	home.moved.Fire()
+	return nil
+}
+
+// --- Logical partitioning ---------------------------------------------------
+
+// logicalBatch is the number of records per movement transaction.
+const logicalBatch = 64
+
+// migrateLogical moves records of [lo, hi) into a (possibly new) partition
+// on dst using system transactions that delete at the source and insert at
+// the destination. The master entry carries dual pointers; an advancing
+// boundary retargets writers batch by batch.
+func (m *Master) migrateLogical(p *sim.Proc, tm *TableMeta, lo, hi []byte, dst *DataNode) error {
+	for _, e := range tm.overlapping(lo, hi) {
+		if e.Owner == dst {
+			continue
+		}
+		clampLo := maxBytes(lo, e.Low)
+		clampHi := minBytes(hi, e.High)
+		if err := m.moveRecordRange(p, tm, e, clampLo, clampHi, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, hi []byte, dst *DataNode) error {
+	src := e.Part
+	srcOwner := e.Owner
+	// Build the destination partition and install dual pointers: the moved
+	// sub-range becomes its own entry pointing at dst (new) and src (old).
+	m.nextPartID++
+	dstPart := table.NewPartition(m.nextPartID, tm.Schema, tm.Scheme, lo, hi, dst.Deps())
+	dst.Parts[dstPart.ID] = dstPart
+
+	boundary := lo
+	if boundary == nil {
+		boundary = []byte{} // -inf, but non-nil: nothing moved yet
+	}
+	moved := &RangeEntry{Low: lo, High: hi, Part: dstPart, Owner: dst,
+		OldPart: src, OldOwner: srcOwner, MovedBelow: boundary}
+	var news []*RangeEntry
+	if e.Low == nil && lo != nil || (e.Low != nil && lo != nil && bytes.Compare(e.Low, lo) < 0) {
+		news = append(news, &RangeEntry{Low: e.Low, High: lo, Part: src, Owner: srcOwner})
+	}
+	news = append(news, moved)
+	if hi != nil && (e.High == nil || bytes.Compare(hi, e.High) < 0) {
+		news = append(news, &RangeEntry{Low: hi, High: e.High, Part: src, Owner: srcOwner})
+	}
+	tm.replaceEntry(e, news...)
+
+	// Move batches of records with system transactions. Records are
+	// removed from the source (tombstones keep old snapshots working) and
+	// inserted at the destination; both sides commit atomically via 2PC.
+	// The batch size adapts: conflicts with user transactions shrink it
+	// (down to single records, which always make progress against hot
+	// rows); successes grow it back.
+	cursor := lo
+	batchSize := logicalBatch
+	for {
+		type rec struct{ k, v []byte }
+		var batch []rec
+		sess := m.BeginSystem(p, m.MoveMode, srcOwner)
+		err := src.Scan(p, sess.Txn, cursor, hi, func(k, v []byte) bool {
+			batch = append(batch, rec{bytes.Clone(k), bytes.Clone(v)})
+			return len(batch) < batchSize
+		})
+		if err != nil {
+			sess.Abort(p)
+			return err
+		}
+		if len(batch) == 0 {
+			sess.Abort(p)
+			break
+		}
+		ok := true
+		for _, r := range batch {
+			if err := src.Delete(p, sess.Txn, r.k); err != nil {
+				ok = false
+				err2 := retryConflict(p, err)
+				if err2 != nil {
+					sess.Abort(p)
+					return err2
+				}
+				break
+			}
+			sess.touched[src] = srcOwner
+			// Ship the record and insert at the destination.
+			m.cluster.Net.Transfer(p, srcOwner.ID, dst.ID, int64(len(r.k)+len(r.v))+16)
+			if err := dstPart.Put(p, sess.Txn, r.k, r.v); err != nil {
+				ok = false
+				if err2 := retryConflict(p, err); err2 != nil {
+					sess.Abort(p)
+					return err2
+				}
+				break
+			}
+			sess.touched[dstPart] = dst
+		}
+		if !ok {
+			sess.Abort(p)
+			if batchSize > 1 {
+				batchSize /= 2
+			}
+			continue // retry the same cursor window with a smaller batch
+		}
+		last := batch[len(batch)-1].k
+		// Advance the routing boundary before committing: writers that
+		// lose a conflict against this batch must retry at the new
+		// location, never resurrect the record at the source.
+		moved.MovedBelow = nextKey(last)
+		if err := sess.Commit(p); err != nil {
+			moved.MovedBelow = cursor // batch failed: boundary rolls back
+			sess.Abort(p)
+			if err2 := retryConflict(p, err); err2 != nil {
+				return err2
+			}
+			if batchSize > 1 {
+				batchSize /= 2
+			}
+			continue
+		}
+		cursor = nextKey(last)
+		if batchSize < logicalBatch {
+			batchSize *= 2
+		}
+	}
+	// All records moved: the old pointer stays until old snapshots drain,
+	// then the source's tombstoned range is vacuumed.
+	moved.MovedBelow = nil
+	m.scheduleOldPointerCleanup(moved, src, srcOwner)
+	return nil
+}
+
+// retryConflict converts transient movement conflicts (a user transaction
+// holding a record) into a brief backoff; other errors pass through.
+func retryConflict(p *sim.Proc, err error) error {
+	switch err {
+	case cc.ErrWriteConflict, cc.ErrLockTimeout:
+		p.Sleep(10 * time.Millisecond)
+		return nil
+	}
+	return err
+}
+
+// scheduleOldPointerCleanup drops the dual pointer and vacuums the source
+// once every snapshot that could see the old copies has finished.
+func (m *Master) scheduleOldPointerCleanup(e *RangeEntry, src *table.Partition, srcOwner *DataNode) {
+	fence := m.Oracle.Watermark()
+	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
+	m.Oracle.Abort(horizon) // only needed its timestamp
+	m.cluster.Env.Spawn("old-pointer-cleanup", func(p *sim.Proc) {
+		for m.Oracle.Watermark() <= horizon.Begin {
+			p.Sleep(time.Second)
+		}
+		e.OldPart = nil
+		e.OldOwner = nil
+		src.Vacuum(p, m.Oracle.Watermark())
+		_ = fence
+		_ = srcOwner
+	})
+}
+
+// --- Physiological partitioning ---------------------------------------------
+
+// migratePhysiological ships whole mini-partitions (segments) of [lo, hi)
+// to dst, following the Sect. 4.3 repartitioning protocol step by step.
+func (m *Master) migratePhysiological(p *sim.Proc, tm *TableMeta, lo, hi []byte, dst *DataNode) error {
+	for _, e := range tm.overlapping(lo, hi) {
+		if e.Owner == dst {
+			continue
+		}
+		srcPart := e.Part
+		// Segments straddling the migration boundary are split at the
+		// exact key first, so the moved range is precise. Raced splits
+		// (concurrent overflow splits) re-resolve and retry.
+		for _, bound := range [][]byte{lo, hi} {
+			if bound == nil {
+				continue
+			}
+			for {
+				h := srcPart.SegmentContaining(bound)
+				if h == nil || bytes.Compare(h.Low, bound) >= 0 {
+					break
+				}
+				err := srcPart.SplitSegmentAt(p, h, bound)
+				if err == table.ErrSplitRaced {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		// One destination partition adopts every mini-partition moved from
+		// this source partition; its bounds widen per adopted segment.
+		m.nextPartID++
+		dstPart := table.NewPartition(m.nextPartID, tm.Schema, tm.Scheme,
+			maxBytes(lo, e.Low), minBytes(hi, e.High), dst.Deps())
+		dstPart.AdoptOnly = true
+		dst.Parts[dstPart.ID] = dstPart
+		for {
+			// Pick the next mini-partition fully inside [lo, hi).
+			var target *table.SegHandle
+			for _, h := range srcPart.Segments() {
+				inLo := lo == nil || bytes.Compare(h.Low, lo) >= 0
+				inHi := hi == nil || (h.High != nil && bytes.Compare(h.High, hi) <= 0)
+				if inLo && inHi {
+					target = h
+					break
+				}
+			}
+			if target == nil {
+				break
+			}
+			// Re-route: earlier moves already re-split the partition table.
+			cur, err := tm.route(target.Low)
+			if err != nil {
+				return err
+			}
+			if cur.Part != srcPart {
+				return fmt.Errorf("cluster: entry for %x no longer points at source partition", target.Low)
+			}
+			if err := m.moveSegment(p, tm, cur, target, dstPart, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// moveSegment transfers one mini-partition from e.Part to a partition on
+// dst, implementing the paper's movement protocol:
+//
+//  1. mark the move on the master (dual pointers),
+//  2. read-lock the mini-partition on the source, waiting for writers,
+//  3. checkpoint + flush so no UNDO/REDO must ship,
+//  4. copy the segment to the target node,
+//  5. adopt it into the target's partition tree, update the master,
+//  6. unlock; the source keeps a ghost until old readers drain.
+func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table.SegHandle, dstPart *table.Partition, dst *DataNode) error {
+	src := e.Part
+	srcOwner := e.Owner
+
+	// (1) Master: split the entry so the moving range has dual pointers.
+	moved := &RangeEntry{Low: h.Low, High: h.High, Part: dstPart, Owner: dst, OldPart: src, OldOwner: srcOwner}
+	var news []*RangeEntry
+	if e.Low == nil && h.Low != nil || (e.Low != nil && h.Low != nil && bytes.Compare(e.Low, h.Low) < 0) {
+		news = append(news, &RangeEntry{Low: e.Low, High: h.Low, Part: src, Owner: srcOwner})
+	} else if e.Low == nil && h.Low == nil {
+		// moving the first segment of an unbounded-low partition
+	}
+	news = append(news, moved)
+	if h.High != nil && (e.High == nil || bytes.Compare(h.High, e.High) < 0) {
+		news = append(news, &RangeEntry{Low: h.High, High: e.High, Part: src, Owner: srcOwner})
+	}
+	tm.replaceEntry(e, news...)
+	e = moved
+
+	// (2) Read lock on the mini-partition: waits for in-flight writers and
+	// holds off new ones (they queue, then get redirected on retry).
+	mover := m.BeginSystem(p, m.MoveMode, srcOwner)
+	lockName := src.MovementLockName()
+	if err := srcOwner.Locks.Lock(p, mover.Txn, lockName, cc.LockR, 30*time.Second); err != nil {
+		mover.Abort(p)
+		return err
+	}
+
+	// (3) Movement acts as a checkpoint: commit records are durable and
+	// the segment's pages are flushed, so "additional logging is not
+	// required".
+	srcOwner.Log.Checkpoint(p)
+	srcOwner.Log.Append(wal.Record{Txn: mover.Txn.ID, Type: wal.RecSegMove, Part: uint64(src.ID)})
+	if err := srcOwner.Pool.FlushSegment(p, h.Seg.ID); err != nil {
+		mover.Abort(p)
+		return err
+	}
+
+	// (4) Ship the segment: sequential read, wire, sequential write.
+	home, err := m.cluster.home(h.Seg.ID)
+	if err != nil {
+		mover.Abort(p)
+		return err
+	}
+	size := h.Seg.Bytes()
+	home.disk.ReadSeq(p, size)
+	m.cluster.Net.Transfer(p, srcOwner.ID, dst.ID, size)
+	clone := h.Seg.Clone(m.cluster.NextSegID())
+	dst.AdoptShippedSegment(clone)
+	destHome, _ := m.cluster.home(clone.ID)
+	destHome.disk.WriteSeq(p, size)
+
+	// (5) Target adopts the mini-partition; the master entry already
+	// points at it, so new transactions route there now.
+	if _, err := dstPart.AdoptSegment(clone); err != nil {
+		mover.Abort(p)
+		return err
+	}
+
+	// (6) Source detaches the segment but keeps it as a ghost for old
+	// readers; unlock so queued writers retry (and get redirected).
+	moveTS := m.Oracle.Watermark() // snapshots begun before now may still read the ghost
+	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
+	m.Oracle.Abort(horizon)
+	if err := src.DetachSegment(h, horizon.Begin); err != nil {
+		mover.Abort(p)
+		return err
+	}
+	_ = moveTS
+	srcOwner.Locks.ReleaseAll(mover.Txn)
+	m.Oracle.Abort(mover.Txn)
+
+	// Drop the ghost and the dual pointer once old snapshots drained; the
+	// old log records for the moved range become obsolete with the
+	// checkpoint already taken.
+	segID := h.Seg.ID
+	m.cluster.Env.Spawn("ghost-drop", func(gp *sim.Proc) {
+		for m.Oracle.Watermark() <= horizon.Begin {
+			gp.Sleep(time.Second)
+		}
+		e.OldPart = nil
+		e.OldOwner = nil
+		src.DropGhost(gp, segID)
+	})
+	return nil
+}
+
+func maxBytes(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minBytes(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// nextKey returns the immediate successor of k in byte order.
+func nextKey(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	return out
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// TestReadModifyWriteDuringMigration hammers a small set of counters with
+// read-modify-write transactions (the TPC-C Payment pattern) while a range
+// migrates, and verifies that the sum of all counters equals the number of
+// committed increments — the strongest lost-update/duplicate detector.
+func TestReadModifyWriteDuringMigration(t *testing.T) {
+	for _, scheme := range []table.Scheme{table.Logical, table.Physiological} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			const n = 40 // small, hot key set
+			env := sim.NewEnv(3)
+			defer env.Close()
+			cfg := DefaultConfig()
+			cfg.Nodes = 3
+			c := New(env, cfg)
+			for _, node := range c.Nodes[1:] {
+				node.HW.ForceActive()
+			}
+			schema := &table.Schema{
+				ID: 1, Name: "ctr", KeyCols: 1,
+				Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "v", Type: table.ColInt64}},
+			}
+			if _, err := c.Master.CreateTable(schema, scheme, []RangeSpec{
+				{Low: nil, High: ik(int64(n / 2)), Owner: c.Nodes[0]},
+				{Low: ik(int64(n / 2)), High: nil, Owner: c.Nodes[1]},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			env.Spawn("load", func(p *sim.Proc) {
+				i := 0
+				c.Master.BulkLoad(p, "ctr", func() ([]byte, []byte, bool) {
+					if i >= n {
+						return nil, nil, false
+					}
+					payload, _ := schema.EncodeRow(table.Row{int64(i), int64(0)})
+					key := ik(int64(i))
+					i++
+					return key, payload, true
+				})
+			})
+			if err := env.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			stop := false
+			commits := 0
+			for w := 0; w < 6; w++ {
+				w := w
+				env.Spawn(fmt.Sprintf("rmw-%d", w), func(p *sim.Proc) {
+					rng := env.Rand
+					for !stop {
+						k := ik(int64(rng.Intn(n)))
+						s := c.Master.Begin(p, cc.SnapshotIsolation, c.Nodes[w%2])
+						raw, ok, err := s.Get(p, "ctr", k)
+						if err != nil || !ok {
+							s.Abort(p)
+							t.Errorf("get: %v %v", ok, err)
+							return
+						}
+						row, _ := schema.DecodeRow(raw)
+						row[1] = row[1].(int64) + 1
+						payload, _ := schema.EncodeRow(row)
+						if err := s.Put(p, "ctr", k, payload); err != nil {
+							s.Abort(p)
+							p.Sleep(time.Millisecond)
+							continue
+						}
+						if err := s.Commit(p); err != nil {
+							s.Abort(p)
+							continue
+						}
+						commits++
+						p.Sleep(500 * time.Microsecond)
+					}
+				})
+			}
+			env.Spawn("migrate", func(p *sim.Proc) {
+				p.Sleep(30 * time.Millisecond)
+				if err := c.Master.MigrateRange(p, "ctr", ik(int64(n/4)), ik(int64(3*n/4)), c.Nodes[2]); err != nil {
+					t.Errorf("migrate: %v", err)
+				}
+				p.Sleep(100 * time.Millisecond)
+				stop = true
+			})
+			if err := env.RunUntil(5 * time.Minute); err != nil {
+				t.Fatal(err)
+			}
+
+			env.Spawn("verify", func(p *sim.Proc) {
+				s := c.Master.Begin(p, cc.SnapshotIsolation, c.Nodes[0])
+				defer s.Abort(p)
+				var total int64
+				rows := 0
+				err := s.Scan(p, "ctr", nil, nil, func(_, payload []byte) bool {
+					row, derr := schema.DecodeRow(payload)
+					if derr != nil {
+						t.Error(derr)
+						return false
+					}
+					total += row[1].(int64)
+					rows++
+					return true
+				})
+				if err != nil {
+					t.Error(err)
+				}
+				if rows != n {
+					t.Errorf("rows = %d, want %d", rows, n)
+				}
+				if total != int64(commits) {
+					t.Errorf("counter sum = %d, committed increments = %d (lost %d)",
+						total, commits, int64(commits)-total)
+				}
+			})
+			if err := env.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+var _ = binary.LittleEndian
+var _ = keycodec.Int64Key

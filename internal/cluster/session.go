@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// Session executes one transaction. The transaction's logic runs at a home
+// node (TPC-C: the node owning the home warehouse); operations on
+// partitions owned elsewhere pay request/response network trips, and commit
+// runs two-phase when multiple nodes were written.
+type Session struct {
+	m    *Master
+	Txn  *cc.Txn
+	Home *DataNode
+
+	// touched: partitions with staged writes, by owning node.
+	touched map[*table.Partition]*DataNode
+	// lockNodes: nodes whose lock managers hold locks for this txn
+	// (locking mode also locks on reads).
+	lockNodes map[*DataNode]bool
+}
+
+// Begin starts a transaction executing at home. The timestamp comes from
+// the master's oracle; starting from another node pays the coordination
+// round trip.
+func (m *Master) Begin(p *sim.Proc, mode cc.Mode, home *DataNode) *Session {
+	if home != m.Node {
+		m.cluster.Net.Transfer(p, home.ID, m.Node.ID, 32)
+		m.cluster.Net.Transfer(p, m.Node.ID, home.ID, 32)
+	}
+	txn := m.Oracle.Begin(mode)
+	home.HW.Compute(p, m.cluster.Cal.CPUTxnOverhead)
+	return &Session{
+		m:         m,
+		Txn:       txn,
+		Home:      home,
+		touched:   make(map[*table.Partition]*DataNode),
+		lockNodes: make(map[*DataNode]bool),
+	}
+}
+
+// BeginSystem starts a system transaction (record movement housekeeping).
+func (m *Master) BeginSystem(p *sim.Proc, mode cc.Mode, home *DataNode) *Session {
+	s := m.Begin(p, mode, home)
+	s.Txn.System = true
+	return s
+}
+
+// rpc charges a request/response round trip between home and the operating
+// node (free when co-located).
+func (s *Session) rpc(p *sim.Proc, owner *DataNode, reqBytes, respBytes int64) {
+	if owner == s.Home {
+		return
+	}
+	s.m.cluster.Net.Transfer(p, s.Home.ID, owner.ID, reqBytes+32)
+	s.m.cluster.Net.Transfer(p, owner.ID, s.Home.ID, respBytes+32)
+}
+
+type loc struct {
+	part  *table.Partition
+	owner *DataNode
+}
+
+// candidates returns the partitions to visit, new location first.
+func (e *RangeEntry) candidates() []loc {
+	out := []loc{{e.Part, e.Owner}}
+	if e.OldPart != nil {
+		out = append(out, loc{e.OldPart, e.OldOwner})
+	}
+	return out
+}
+
+// candidatesFor orders the locations for a specific key: during a logical
+// migration the advancing boundary decides which copy is authoritative
+// ("transactions read either copy, but not both", Sect. 4.2).
+func (e *RangeEntry) candidatesFor(key []byte) []loc {
+	if e.OldPart == nil {
+		return []loc{{e.Part, e.Owner}}
+	}
+	if e.MovedBelow != nil && bytes.Compare(key, e.MovedBelow) >= 0 {
+		// Not yet moved: the old location is authoritative.
+		return []loc{{e.OldPart, e.OldOwner}, {e.Part, e.Owner}}
+	}
+	return []loc{{e.Part, e.Owner}, {e.OldPart, e.OldOwner}}
+}
+
+// Get reads key from tableName, visiting both locations of an in-flight
+// migration if needed.
+func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, error) {
+	tm, err := s.m.Table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	if tm.Replicated() {
+		pt := tm.Replica(s.Home)
+		if pt == nil {
+			return nil, false, fmt.Errorf("cluster: no %s replica on node %d", tableName, s.Home.ID)
+		}
+		return pt.Get(p, s.Txn, key)
+	}
+	e, err := tm.route(key)
+	if err != nil {
+		return nil, false, err
+	}
+	cands := e.candidatesFor(key)
+	for i, c := range cands {
+		if s.Txn.Mode == cc.Locking {
+			s.lockNodes[c.owner] = true
+		}
+		s.rpc(p, c.owner, 32, 64)
+		v, ok, err := c.part.Get(p, s.Txn, key)
+		if _, notOwned := err.(table.ErrNotOwned); notOwned {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok && i+1 < len(cands) {
+			continue // not visible here: visit the old location too
+		}
+		return v, ok, nil
+	}
+	return nil, false, nil
+}
+
+// Put writes key in tableName under the session's transaction.
+func (s *Session) Put(p *sim.Proc, tableName string, key, payload []byte) error {
+	return s.write(p, tableName, key, payload, false)
+}
+
+// Delete removes key in tableName.
+func (s *Session) Delete(p *sim.Proc, tableName string, key []byte) error {
+	return s.write(p, tableName, key, nil, true)
+}
+
+func (s *Session) write(p *sim.Proc, tableName string, key, payload []byte, del bool) error {
+	tm, err := s.m.Table(tableName)
+	if err != nil {
+		return err
+	}
+	// A migrating range may bounce the write between old and new location
+	// while the move completes; retry across both (bounded).
+	for attempt := 0; attempt < 8; attempt++ {
+		e, err := tm.route(key)
+		if err != nil {
+			return err
+		}
+		var lastNotOwned error
+		for _, c := range e.candidatesFor(key) {
+			s.lockNodes[c.owner] = true
+			s.rpc(p, c.owner, int64(len(payload))+32, 32)
+			if del {
+				err = c.part.Delete(p, s.Txn, key)
+			} else {
+				err = c.part.Put(p, s.Txn, key, payload)
+			}
+			if _, notOwned := err.(table.ErrNotOwned); notOwned {
+				lastNotOwned = err
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			s.touched[c.part] = c.owner
+			return nil
+		}
+		if lastNotOwned == nil {
+			return err
+		}
+		// Ownership is mid-flight; let the move progress and re-route.
+		p.Sleep(s.m.cluster.Cal.NetLatency)
+	}
+	return table.ErrNotOwned{Part: 0, Key: key}
+}
+
+// Scan iterates records of tableName with keys in [lo, hi) visible to the
+// session's transaction. During migration, both locations of a range are
+// scanned and merged by key (each record is visible in exactly one of them
+// for a given snapshot).
+func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key, payload []byte) bool) error {
+	tm, err := s.m.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if tm.Replicated() {
+		pt := tm.Replica(s.Home)
+		if pt == nil {
+			return fmt.Errorf("cluster: no %s replica on node %d", tableName, s.Home.ID)
+		}
+		return pt.Scan(p, s.Txn, lo, hi, fn)
+	}
+	for _, e := range tm.entries {
+		if hi != nil && e.Low != nil && bytes.Compare(e.Low, hi) >= 0 {
+			break
+		}
+		if lo != nil && e.High != nil && bytes.Compare(e.High, lo) <= 0 {
+			continue
+		}
+		if s.Txn.Mode == cc.Locking {
+			for _, c := range e.candidates() {
+				s.lockNodes[c.owner] = true
+			}
+		}
+		// Clamp to the entry's range: a partition may back several
+		// entries (after splits), and rows outside the entry's range must
+		// be delivered by their own entry exactly once.
+		elo, ehi := maxBytes(lo, e.Low), minBytes(hi, e.High)
+		stop := false
+		if e.OldPart == nil {
+			s.rpc(p, e.Owner, 64, 256)
+			err = e.Part.Scan(p, s.Txn, elo, ehi, func(k, v []byte) bool {
+				if !fn(k, v) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		} else {
+			err = s.mergedScan(p, e, elo, ehi, func(k, v []byte) bool {
+				if !fn(k, v) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		}
+		if _, notOwned := err.(table.ErrNotOwned); notOwned {
+			err = nil
+		}
+		if err != nil || stop {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergedScan visits both locations of a migrating range and merges results
+// in key order.
+func (s *Session) mergedScan(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn func(k, v []byte) bool) error {
+	type rec struct{ k, v []byte }
+	var all []rec
+	for _, c := range e.candidates() {
+		s.rpc(p, c.owner, 64, 256)
+		err := c.part.Scan(p, s.Txn, lo, hi, func(k, v []byte) bool {
+			all = append(all, rec{bytes.Clone(k), bytes.Clone(v)})
+			return true
+		})
+		if _, notOwned := err.(table.ErrNotOwned); notOwned {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].k, all[j].k) < 0 })
+	for i, r := range all {
+		if i > 0 && bytes.Equal(all[i-1].k, r.k) {
+			continue // same record visible twice is impossible per snapshot, but be safe
+		}
+		if !fn(r.k, r.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Commit finishes the transaction: single-node fast path, or two-phase
+// commit when multiple nodes hold writes (the master acts as coordinator).
+func (s *Session) Commit(p *sim.Proc) error {
+	if !s.Txn.Active() {
+		return cc.ErrTxnNotActive
+	}
+	nodes := map[*DataNode][]*table.Partition{}
+	for pt, owner := range s.touched {
+		if pt.HasPending(s.Txn) || s.Txn.Mode == cc.Locking {
+			nodes[owner] = append(nodes[owner], pt)
+		}
+	}
+	cal := s.m.cluster.Cal
+
+	if len(nodes) > 1 {
+		// Phase 1: prepare every participant (force its log).
+		for node := range nodes {
+			s.rpc(p, node, 32, 32)
+			lsn := node.Log.Append(wal.Record{Txn: s.Txn.ID, Type: wal.RecPrepare})
+			node.Log.Flush(p, lsn)
+		}
+	}
+	// Commit point: timestamp from the master's oracle.
+	if s.Home != s.m.Node {
+		s.m.cluster.Net.Transfer(p, s.Home.ID, s.m.Node.ID, 32)
+		s.m.cluster.Net.Transfer(p, s.m.Node.ID, s.Home.ID, 32)
+	}
+	commitTS := s.m.Oracle.CommitTS(s.Txn)
+
+	// Phase 2 / fast path: install writes and force commit records, in
+	// deterministic node order. After the commit point every branch MUST
+	// install — a failure here is an engine invariant violation (the
+	// movement protocols are responsible for never detaching a range with
+	// in-flight writers), so it fails loudly rather than losing updates.
+	ordered := make([]*DataNode, 0, len(nodes))
+	for node := range nodes {
+		ordered = append(ordered, node)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, node := range ordered {
+		s.rpc(p, node, 32, 32)
+		for _, pt := range nodes[node] {
+			if err := pt.Commit(p, s.Txn, commitTS); err != nil {
+				panic(fmt.Sprintf("cluster: commit installation failed after commit point: txn %d partition %d: %v",
+					s.Txn.ID, pt.ID, err))
+			}
+		}
+		appendCommitRecord(p, node, s.Txn)
+	}
+	if len(nodes) == 0 {
+		// Read-only: nothing to force.
+		_ = cal
+	}
+	s.releaseLocks()
+	s.Txn.DropUndo()
+	return nil
+}
+
+// Abort rolls the transaction back everywhere it touched.
+func (s *Session) Abort(p *sim.Proc) {
+	if s.Txn.State == cc.TxnAborted {
+		return
+	}
+	for pt := range s.touched {
+		pt.Abort(p, s.Txn)
+	}
+	s.Txn.RunUndo(p)
+	for node := range s.lockNodes {
+		node.Log.Append(wal.Record{Txn: s.Txn.ID, Type: wal.RecAbort})
+	}
+	s.m.Oracle.Abort(s.Txn)
+	s.releaseLocks()
+}
+
+func (s *Session) releaseLocks() {
+	for node := range s.lockNodes {
+		node.Locks.ReleaseAll(s.Txn)
+	}
+	// MVCC writers also took segment IX locks on owners.
+	for _, owner := range s.touched {
+		owner.Locks.ReleaseAll(s.Txn)
+	}
+}

@@ -1,0 +1,460 @@
+// Package exec implements WattDB's vectorised volcano-style query operators
+// (Sect. 3.3): table scans, pipelining operators (projection, filter),
+// blocking operators (sort, group/aggregate), a remote exchange that ships
+// record batches between nodes, and the asynchronous buffering operator
+// that hides network latency during distributed execution.
+//
+// Every operator runs "on" a node: its CPU work is charged there. Batches
+// flow between operators by value; when a plan edge crosses nodes, a Remote
+// operator pays the network cost per next() call — which is exactly the
+// effect Fig. 1 of the paper quantifies for single-record vs vectorised
+// protocols.
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// Operator is the volcano iterator interface. Next returns a batch of rows
+// (nil = exhausted). Classic single-record operators use batch size 1;
+// vectorised operators return up to their configured vector size.
+type Operator interface {
+	Open(p *sim.Proc) error
+	Next(p *sim.Proc) ([]table.Row, error)
+	Close(p *sim.Proc)
+}
+
+// RowBytes estimates the wire size of a row for network cost accounting.
+func RowBytes(r table.Row) int64 {
+	var n int64 = 8 // framing
+	for _, v := range r {
+		switch s := v.(type) {
+		case string:
+			n += int64(len(s)) + 2
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// TableScan reads a partition's visible records in key order, decoding rows
+// and emitting batches of Vector rows. Each batch restarts the range scan
+// after the last delivered key, so the operator needs no long-lived cursor
+// state across blocking points.
+type TableScan struct {
+	Part   *table.Partition
+	Txn    *cc.Txn
+	Lo, Hi []byte
+	Vector int
+
+	last []byte
+	done bool
+}
+
+// Open resets the scan.
+func (s *TableScan) Open(p *sim.Proc) error {
+	if s.Vector <= 0 {
+		s.Vector = 1
+	}
+	s.last, s.done = nil, false
+	return nil
+}
+
+// Next returns the next batch.
+func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
+	if s.done {
+		return nil, nil
+	}
+	lo := s.Lo
+	if s.last != nil {
+		// Resume strictly after the last delivered key.
+		lo = append(bytes.Clone(s.last), 0)
+	}
+	batch := make([]table.Row, 0, s.Vector)
+	var decodeErr error
+	err := s.Part.Scan(p, s.Txn, lo, s.Hi, func(k, payload []byte) bool {
+		row, err := s.Part.Schema.DecodeRow(payload)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		batch = append(batch, row)
+		s.last = append(s.last[:0], k...)
+		return len(batch) < s.Vector
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) == 0 {
+		s.done = true
+		return nil, nil
+	}
+	if len(batch) < s.Vector {
+		s.done = true
+	}
+	return batch, nil
+}
+
+// Close releases the scan.
+func (s *TableScan) Close(p *sim.Proc) {}
+
+// Project is a pipelining operator emitting a column subset of its child's
+// rows; per-record CPU is charged on Node.
+type Project struct {
+	Child     Operator
+	Node      *hw.Node
+	Cols      []int
+	CPUPerRow time.Duration
+}
+
+// Open opens the child.
+func (o *Project) Open(p *sim.Proc) error { return o.Child.Open(p) }
+
+// Next projects the child's next batch.
+func (o *Project) Next(p *sim.Proc) ([]table.Row, error) {
+	batch, err := o.Child.Next(p)
+	if err != nil || batch == nil {
+		return nil, err
+	}
+	o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
+	out := make([]table.Row, len(batch))
+	for i, r := range batch {
+		pr := make(table.Row, len(o.Cols))
+		for j, c := range o.Cols {
+			if c < 0 || c >= len(r) {
+				return nil, fmt.Errorf("exec: project column %d out of range", c)
+			}
+			pr[j] = r[c]
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// Close closes the child.
+func (o *Project) Close(p *sim.Proc) { o.Child.Close(p) }
+
+// Filter is a pipelining operator keeping rows matching Pred.
+type Filter struct {
+	Child     Operator
+	Node      *hw.Node
+	Pred      func(table.Row) bool
+	CPUPerRow time.Duration
+}
+
+// Open opens the child.
+func (o *Filter) Open(p *sim.Proc) error { return o.Child.Open(p) }
+
+// Next returns the next non-empty filtered batch.
+func (o *Filter) Next(p *sim.Proc) ([]table.Row, error) {
+	for {
+		batch, err := o.Child.Next(p)
+		if err != nil || batch == nil {
+			return nil, err
+		}
+		o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
+		out := batch[:0]
+		for _, r := range batch {
+			if o.Pred(r) {
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (o *Filter) Close(p *sim.Proc) { o.Child.Close(p) }
+
+// Sort is a blocking operator: Open drains the child, sorts with Less, and
+// Next streams the result in Vector-sized batches. Sorting costs
+// CPUPerRow·n·ceil(log2 n) on Node — blocking operators "generally consume
+// more resources and are therefore good candidates for offloading".
+type Sort struct {
+	Child     Operator
+	Node      *hw.Node
+	Less      func(a, b table.Row) bool
+	CPUPerRow time.Duration
+	Vector    int
+
+	// Workspace, when set, is the node's shared sort memory (in bytes).
+	// A sort that cannot reserve its input size spills: it runs an
+	// external merge sort on SpillDisk whose pass count grows with memory
+	// oversubscription (each concurrent sort gets a smaller share, so runs
+	// are shorter and more merge passes are needed). This work
+	// amplification is what makes heavily concurrent sort queries degrade
+	// — the paper's "queries compete for CPU and buffer" (Fig. 2).
+	Workspace *sim.Resource
+	SpillDisk *hw.Disk
+	// Group tracks concurrently open sorts sharing the workspace.
+	Group *SortGroup
+
+	rows     []table.Row
+	pos      int
+	reserved int64
+	inGroup  bool
+}
+
+// SortGroup counts concurrently active sorts on a node.
+type SortGroup struct{ Active int }
+
+// Open drains and sorts the child's output.
+func (o *Sort) Open(p *sim.Proc) error {
+	if o.Vector <= 0 {
+		o.Vector = 1
+	}
+	if err := o.Child.Open(p); err != nil {
+		return err
+	}
+	o.rows, o.pos = nil, 0
+	for {
+		batch, err := o.Child.Next(p)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			break
+		}
+		o.rows = append(o.rows, batch...)
+	}
+	n := len(o.rows)
+	if n > 1 {
+		if o.Group != nil {
+			o.Group.Active++
+			o.inGroup = true
+		}
+		if o.Workspace != nil {
+			var need int64
+			for _, r := range o.rows {
+				need += RowBytes(r)
+			}
+			capped := need
+			if capped > o.Workspace.Capacity() {
+				capped = o.Workspace.Capacity()
+			}
+			if o.Workspace.TryAcquire(capped) {
+				o.reserved = capped
+			} else if o.SpillDisk != nil {
+				// External merge sort: the per-sort memory share shrinks
+				// with concurrency, so the number of read+write passes
+				// over the input grows with oversubscription.
+				passes := int64(1)
+				if o.Group != nil && o.Group.Active > 0 {
+					demand := need * int64(o.Group.Active)
+					passes = (demand + o.Workspace.Capacity() - 1) / o.Workspace.Capacity()
+					if passes < 1 {
+						passes = 1
+					}
+					if passes > 8 {
+						passes = 8
+					}
+				}
+				for i := int64(0); i < passes; i++ {
+					o.SpillDisk.Write(p, need)
+					o.SpillDisk.Read(p, need)
+				}
+			}
+		}
+		levels := 1
+		for v := n; v > 1; v >>= 1 {
+			levels++
+		}
+		o.Node.Compute(p, time.Duration(n*levels)*o.CPUPerRow)
+		sort.SliceStable(o.rows, func(i, j int) bool { return o.Less(o.rows[i], o.rows[j]) })
+	}
+	return nil
+}
+
+// Next streams the sorted rows.
+func (o *Sort) Next(p *sim.Proc) ([]table.Row, error) {
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	end := o.pos + o.Vector
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	batch := o.rows[o.pos:end]
+	o.pos = end
+	return batch, nil
+}
+
+// Close releases the buffered rows and any reserved workspace.
+func (o *Sort) Close(p *sim.Proc) {
+	if o.reserved > 0 {
+		o.Workspace.Release(o.reserved)
+		o.reserved = 0
+	}
+	if o.inGroup {
+		o.Group.Active--
+		o.inGroup = false
+	}
+	o.rows = nil
+	o.Child.Close(p)
+}
+
+// GroupAgg is a blocking hash aggregation: COUNT(*) and SUM(SumCol) per
+// distinct GroupCol value, emitted as rows [group, count, sum].
+type GroupAgg struct {
+	Child     Operator
+	Node      *hw.Node
+	GroupCol  int
+	SumCol    int // -1: count only
+	CPUPerRow time.Duration
+	Vector    int
+
+	groups []table.Row
+	pos    int
+}
+
+// Open drains the child and builds the hash table.
+func (o *GroupAgg) Open(p *sim.Proc) error {
+	if o.Vector <= 0 {
+		o.Vector = 1
+	}
+	if err := o.Child.Open(p); err != nil {
+		return err
+	}
+	o.groups, o.pos = nil, 0
+	type agg struct {
+		count int64
+		sum   float64
+	}
+	m := make(map[any]*agg)
+	var order []any
+	for {
+		batch, err := o.Child.Next(p)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			break
+		}
+		o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
+		for _, r := range batch {
+			g := r[o.GroupCol]
+			a, ok := m[g]
+			if !ok {
+				a = &agg{}
+				m[g] = a
+				order = append(order, g)
+			}
+			a.count++
+			if o.SumCol >= 0 {
+				switch v := r[o.SumCol].(type) {
+				case int64:
+					a.sum += float64(v)
+				case float64:
+					a.sum += v
+				}
+			}
+		}
+	}
+	for _, g := range order {
+		a := m[g]
+		o.groups = append(o.groups, table.Row{g, a.count, a.sum})
+	}
+	return nil
+}
+
+// Next streams the aggregated groups.
+func (o *GroupAgg) Next(p *sim.Proc) ([]table.Row, error) {
+	if o.pos >= len(o.groups) {
+		return nil, nil
+	}
+	end := o.pos + o.Vector
+	if end > len(o.groups) {
+		end = len(o.groups)
+	}
+	batch := o.groups[o.pos:end]
+	o.pos = end
+	return batch, nil
+}
+
+// Close releases state.
+func (o *GroupAgg) Close(p *sim.Proc) {
+	o.groups = nil
+	o.Child.Close(p)
+}
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Operator
+	N     int
+	seen  int
+}
+
+// Open opens the child.
+func (o *Limit) Open(p *sim.Proc) error { o.seen = 0; return o.Child.Open(p) }
+
+// Next truncates the child's output at N rows.
+func (o *Limit) Next(p *sim.Proc) ([]table.Row, error) {
+	if o.seen >= o.N {
+		return nil, nil
+	}
+	batch, err := o.Child.Next(p)
+	if err != nil || batch == nil {
+		return nil, err
+	}
+	if o.seen+len(batch) > o.N {
+		batch = batch[:o.N-o.seen]
+	}
+	o.seen += len(batch)
+	return batch, nil
+}
+
+// Close closes the child.
+func (o *Limit) Close(p *sim.Proc) { o.Child.Close(p) }
+
+// Drain runs a plan to exhaustion, returning the total row count. It is the
+// query's result sink.
+func Drain(p *sim.Proc, op Operator) (int, error) {
+	if err := op.Open(p); err != nil {
+		return 0, err
+	}
+	defer op.Close(p)
+	n := 0
+	for {
+		batch, err := op.Next(p)
+		if err != nil {
+			return n, err
+		}
+		if batch == nil {
+			return n, nil
+		}
+		n += len(batch)
+	}
+}
+
+// Collect runs a plan to exhaustion and returns all rows (testing helper).
+func Collect(p *sim.Proc, op Operator) ([]table.Row, error) {
+	if err := op.Open(p); err != nil {
+		return nil, err
+	}
+	defer op.Close(p)
+	var rows []table.Row
+	for {
+		batch, err := op.Next(p)
+		if err != nil {
+			return rows, err
+		}
+		if batch == nil {
+			return rows, nil
+		}
+		rows = append(rows, batch...)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// Fig6Result holds the three schemes' rebalancing timelines.
+type Fig6Result struct {
+	Physical      TimelineResult
+	Logical       TimelineResult
+	Physiological TimelineResult
+}
+
+// Fig6 reproduces the paper's main experiment: the Sect. 5.1 TPC-C
+// rebalance (2 nodes -> 4 nodes, 50% of records moved at t=0) under each of
+// the three partitioning schemes, reporting throughput, response time,
+// power, and energy per query over time.
+func Fig6(pre Preset) (Fig6Result, error) {
+	var res Fig6Result
+	var err error
+	if res.Physical, err = RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physical}); err != nil {
+		return res, fmt.Errorf("fig6 physical: %w", err)
+	}
+	if res.Logical, err = RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Logical}); err != nil {
+		return res, fmt.Errorf("fig6 logical: %w", err)
+	}
+	if res.Physiological, err = RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physiological}); err != nil {
+		return res, fmt.Errorf("fig6 physiological: %w", err)
+	}
+	return res, nil
+}
+
+// String renders the three timelines.
+func (r Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — rebalancing under TPC-C, three partitioning schemes\n\n")
+	b.WriteString(FormatTimeline("physical", r.Physical))
+	b.WriteString("\n")
+	b.WriteString(FormatTimeline("logical", r.Logical))
+	b.WriteString("\n")
+	b.WriteString(FormatTimeline("physiological", r.Physiological))
+	return b.String()
+}
+
+// Fig7Result holds the per-component query runtime bars.
+type Fig7Result struct {
+	Normal    map[sim.Category]time.Duration
+	Rebalance map[sim.Category]time.Duration
+	Improved  map[sim.Category]time.Duration // rebalancing with helper nodes
+}
+
+// Fig7 reproduces the runtime-breakdown study: mean per-transaction time in
+// each DBMS component during normal operation, while rebalancing, and while
+// rebalancing with helper nodes attached (the "improved" configuration).
+// The run uses a deliberately DRAM-starved buffer (a quarter of the
+// preset's) so the storage subsystem is the bottleneck, as on the paper's
+// 2 GB nodes: that is the regime where log shipping and rDMA buffering
+// relieve pressure.
+func Fig7(pre Preset) (Fig7Result, error) {
+	pre.BufferFrames = 96
+	pre.Clients = pre.Clients * 3 / 4
+	plain, err := RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physiological, CollectBreakdown: true})
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 plain: %w", err)
+	}
+	helped, err := RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physiological, Helpers: true, CollectBreakdown: true})
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 helpers: %w", err)
+	}
+	return Fig7Result{
+		Normal:    plain.BreakdownNormal,
+		Rebalance: plain.BreakdownRebal,
+		Improved:  helped.BreakdownRebal,
+	}, nil
+}
+
+// String renders the three stacked bars.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — impact factors on query runtime when rebalancing (ms per txn)\n")
+	cats := []sim.Category{sim.CatLogging, sim.CatLatching, sim.CatLocking, sim.CatNetworkIO, sim.CatDiskIO, sim.CatOther}
+	fmt.Fprintf(&b, "%-12s %12s %16s %14s\n", "component", "normal", "rebalancing", "improved")
+	totals := [3]float64{}
+	for _, cat := range cats {
+		n := float64(r.Normal[cat]) / float64(time.Millisecond)
+		reb := float64(r.Rebalance[cat]) / float64(time.Millisecond)
+		imp := float64(r.Improved[cat]) / float64(time.Millisecond)
+		totals[0] += n
+		totals[1] += reb
+		totals[2] += imp
+		fmt.Fprintf(&b, "%-12s %12.2f %16.2f %14.2f\n", cat, n, reb, imp)
+	}
+	fmt.Fprintf(&b, "%-12s %12.2f %16.2f %14.2f\n", "TOTAL", totals[0], totals[1], totals[2])
+	return b.String()
+}
+
+// Fig8Result compares plain physiological rebalancing with the helper-node
+// configuration.
+type Fig8Result struct {
+	Plain  TimelineResult
+	Helped TimelineResult
+}
+
+// Fig8 reproduces the final experiment: physiological rebalancing with two
+// additional helper nodes powered up at t=0 for log shipping and rDMA
+// buffering, traded off against the extra power they draw.
+func Fig8(pre Preset) (Fig8Result, error) {
+	plain, err := RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physiological})
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("fig8 plain: %w", err)
+	}
+	helped, err := RunTimeline(TimelineOpts{Preset: pre, Scheme: table.Physiological, Helpers: true})
+	if err != nil {
+		return Fig8Result{}, fmt.Errorf("fig8 helpers: %w", err)
+	}
+	return Fig8Result{Plain: plain, Helped: helped}, nil
+}
+
+// String renders both timelines.
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — physiological rebalancing with helper nodes\n\n")
+	b.WriteString(FormatTimeline("physiological", r.Plain))
+	b.WriteString("\n")
+	b.WriteString(FormatTimeline("physiological + helper", r.Helped))
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package hw
+
+import (
+	"time"
+
+	"wattdb/internal/sim"
+)
+
+// PowerMeter periodically samples the power draw of a set of nodes plus the
+// interconnect switch and integrates total energy, mimicking the external
+// power meters of the paper's testbed.
+type PowerMeter struct {
+	env      *sim.Env
+	cal      Calibration
+	nodes    []*Node
+	interval time.Duration
+
+	// Per-node busy-integral snapshots, independent of other samplers.
+	lastBusy []float64
+	lastTime time.Duration
+
+	energyJoules float64
+
+	// OnSample, when set, receives every sample (time, total Watts).
+	OnSample func(at time.Duration, watts float64)
+}
+
+// NewPowerMeter creates a meter over nodes sampling at the given interval.
+// Call Start to spawn the sampling process.
+func NewPowerMeter(env *sim.Env, cal Calibration, nodes []*Node, interval time.Duration) *PowerMeter {
+	return &PowerMeter{
+		env:      env,
+		cal:      cal,
+		nodes:    nodes,
+		interval: interval,
+		lastBusy: make([]float64, len(nodes)),
+		lastTime: env.Now(),
+	}
+}
+
+// Start spawns the sampling process; it runs until the environment ends.
+func (m *PowerMeter) Start() {
+	m.env.Spawn("power-meter", func(p *sim.Proc) {
+		for {
+			p.Sleep(m.interval)
+			m.Sample()
+		}
+	})
+}
+
+// Sample takes one measurement now and integrates energy since the last one.
+func (m *PowerMeter) Sample() float64 {
+	now := m.env.Now()
+	dt := (now - m.lastTime).Seconds()
+	watts := m.cal.PowerSwitch
+	for i, n := range m.nodes {
+		busy := n.CPU.BusyIntegral()
+		util := 0.0
+		if dt > 0 {
+			util = (busy - m.lastBusy[i]) / (dt * float64(m.cal.Cores))
+		}
+		m.lastBusy[i] = busy
+		watts += n.Power(util)
+	}
+	if dt > 0 {
+		m.energyJoules += watts * dt
+	}
+	m.lastTime = now
+	if m.OnSample != nil {
+		m.OnSample(now, watts)
+	}
+	return watts
+}
+
+// EnergyJoules returns the total energy integrated so far.
+func (m *PowerMeter) EnergyJoules() float64 { return m.energyJoules }

@@ -1,0 +1,113 @@
+// Package keycodec implements an order-preserving binary encoding for
+// composite keys: bytes.Compare on two encoded keys yields the same order as
+// comparing the original tuples field by field. B*-tree pages store keys in
+// this form so comparisons are single memcmp calls.
+package keycodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Field type tags are not stored; both sides of a comparison must encode the
+// same field sequence, which the table schema guarantees.
+
+// AppendInt64 appends v in big-endian with the sign bit flipped, preserving
+// signed order under bytewise comparison.
+func AppendInt64(b []byte, v int64) []byte {
+	u := uint64(v) ^ (1 << 63)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(b, buf[:]...)
+}
+
+// AppendUint32 appends v in big-endian.
+func AppendUint32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+// AppendFloat64 appends v such that bytewise order matches numeric order
+// (IEEE-754 total order trick; NaNs sort after +Inf).
+func AppendFloat64(b []byte, v float64) []byte {
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(b, buf[:]...)
+}
+
+// AppendString appends s with 0x00 bytes escaped as 0x00 0xFF and a
+// 0x00 0x00 terminator, so prefixes sort before extensions and later fields
+// cannot bleed into the comparison.
+func AppendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		b = append(b, c)
+		if c == 0x00 {
+			b = append(b, 0xFF)
+		}
+	}
+	return append(b, 0x00, 0x00)
+}
+
+// DecodeInt64 reads an int64 encoded by AppendInt64 and returns the value
+// and the remaining bytes.
+func DecodeInt64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("keycodec: short int64: %d bytes", len(b))
+	}
+	u := binary.BigEndian.Uint64(b[:8]) ^ (1 << 63)
+	return int64(u), b[8:], nil
+}
+
+// DecodeUint32 reads a uint32 encoded by AppendUint32.
+func DecodeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("keycodec: short uint32: %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint32(b[:4]), b[4:], nil
+}
+
+// DecodeString reads a string encoded by AppendString.
+func DecodeString(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != 0x00 {
+			out = append(out, c)
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("keycodec: truncated string escape")
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x00:
+			return string(out), b[i+2:], nil
+		default:
+			return "", nil, fmt.Errorf("keycodec: bad escape byte %#x", b[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("keycodec: unterminated string")
+}
+
+// Int64Key encodes a single int64 key.
+func Int64Key(v int64) []byte { return AppendInt64(nil, v) }
+
+// ComposeInt64s encodes a composite key of int64 fields.
+func ComposeInt64s(vs ...int64) []byte {
+	var b []byte
+	for _, v := range vs {
+		b = AppendInt64(b, v)
+	}
+	return b
+}

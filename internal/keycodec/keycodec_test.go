@@ -1,0 +1,151 @@
+package keycodec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestInt64OrderPreserved(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := Int64Key(a), Int64Key(b)
+		return sign(bytes.Compare(ea, eb)) == cmpInt64(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		got, rest, err := DecodeInt64(Int64Key(v))
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64OrderPreserved(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b { // skip NaN
+			return true
+		}
+		ea := AppendFloat64(nil, a)
+		eb := AppendFloat64(nil, b)
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return sign(bytes.Compare(ea, eb)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringOrderPreserved(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := AppendString(nil, a)
+		eb := AppendString(nil, b)
+		return sign(bytes.Compare(ea, eb)) == sign(bytes.Compare([]byte(a), []byte(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTripWithZeros(t *testing.T) {
+	cases := []string{"", "a", "a\x00b", "\x00", "\x00\x00", "abc\xff", "\x00\xff\x00"}
+	for _, s := range cases {
+		enc := AppendString(nil, s)
+		got, rest, err := DecodeString(enc)
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("round trip %q -> %q (err %v, rest %d)", s, got, err, len(rest))
+		}
+	}
+	f := func(s string) bool {
+		got, rest, err := DecodeString(AppendString(nil, s))
+		return err == nil && got == s && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeOrdering(t *testing.T) {
+	// (1, 2) < (1, 10) < (2, 0): composite comparison is field-wise.
+	a := ComposeInt64s(1, 2)
+	b := ComposeInt64s(1, 10)
+	c := ComposeInt64s(2, 0)
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Fatal("composite keys not ordered field-wise")
+	}
+}
+
+func TestCompositeStringIntDoesNotBleed(t *testing.T) {
+	// "a" + high int must sort before "ab" + low int.
+	a := AppendInt64(AppendString(nil, "a"), 1<<60)
+	b := AppendInt64(AppendString(nil, "ab"), -(1 << 60))
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("string field bled into following int field")
+	}
+}
+
+func TestCompositeRoundTrip(t *testing.T) {
+	f := func(x int64, s string, y int64) bool {
+		enc := AppendInt64(AppendString(AppendInt64(nil, x), s), y)
+		gx, rest, err := DecodeInt64(enc)
+		if err != nil {
+			return false
+		}
+		gs, rest, err := DecodeString(rest)
+		if err != nil {
+			return false
+		}
+		gy, rest, err := DecodeInt64(rest)
+		return err == nil && gx == x && gs == s && gy == y && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeInt64([]byte{1, 2}); err == nil {
+		t.Fatal("short int64 should error")
+	}
+	if _, _, err := DecodeUint32([]byte{1}); err == nil {
+		t.Fatal("short uint32 should error")
+	}
+	if _, _, err := DecodeString([]byte("abc")); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+	if _, _, err := DecodeString([]byte{0x00, 0x07}); err == nil {
+		t.Fatal("bad escape should error")
+	}
+}

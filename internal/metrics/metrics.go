@@ -1,0 +1,131 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: time-binned series (the x-axis of Figs. 6 and 8), latency
+// accumulators, and throughput counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series accumulates (time, value) samples into fixed-width bins relative
+// to an origin, averaging samples within a bin. The paper's timeline plots
+// use 10-second bins from -180 s to +570 s around the rebalance start.
+type Series struct {
+	Origin   time.Duration
+	BinWidth time.Duration
+	sums     map[int]float64
+	counts   map[int]int
+}
+
+// NewSeries creates a series with the given origin and bin width.
+func NewSeries(origin, binWidth time.Duration) *Series {
+	return &Series{
+		Origin:   origin,
+		BinWidth: binWidth,
+		sums:     make(map[int]float64),
+		counts:   make(map[int]int),
+	}
+}
+
+// Add records a sample at absolute time at.
+func (s *Series) Add(at time.Duration, v float64) {
+	bin := int(math.Floor(float64(at-s.Origin) / float64(s.BinWidth)))
+	s.sums[bin] += v
+	s.counts[bin]++
+}
+
+// Bin holds one aggregated point.
+type Bin struct {
+	Start time.Duration // relative to origin
+	Mean  float64
+	Count int
+	Sum   float64
+}
+
+// Bins returns aggregated bins in time order.
+func (s *Series) Bins() []Bin {
+	idx := make([]int, 0, len(s.sums))
+	for b := range s.sums {
+		idx = append(idx, b)
+	}
+	sort.Ints(idx)
+	out := make([]Bin, 0, len(idx))
+	for _, b := range idx {
+		n := s.counts[b]
+		out = append(out, Bin{
+			Start: time.Duration(b) * s.BinWidth,
+			Mean:  s.sums[b] / float64(n),
+			Count: n,
+			Sum:   s.sums[b],
+		})
+	}
+	return out
+}
+
+// RatePerSecond returns bins whose value is Sum scaled to events/second
+// (for throughput series where Add is called with weight 1 per event).
+func (s *Series) RatePerSecond() []Bin {
+	bins := s.Bins()
+	for i := range bins {
+		bins[i].Mean = bins[i].Sum / s.BinWidth.Seconds()
+	}
+	return bins
+}
+
+// Latencies accumulates durations and reports summary statistics.
+type Latencies struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one latency sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int { return len(l.samples) }
+
+// Mean returns the average latency.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+	i := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.samples) {
+		i = len(l.samples) - 1
+	}
+	return l.samples[i]
+}
+
+// FormatBins renders bins as an aligned two-column table for harness output.
+func FormatBins(bins []Bin, label string) string {
+	out := fmt.Sprintf("%12s  %12s\n", "t(s)", label)
+	for _, b := range bins {
+		out += fmt.Sprintf("%12.0f  %12.2f\n", b.Start.Seconds(), b.Mean)
+	}
+	return out
+}

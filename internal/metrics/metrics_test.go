@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeriesBinsAverageAndOrder(t *testing.T) {
+	s := NewSeries(10*time.Second, 5*time.Second)
+	s.Add(11*time.Second, 2) // bin 0
+	s.Add(14*time.Second, 4) // bin 0
+	s.Add(4*time.Second, 7)  // bin -2
+	s.Add(21*time.Second, 9) // bin 2
+	bins := s.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d, want 3", len(bins))
+	}
+	if bins[0].Start != -10*time.Second || bins[0].Mean != 7 {
+		t.Fatalf("bin0 = %+v", bins[0])
+	}
+	if bins[1].Start != 0 || bins[1].Mean != 3 || bins[1].Count != 2 {
+		t.Fatalf("bin1 = %+v", bins[1])
+	}
+	if bins[2].Start != 10*time.Second || bins[2].Mean != 9 {
+		t.Fatalf("bin2 = %+v", bins[2])
+	}
+}
+
+func TestSeriesRatePerSecond(t *testing.T) {
+	s := NewSeries(0, 10*time.Second)
+	for i := 0; i < 50; i++ {
+		s.Add(time.Duration(i)*100*time.Millisecond, 1) // 50 events in 5 s
+	}
+	bins := s.RatePerSecond()
+	if len(bins) != 1 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Mean != 5 { // 50 events / 10 s bin
+		t.Fatalf("rate = %v, want 5/s", bins[0].Mean)
+	}
+}
+
+func TestLatenciesStats(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if m := l.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := l.Percentile(50); p != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(99); p != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := l.Percentile(100); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestEmptyLatencies(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty latencies should report zeros")
+	}
+}
+
+func TestFormatBins(t *testing.T) {
+	s := NewSeries(0, time.Second)
+	s.Add(500*time.Millisecond, 3)
+	out := FormatBins(s.Bins(), "qps")
+	if out == "" {
+		t.Fatal("empty format output")
+	}
+}

@@ -1,0 +1,156 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives cooperative processes over a virtual clock. Exactly one
+// process runs at any instant; a process yields control only at explicit
+// blocking points (Sleep, Wait, Acquire, ...). Events scheduled for the same
+// virtual time fire in schedule order, so a run with a fixed seed is fully
+// reproducible.
+//
+// All of WattDB's timing — CPU service times, disk I/O, network transfers,
+// lock and latch waits — is expressed as virtual-time waits on this kernel,
+// while the data structures being exercised (pages, B*-trees, version
+// chains) are real.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Spawn, and drive it with
+// Run or RunUntil. An Env is not safe for concurrent use from multiple
+// OS threads; all interaction must happen from the scheduler goroutine or
+// from within a running simulation process.
+type Env struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{}
+	current *Proc
+	procs   map[uint64]*Proc
+	nextPID uint64
+	stopped bool
+	failure error
+
+	// Rand is the environment's seeded random source. All stochastic
+	// behaviour in a simulation must draw from it to stay reproducible.
+	Rand *rand.Rand
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// NewEnv returns a fresh environment whose random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[uint64]*Proc),
+		Rand:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Schedule registers fn to run at absolute virtual time at (clamped to the
+// present). fn runs in the scheduler context and must not block; to do
+// blocking work, have fn spawn a process.
+func (e *Env) Schedule(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d from now.
+func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Spawn starts a new simulation process executing fn. The process begins at
+// the current virtual time, after the spawning process next yields.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		env:  e,
+		id:   e.nextPID,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.procs[p.id] = p
+	go p.run(fn)
+	e.Schedule(e.now, func() { p.resume(wakeScheduled) })
+	return p
+}
+
+// Run processes events until the queue drains or Stop is called.
+// It returns the first process failure, if any.
+func (e *Env) Run() error { return e.RunUntil(1<<62 - 1) }
+
+// RunUntil processes all events with timestamp <= deadline, then advances
+// the clock to deadline. Processes that are still blocked stay suspended and
+// are killed when Close is called.
+func (e *Env) RunUntil(deadline time.Duration) error {
+	for !e.stopped && e.failure == nil && len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.failure == nil && e.now < deadline && deadline < 1<<62-1 {
+		e.now = deadline
+	}
+	return e.failure
+}
+
+// Stop halts the scheduler after the currently executing event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Close kills every live process so their goroutines exit. The environment
+// must not be used afterwards.
+func (e *Env) Close() {
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			p.resume(wakeKilled)
+		}
+	}
+	e.procs = map[uint64]*Proc{}
+	e.events = nil
+}
+
+// Live reports the number of processes that have been spawned and not yet
+// finished.
+func (e *Env) Live() int { return len(e.procs) }
+
+func (e *Env) fail(p *Proc, v interface{}) {
+	if e.failure == nil {
+		e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, v)
+	}
+}

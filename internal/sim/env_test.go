@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	var woke time.Duration
+	env.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+}
+
+func TestEventOrderingSameInstant(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSpawnInterleaving(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	var trace []string
+	env.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(time.Second)
+		trace = append(trace, "a1")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "a3")
+	})
+	env.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(2 * time.Second)
+		trace = append(trace, "b2")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "b0", "a1", "b2", "a3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	ticks := 0
+	env.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	if err := env.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if env.Now() != 10*time.Second {
+		t.Fatalf("now = %v, want 10s", env.Now())
+	}
+}
+
+func TestCloseKillsBlockedProcesses(t *testing.T) {
+	env := NewEnv(1)
+	cleaned := false
+	env.Spawn("immortal", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+	})
+	if err := env.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if env.Live() != 1 {
+		t.Fatalf("live = %d, want 1", env.Live())
+	}
+	env.Close()
+	if env.Live() != 0 {
+		t.Fatalf("live after close = %d, want 0", env.Live())
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+}
+
+func TestPanicPropagatesAsFailure(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	env.Spawn("bad", func(p *Proc) {
+		p.Sleep(time.Second)
+		panic("boom")
+	})
+	err := env.Run()
+	if err == nil {
+		t.Fatal("expected failure from panicking process")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		env := NewEnv(42)
+		defer env.Close()
+		var out []int64
+		for i := 0; i < 5; i++ {
+			env.Spawn("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(time.Duration(env.Rand.Intn(1000)) * time.Millisecond)
+					out = append(out, int64(p.Now()))
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestYieldRunsPendingEvents(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	var trace []string
+	env.Spawn("a", func(p *Proc) {
+		env.Schedule(p.Now(), func() { trace = append(trace, "event") })
+		p.Yield()
+		trace = append(trace, "after")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != "event" || trace[1] != "after" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestMeterAccumulatesWaits(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	b := &Breakdown{}
+	env.Spawn("m", func(p *Proc) {
+		p.Breakdown = b
+		stop := p.Meter(CatDiskIO)
+		p.Sleep(3 * time.Second)
+		stop()
+		stop = p.Meter(CatLocking)
+		p.Sleep(time.Second)
+		stop()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Get(CatDiskIO) != 3*time.Second {
+		t.Fatalf("disk = %v", b.Get(CatDiskIO))
+	}
+	if b.Get(CatLocking) != time.Second {
+		t.Fatalf("locking = %v", b.Get(CatLocking))
+	}
+	if b.Total() != 4*time.Second {
+		t.Fatalf("total = %v", b.Total())
+	}
+}

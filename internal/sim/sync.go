@@ -1,0 +1,267 @@
+package sim
+
+import "time"
+
+type waiterState int
+
+const (
+	waitPending waiterState = iota
+	waitGranted
+	waitCancelled
+)
+
+type waiter struct {
+	p      *Proc
+	amount int64
+	state  waiterState
+}
+
+// Signal is a broadcast condition: Wait parks the calling process until the
+// next Fire. Fire wakes every currently parked process. Signals are
+// level-free (a Fire with no waiters is lost), like sync.Cond.
+type Signal struct {
+	env     *Env
+	waiters []*waiter
+}
+
+// NewSignal returns a Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait parks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	p.block()
+}
+
+// WaitTimeout parks p until the next Fire or until d elapses. It reports
+// whether the signal fired (true) or the wait timed out (false).
+func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &waiter{p: p}
+	s.waiters = append(s.waiters, w)
+	s.env.After(d, func() {
+		if w.state == waitPending {
+			w.state = waitCancelled
+			w.p.resume(wakeScheduled)
+		}
+	})
+	return p.block() == wakeSignaled
+}
+
+// Fire wakes every process currently waiting on the signal.
+func (s *Signal) Fire() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		if w.state != waitPending {
+			continue
+		}
+		w.state = waitGranted
+		s.env.Schedule(s.env.now, func() { w.p.resume(wakeSignaled) })
+	}
+}
+
+// Waiting reports how many processes are parked on the signal.
+func (s *Signal) Waiting() int {
+	n := 0
+	for _, w := range s.waiters {
+		if w.state == waitPending {
+			n++
+		}
+	}
+	return n
+}
+
+// Resource is a counted resource (semaphore) with a FIFO wait queue. It
+// models servers such as CPU cores, disk arms, and network links. It also
+// integrates busy units over time so callers can compute utilisation.
+type Resource struct {
+	env      *Env
+	capacity int64
+	inUse    int64
+	queue    []*waiter
+
+	lastChange time.Duration
+	busyInt    float64 // integral of inUse over time, in unit·seconds
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(env *Env, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity, lastChange: env.now}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+// QueueLen returns the number of processes waiting for units.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busyInt += float64(r.inUse) * (now - r.lastChange).Seconds()
+	r.lastChange = now
+}
+
+// BusyIntegral returns the integral of in-use units over time, in
+// unit-seconds, up to the current instant.
+func (r *Resource) BusyIntegral() float64 {
+	r.account()
+	return r.busyInt
+}
+
+// Acquire obtains n units for p, waiting in FIFO order if necessary.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire amount")
+	}
+	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
+		r.account()
+		r.inUse += n
+		return
+	}
+	w := &waiter{p: p, amount: n}
+	r.queue = append(r.queue, w)
+	p.block()
+}
+
+// TryAcquire obtains n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(n int64) bool {
+	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
+		r.account()
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int64) {
+	r.account()
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: resource released more than acquired")
+	}
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		if w.state == waitCancelled {
+			r.queue = r.queue[1:]
+			continue
+		}
+		if r.inUse+w.amount > r.capacity {
+			break
+		}
+		r.queue = r.queue[1:]
+		r.account()
+		r.inUse += w.amount
+		w.state = waitGranted
+		r.env.Schedule(r.env.now, func() { w.p.resume(wakeSignaled) })
+	}
+}
+
+// Use acquires n units, runs the process's own fn, and releases.
+func (r *Resource) Use(p *Proc, n int64, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}
+
+// Chan is a bounded FIFO channel between simulation processes, analogous to
+// a buffered Go channel but operating in virtual time.
+type Chan[T any] struct {
+	env      *Env
+	capacity int
+	items    []T
+	getters  []*waiter
+	putters  []*waiter
+	closed   bool
+}
+
+// NewChan returns a channel with the given capacity (0 means rendezvous is
+// not supported; use capacity >= 1).
+func NewChan[T any](env *Env, capacity int) *Chan[T] {
+	if capacity < 1 {
+		panic("sim: channel capacity must be >= 1")
+	}
+	return &Chan[T]{env: env, capacity: capacity}
+}
+
+// Len returns the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.items) }
+
+// Put appends v, blocking while the channel is full. It reports false (and
+// drops v) if the channel was closed, which lets producers observe
+// cancellation even when they were parked mid-Put.
+func (c *Chan[T]) Put(p *Proc, v T) bool {
+	for len(c.items) >= c.capacity {
+		if c.closed {
+			return false
+		}
+		w := &waiter{p: p}
+		c.putters = append(c.putters, w)
+		p.block()
+	}
+	if c.closed {
+		return false
+	}
+	c.items = append(c.items, v)
+	c.wakeOne(&c.getters)
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the channel is
+// empty. ok is false when the channel is closed and drained.
+func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
+	for len(c.items) == 0 {
+		if c.closed {
+			return v, false
+		}
+		w := &waiter{p: p}
+		c.getters = append(c.getters, w)
+		p.block()
+	}
+	v = c.items[0]
+	c.items = c.items[1:]
+	c.wakeOne(&c.putters)
+	return v, true
+}
+
+// Close marks the channel closed and wakes all blocked processes.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.wakeAll(&c.getters)
+	c.wakeAll(&c.putters)
+}
+
+func (c *Chan[T]) wakeOne(list *[]*waiter) {
+	for len(*list) > 0 {
+		w := (*list)[0]
+		*list = (*list)[1:]
+		if w.state != waitPending {
+			continue
+		}
+		w.state = waitGranted
+		c.env.Schedule(c.env.now, func() { w.p.resume(wakeSignaled) })
+		return
+	}
+}
+
+func (c *Chan[T]) wakeAll(list *[]*waiter) {
+	ws := *list
+	*list = nil
+	for _, w := range ws {
+		if w.state != waitPending {
+			continue
+		}
+		w.state = waitGranted
+		c.env.Schedule(c.env.now, func() { w.p.resume(wakeSignaled) })
+	}
+}

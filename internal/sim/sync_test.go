@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSignalFireWakesAll(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	sig := NewSignal(env)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		env.Spawn("w", func(p *Proc) {
+			sig.Wait(p)
+			woke++
+		})
+	}
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(time.Second)
+		if sig.Waiting() != 4 {
+			t.Errorf("waiting = %d, want 4", sig.Waiting())
+		}
+		sig.Fire()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+}
+
+func TestSignalWaitTimeout(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	sig := NewSignal(env)
+	var timedOut, signaled bool
+	env.Spawn("t", func(p *Proc) {
+		timedOut = !sig.WaitTimeout(p, time.Second)
+	})
+	env.Spawn("s", func(p *Proc) {
+		signaled = sig.WaitTimeout(p, 10*time.Second)
+	})
+	env.Spawn("firer", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		sig.Fire()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("first waiter should have timed out")
+	}
+	if !signaled {
+		t.Fatal("second waiter should have been signaled")
+	}
+}
+
+func TestResourceFIFOAndContention(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	res := NewResource(env, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Spawn("u", func(p *Proc) {
+			res.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(time.Second)
+			res.Release(1)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 5*time.Second {
+		t.Fatalf("serialised use should take 5s, took %v", env.Now())
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO: %v", order)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	res := NewResource(env, 2)
+	for i := 0; i < 4; i++ {
+		env.Spawn("u", func(p *Proc) {
+			res.Use(p, 1, func() { p.Sleep(time.Second) })
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 2*time.Second {
+		t.Fatalf("2-wide resource should finish 4 jobs in 2s, took %v", env.Now())
+	}
+}
+
+func TestResourceBusyIntegral(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	res := NewResource(env, 4)
+	env.Spawn("u", func(p *Proc) {
+		res.Acquire(p, 2)
+		p.Sleep(10 * time.Second)
+		res.Release(2)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.BusyIntegral(); got != 20 {
+		t.Fatalf("busy integral = %v, want 20 unit-seconds", got)
+	}
+}
+
+func TestResourceOverRelease(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	res := NewResource(env, 1)
+	env.Spawn("bad", func(p *Proc) { res.Release(1) })
+	if err := env.Run(); err == nil {
+		t.Fatal("over-release should fail the simulation")
+	}
+}
+
+func TestChanFIFO(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	ch := NewChan[int](env, 2)
+	var got []int
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			ch.Put(p, i)
+		}
+		ch.Close()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := ch.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d items, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestChanBlocksWhenFull(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	ch := NewChan[int](env, 1)
+	var putDone time.Duration
+	env.Spawn("producer", func(p *Proc) {
+		ch.Put(p, 1)
+		ch.Put(p, 2) // must wait for the consumer
+		putDone = p.Now()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		ch.Get(p)
+		ch.Get(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 5*time.Second {
+		t.Fatalf("second put completed at %v, want 5s", putDone)
+	}
+}
+
+func TestChanCloseUnblocksGetters(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Close()
+	ch := NewChan[int](env, 1)
+	ok := true
+	env.Spawn("consumer", func(p *Proc) {
+		_, ok = ch.Get(p)
+	})
+	env.Spawn("closer", func(p *Proc) {
+		p.Sleep(time.Second)
+		ch.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("get on closed empty channel should report !ok")
+	}
+}
+
+// Property: for any set of jobs on a capacity-c resource, total busy
+// integral equals the sum of job durations, and the clock never exceeds the
+// serial sum.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(durs []uint8, capRaw uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 50 {
+			durs = durs[:50]
+		}
+		capacity := int64(capRaw%4) + 1
+		env := NewEnv(7)
+		defer env.Close()
+		res := NewResource(env, capacity)
+		var sum time.Duration
+		for _, d := range durs {
+			d := time.Duration(d) * time.Millisecond
+			sum += d
+			env.Spawn("job", func(p *Proc) {
+				res.Use(p, 1, func() { p.Sleep(d) })
+			})
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		busy := time.Duration(res.BusyIntegral() * float64(time.Second))
+		if busy < sum-time.Microsecond || busy > sum+time.Microsecond {
+			return false
+		}
+		return env.Now() <= sum && env.Now() >= sum/time.Duration(capacity)-time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newPage(t *testing.T, size int) Page {
+	t.Helper()
+	p := Page(make([]byte, size))
+	p.Init(PageLeaf)
+	return p
+}
+
+func TestPageInsertAndRead(t *testing.T) {
+	p := newPage(t, 512)
+	if !p.InsertCellAt(0, []byte("hello")) {
+		t.Fatal("insert failed")
+	}
+	if !p.InsertCellAt(1, []byte("world")) {
+		t.Fatal("insert failed")
+	}
+	if !p.InsertCellAt(1, []byte("mid")) {
+		t.Fatal("insert failed")
+	}
+	want := []string{"hello", "mid", "world"}
+	if p.NumSlots() != 3 {
+		t.Fatalf("slots = %d", p.NumSlots())
+	}
+	for i, w := range want {
+		if string(p.Cell(i)) != w {
+			t.Fatalf("cell %d = %q, want %q", i, p.Cell(i), w)
+		}
+	}
+}
+
+func TestPageDeleteShiftsSlots(t *testing.T) {
+	p := newPage(t, 512)
+	for i := 0; i < 5; i++ {
+		p.InsertCellAt(i, []byte{byte('a' + i)})
+	}
+	p.DeleteCellAt(2) // remove 'c'
+	want := "abde"
+	if p.NumSlots() != 4 {
+		t.Fatalf("slots = %d", p.NumSlots())
+	}
+	for i := 0; i < 4; i++ {
+		if p.Cell(i)[0] != want[i] {
+			t.Fatalf("after delete, cell %d = %c, want %c", i, p.Cell(i)[0], want[i])
+		}
+	}
+}
+
+func TestPageFillsAndRejects(t *testing.T) {
+	p := newPage(t, 256)
+	cell := bytes.Repeat([]byte{0xAB}, 20)
+	n := 0
+	for p.InsertCellAt(n, cell) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no cells fit")
+	}
+	if p.CanFit(len(cell)) {
+		t.Fatal("CanFit disagrees with failed insert")
+	}
+	// All inserted cells intact.
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(p.Cell(i), cell) {
+			t.Fatalf("cell %d corrupted", i)
+		}
+	}
+}
+
+func TestPageCompactionReclaimsFragmentation(t *testing.T) {
+	p := newPage(t, 256)
+	cell := bytes.Repeat([]byte{1}, 40)
+	var n int
+	for p.InsertCellAt(n, cell) {
+		n++
+	}
+	// Delete every other cell, then a big cell must fit via compaction.
+	deleted := 0
+	for i := n - 1; i >= 0; i -= 2 {
+		p.DeleteCellAt(i)
+		deleted++
+	}
+	big := bytes.Repeat([]byte{2}, 40*deleted-slotSize)
+	if !p.InsertCellAt(0, big) {
+		t.Fatalf("compaction failed to reclaim %d bytes (free=%d)", len(big), p.FreeSpace())
+	}
+	if !bytes.Equal(p.Cell(0), big) {
+		t.Fatal("big cell corrupted after compaction")
+	}
+}
+
+func TestPageReplaceCell(t *testing.T) {
+	p := newPage(t, 256)
+	p.InsertCellAt(0, []byte("aaaa"))
+	p.InsertCellAt(1, []byte("bbbb"))
+	if !p.ReplaceCellAt(0, []byte("cc")) { // shrink in place
+		t.Fatal("shrink replace failed")
+	}
+	if string(p.Cell(0)) != "cc" || string(p.Cell(1)) != "bbbb" {
+		t.Fatalf("cells = %q, %q", p.Cell(0), p.Cell(1))
+	}
+	if !p.ReplaceCellAt(0, bytes.Repeat([]byte{7}, 50)) { // grow
+		t.Fatal("grow replace failed")
+	}
+	if len(p.Cell(0)) != 50 || string(p.Cell(1)) != "bbbb" {
+		t.Fatal("grow replace corrupted page")
+	}
+}
+
+func TestPageSiblingAndLSN(t *testing.T) {
+	p := newPage(t, 128)
+	if _, ok := p.RightSibling(); ok {
+		t.Fatal("fresh page has sibling")
+	}
+	p.SetRightSibling(0) // page number 0 must be representable
+	if sib, ok := p.RightSibling(); !ok || sib != 0 {
+		t.Fatalf("sibling = %v, %v", sib, ok)
+	}
+	p.SetRightSibling(77)
+	if sib, ok := p.RightSibling(); !ok || sib != 77 {
+		t.Fatalf("sibling = %v, %v", sib, ok)
+	}
+	p.ClearRightSibling()
+	if _, ok := p.RightSibling(); ok {
+		t.Fatal("sibling not cleared")
+	}
+	p.SetLSN(1 << 40)
+	if p.LSN() != 1<<40 {
+		t.Fatalf("lsn = %d", p.LSN())
+	}
+}
+
+// Property: a page behaves like a slice of cells under random inserts and
+// deletes.
+func TestPageModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Page(make([]byte, 1024))
+		p.Init(PageLeaf)
+		var model [][]byte
+		for step := 0; step < 200; step++ {
+			if rng.Intn(3) != 0 || len(model) == 0 {
+				cell := make([]byte, 1+rng.Intn(30))
+				rng.Read(cell)
+				i := rng.Intn(len(model) + 1)
+				ok := p.InsertCellAt(i, cell)
+				if ok {
+					model = append(model[:i], append([][]byte{cell}, model[i:]...)...)
+				}
+			} else {
+				i := rng.Intn(len(model))
+				p.DeleteCellAt(i)
+				model = append(model[:i], model[i+1:]...)
+			}
+			if p.NumSlots() != len(model) {
+				return false
+			}
+		}
+		for i, want := range model {
+			if !bytes.Equal(p.Cell(i), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentAllocFree(t *testing.T) {
+	s := NewSegment(7, 128, 8)
+	var nos []PageNo
+	for {
+		no, ok := s.AllocPage()
+		if !ok {
+			break
+		}
+		nos = append(nos, no)
+	}
+	if len(nos) != 7 { // page 0 reserved
+		t.Fatalf("allocated %d pages, want 7", len(nos))
+	}
+	if !s.Full() {
+		t.Fatal("segment should be full")
+	}
+	s.FreePage(nos[3])
+	no, ok := s.AllocPage()
+	if !ok || no != nos[3] {
+		t.Fatalf("realloc = %v, %v; want %v", no, ok, nos[3])
+	}
+}
+
+func TestSegmentPageDataPersists(t *testing.T) {
+	s := NewSegment(1, 128, 4)
+	no, _ := s.AllocPage()
+	p := s.Page(no)
+	p.Init(PageLeaf)
+	p.InsertCellAt(0, []byte("persisted"))
+	if string(s.Page(no).Cell(0)) != "persisted" {
+		t.Fatal("page data lost")
+	}
+}
+
+func TestSegmentCloneIsDeep(t *testing.T) {
+	s := NewSegment(1, 128, 4)
+	no, _ := s.AllocPage()
+	p := s.Page(no)
+	p.Init(PageLeaf)
+	p.InsertCellAt(0, []byte("orig"))
+	s.LowKey = []byte{1}
+	s.TreeRoot = no
+
+	c := s.Clone(2)
+	if c.ID != 2 || c.TreeRoot != no || !bytes.Equal(c.LowKey, []byte{1}) {
+		t.Fatal("clone metadata wrong")
+	}
+	// Mutate the original; the clone must not see it.
+	p.ReplaceCellAt(0, []byte("mut!"))
+	if string(c.Page(no).Cell(0)) != "orig" {
+		t.Fatal("clone shares page bytes with original")
+	}
+}
+
+func TestSegmentAccounting(t *testing.T) {
+	s := NewSegment(1, 256, 16)
+	if s.Bytes() != 0 {
+		t.Fatalf("empty segment bytes = %d", s.Bytes())
+	}
+	no, _ := s.AllocPage()
+	s.Page(no).Init(PageLeaf)
+	if s.Bytes() != 256 {
+		t.Fatalf("bytes = %d, want 256", s.Bytes())
+	}
+	if s.UsedPages() != 1 {
+		t.Fatalf("used = %d", s.UsedPages())
+	}
+}
+
+func TestPageInsertKeepsSortedOrderUsage(t *testing.T) {
+	// Exercise the typical B-tree usage pattern: insert keys at their sort
+	// position, verify ordering via the slot directory.
+	p := newPage(t, 2048)
+	keys := rand.New(rand.NewSource(5)).Perm(40)
+	var inserted []int
+	for _, k := range keys {
+		cell := []byte(fmt.Sprintf("%04d", k))
+		i := sort.SearchInts(inserted, k)
+		if !p.InsertCellAt(i, cell) {
+			t.Fatalf("insert %d failed", k)
+		}
+		inserted = append(inserted[:i], append([]int{k}, inserted[i:]...)...)
+	}
+	for i := 1; i < p.NumSlots(); i++ {
+		if bytes.Compare(p.Cell(i-1), p.Cell(i)) >= 0 {
+			t.Fatalf("cells out of order at %d", i)
+		}
+	}
+}

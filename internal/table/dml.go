@@ -1,0 +1,302 @@
+package table
+
+import (
+	"bytes"
+
+	"wattdb/internal/btree"
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+)
+
+// Get returns the row payload of key visible to txn.
+func (pt *Partition) Get(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, bool, error) {
+	pt.stats.Reads++
+	pt.deps.compute(p, pt.deps.CPUPerOp)
+	if txn.Mode == cc.Locking {
+		return pt.getLocking(p, txn, key)
+	}
+	tr, err := pt.readTree(txn, key)
+	if err != nil {
+		return nil, false, err
+	}
+	leaf, err := readLeaf(p, tr, key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := pt.Store.ReadVisible(txn, string(key), leaf)
+	if !ok {
+		return nil, false, nil
+	}
+	return v.Val, true, nil
+}
+
+func (pt *Partition) getLocking(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, bool, error) {
+	lm, to := pt.deps.Locks, pt.deps.LockTimeout
+	if err := lm.Lock(p, txn, pt.lockName(), cc.LockIR, to); err != nil {
+		return nil, false, err
+	}
+	if err := lm.Lock(p, txn, pt.keyLockName(key), cc.LockR, to); err != nil {
+		return nil, false, err
+	}
+	tr, err := pt.readTree(txn, key)
+	if err != nil {
+		return nil, false, err
+	}
+	leaf, err := readLeaf(p, tr, key)
+	if err != nil || leaf == nil || leaf.Deleted {
+		return nil, false, err
+	}
+	return leaf.Val, true, nil
+}
+
+// Put inserts or updates key with payload under txn.
+func (pt *Partition) Put(p *sim.Proc, txn *cc.Txn, key, payload []byte) error {
+	return pt.write(p, txn, key, payload, false)
+}
+
+// Delete removes key under txn (a no-op if absent, like SQL DELETE).
+func (pt *Partition) Delete(p *sim.Proc, txn *cc.Txn, key []byte) error {
+	return pt.write(p, txn, key, nil, true)
+}
+
+func (pt *Partition) write(p *sim.Proc, txn *cc.Txn, key, payload []byte, deleted bool) error {
+	if !txn.Active() {
+		return cc.ErrTxnNotActive
+	}
+	pt.stats.Writes++
+	pt.deps.compute(p, pt.deps.CPUPerOp)
+	if txn.Mode == cc.Locking {
+		return pt.writeLocking(p, txn, key, payload, deleted)
+	}
+
+	lm, to := pt.deps.Locks, pt.deps.LockTimeout
+	// IX on the partition announces write activity to segment movers,
+	// which take R on the same name ("a read lock is acquired on the
+	// source partition, waiting for pre-existing queries to finish
+	// updating the partition", Sect. 4.3). The lock must precede routing:
+	// a writer that queued behind a mover would otherwise stage a write
+	// for a range that left the partition while it waited.
+	if err := lm.Lock(p, txn, pt.lockName(), cc.LockIX, to); err != nil {
+		return err
+	}
+	tr, _, err := pt.writeTree(p, key)
+	if err != nil {
+		return err
+	}
+	leaf, err := readLeaf(p, tr, key)
+	if err != nil {
+		return err
+	}
+	var leafTS cc.Timestamp
+	if leaf != nil {
+		leafTS = leaf.TS
+	}
+	ks := string(key)
+	if err := pt.Store.AcquireWriteIntent(p, txn, ks, leafTS, to); err != nil {
+		return err
+	}
+	if _, already := pt.Store.HasIntent(txn, ks); !already {
+		pt.pending[txn.ID] = append(pt.pending[txn.ID], ks)
+	}
+	pt.Store.StagePending(txn, ks, deleted, bytes.Clone(payload))
+	return nil
+}
+
+func (pt *Partition) writeLocking(p *sim.Proc, txn *cc.Txn, key, payload []byte, deleted bool) error {
+	lm, to := pt.deps.Locks, pt.deps.LockTimeout
+	if err := lm.Lock(p, txn, pt.lockName(), cc.LockIX, to); err != nil {
+		return err
+	}
+	tr, segID, err := pt.writeTree(p, key)
+	if err != nil {
+		return err
+	}
+	if err := lm.Lock(p, txn, pt.segLockName(segID), cc.LockIX, to); err != nil {
+		return err
+	}
+	if err := lm.Lock(p, txn, pt.keyLockName(key), cc.LockX, to); err != nil {
+		return err
+	}
+	old, err := readLeaf(p, tr, key)
+	if err != nil {
+		return err
+	}
+	return pt.applyWrite(p, txn, tr, key, old, payload, deleted)
+}
+
+// applyWrite performs an immediate (locking-mode) tree modification with
+// logging and undo registration.
+func (pt *Partition) applyWrite(p *sim.Proc, txn *cc.Txn, tr *btree.Tree, key []byte, old *cc.Version, payload []byte, deleted bool) error {
+	newVer := cc.Version{TS: txn.Begin, Deleted: deleted, Val: bytes.Clone(payload)}
+	rec := pt.logRecord(txn, key, old, newVer)
+	lsn := pt.deps.Log.Append(rec)
+	keyCopy := bytes.Clone(key)
+	if deleted {
+		if _, err := tr.Delete(p, keyCopy, lsn); err != nil {
+			return err
+		}
+	} else {
+		if _, err := pt.treePut(p, keyCopy, EncodeValue(newVer), lsn); err != nil {
+			return err
+		}
+	}
+	oldCopy := cloneVersion(old)
+	txn.PushUndo(func(up *sim.Proc) {
+		if oldCopy == nil {
+			tr.Delete(up, keyCopy, 0)
+		} else {
+			tr.Put(up, keyCopy, EncodeValue(*oldCopy), 0)
+		}
+	})
+	return nil
+}
+
+func cloneVersion(v *cc.Version) *cc.Version {
+	if v == nil {
+		return nil
+	}
+	c := *v
+	c.Val = bytes.Clone(v.Val)
+	return &c
+}
+
+// Scan iterates records with keys in [lo, hi) visible to txn, in key order.
+// fn returning false stops the scan. Under locking mode the scan takes an
+// IR lock on the partition and R locks on every record it emits (held to
+// end of transaction, as MGL-RX prescribes).
+func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, payload []byte) bool) error {
+	if txn.Mode == cc.Locking {
+		if err := pt.deps.Locks.Lock(p, txn, pt.lockName(), cc.LockIR, pt.deps.LockTimeout); err != nil {
+			return err
+		}
+	}
+	emit := func(k, raw []byte) (bool, error) {
+		pt.stats.ScannedTuples++
+		pt.deps.compute(p, pt.deps.CPUPerTuple)
+		leaf, err := DecodeValue(raw)
+		if err != nil {
+			return false, err
+		}
+		if txn.Mode == cc.Locking {
+			if leaf.Deleted {
+				return true, nil
+			}
+			if err := pt.deps.Locks.Lock(p, txn, pt.keyLockName(k), cc.LockR, pt.deps.LockTimeout); err != nil {
+				return false, err
+			}
+			return fn(k, leaf.Val), nil
+		}
+		v, ok := pt.Store.ReadVisible(txn, string(k), &leaf)
+		if !ok {
+			return true, nil
+		}
+		return fn(k, v.Val), nil
+	}
+
+	if pt.Scheme != Physiological {
+		var scanErr error
+		err := pt.span.Scan(p, lo, hi, func(k, raw []byte) bool {
+			cont, err := emit(k, raw)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			return cont
+		})
+		if err == nil {
+			err = scanErr
+		}
+		return err
+	}
+
+	// Physiological: walk mini-partitions in key order. The responsible
+	// segment is re-resolved after each one finishes, so segment splits and
+	// detachments during the scan (at blocking points) cannot skip records:
+	// a split only narrows the current handle and adds its upper half to
+	// the right, and a detached handle stays readable as a ghost for
+	// snapshots predating the move.
+	cur := lo
+	for {
+		h := pt.nextSegFor(txn, cur)
+		if h == nil || (hi != nil && bytes.Compare(h.Low, hi) >= 0) {
+			return nil
+		}
+		slo, shi := maxKey(cur, h.Low), minKey(hi, h.High)
+		stopped := false
+		var scanErr error
+		err := h.Tree.Scan(p, slo, shi, func(k, raw []byte) bool {
+			cont, err := emit(k, raw)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !cont {
+				stopped = true
+			}
+			return cont
+		})
+		if err == nil {
+			err = scanErr
+		}
+		if err != nil || stopped {
+			return err
+		}
+		if h.High == nil { // note: re-read after the scan (splits narrow it)
+			return nil
+		}
+		cur = h.High
+	}
+}
+
+// nextSegFor returns the segment (live, or ghost readable by txn) serving
+// scan position cur (nil = start): among handles with High > cur, the one
+// with the smallest Low.
+func (pt *Partition) nextSegFor(txn *cc.Txn, cur []byte) *SegHandle {
+	var best *SegHandle
+	consider := func(h *SegHandle) {
+		if h.Tree == nil {
+			return
+		}
+		if cur != nil && h.High != nil && bytes.Compare(h.High, cur) <= 0 {
+			return
+		}
+		if best == nil || bytes.Compare(h.Low, best.Low) < 0 {
+			best = h
+		}
+	}
+	for _, h := range pt.segs {
+		consider(h)
+	}
+	for _, g := range pt.ghosts {
+		if txn.Begin <= g.moveTS {
+			consider(g.handle)
+		}
+	}
+	return best
+}
+
+func maxKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}

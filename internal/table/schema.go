@@ -1,0 +1,185 @@
+// Package table implements WattDB's logical layer (Fig. 4 of the paper):
+// tables split into horizontal partitions, each index-organised by primary
+// key and owned by one node. The three partitioning schemes of Sect. 4 are
+// all implemented here over the same storage substrate:
+//
+//   - Physical: one partition-spanning B*-tree whose pages live in segments
+//     that may be relocated to other nodes' disks (ownership fixed).
+//   - Logical: the same spanning tree, but rebalancing moves records
+//     between partitions with delete/insert transactions.
+//   - Physiological: per-segment B*-trees (mini-partitions) plus a small
+//     top index; rebalancing ships whole segments and transfers ownership.
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wattdb/internal/keycodec"
+)
+
+// ColType enumerates supported column types.
+type ColType int
+
+const (
+	ColInt64 ColType = iota
+	ColString
+	ColFloat64
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table: metadata held on the master node. The first
+// KeyCols columns form the primary key (all int64 in TPC-C-style keys, but
+// strings are supported).
+type Schema struct {
+	ID      uint32
+	Name    string
+	Columns []Column
+	KeyCols int
+}
+
+// Row is one record's values, position-matched to Schema.Columns. Values
+// are int64, string, or float64.
+type Row []any
+
+// Validate checks the schema's internal consistency.
+func (s *Schema) Validate() error {
+	if s.KeyCols < 1 || s.KeyCols > len(s.Columns) {
+		return fmt.Errorf("table %s: %d key columns of %d", s.Name, s.KeyCols, len(s.Columns))
+	}
+	return nil
+}
+
+// Key encodes row's primary key in order-preserving form.
+func (s *Schema) Key(row Row) ([]byte, error) {
+	if len(row) != len(s.Columns) {
+		return nil, fmt.Errorf("table %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
+	}
+	return s.EncodeKeyPrefix(row[:s.KeyCols]...)
+}
+
+// EncodeKeyPrefix encodes a (possibly partial) key prefix: useful for range
+// bounds like "all orders of warehouse 3".
+func (s *Schema) EncodeKeyPrefix(vals ...any) ([]byte, error) {
+	if len(vals) > s.KeyCols {
+		return nil, fmt.Errorf("table %s: %d key values, max %d", s.Name, len(vals), s.KeyCols)
+	}
+	var key []byte
+	for i, v := range vals {
+		switch s.Columns[i].Type {
+		case ColInt64:
+			iv, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("table %s: key col %d: want int64, got %T", s.Name, i, v)
+			}
+			key = keycodec.AppendInt64(key, iv)
+		case ColString:
+			sv, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("table %s: key col %d: want string, got %T", s.Name, i, v)
+			}
+			key = keycodec.AppendString(key, sv)
+		case ColFloat64:
+			fv, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("table %s: key col %d: want float64, got %T", s.Name, i, v)
+			}
+			key = keycodec.AppendFloat64(key, fv)
+		}
+	}
+	return key, nil
+}
+
+// EncodeRow serialises all column values (including key columns, so rows
+// are self-contained when shipped between nodes).
+func (s *Schema) EncodeRow(row Row) ([]byte, error) {
+	if len(row) != len(s.Columns) {
+		return nil, fmt.Errorf("table %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
+	}
+	var buf []byte
+	for i, col := range s.Columns {
+		switch col.Type {
+		case ColInt64:
+			iv, ok := row[i].(int64)
+			if !ok {
+				return nil, fmt.Errorf("table %s: col %s: want int64, got %T", s.Name, col.Name, row[i])
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(iv))
+			buf = append(buf, b[:]...)
+		case ColFloat64:
+			fv, ok := row[i].(float64)
+			if !ok {
+				return nil, fmt.Errorf("table %s: col %s: want float64, got %T", s.Name, col.Name, row[i])
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(fv))
+			buf = append(buf, b[:]...)
+		case ColString:
+			sv, ok := row[i].(string)
+			if !ok {
+				return nil, fmt.Errorf("table %s: col %s: want string, got %T", s.Name, col.Name, row[i])
+			}
+			if len(sv) > 0xFFFF {
+				return nil, fmt.Errorf("table %s: col %s: string too long", s.Name, col.Name)
+			}
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(len(sv)))
+			buf = append(buf, b[:]...)
+			buf = append(buf, sv...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRow parses bytes produced by EncodeRow.
+func (s *Schema) DecodeRow(buf []byte) (Row, error) {
+	row := make(Row, len(s.Columns))
+	for i, col := range s.Columns {
+		switch col.Type {
+		case ColInt64:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
+			}
+			row[i] = int64(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case ColFloat64:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
+			}
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case ColString:
+			if len(buf) < 2 {
+				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
+			}
+			n := int(binary.LittleEndian.Uint16(buf))
+			buf = buf[2:]
+			if len(buf) < n {
+				return nil, fmt.Errorf("table %s: truncated string at col %s", s.Name, col.Name)
+			}
+			row[i] = string(buf[:n])
+			buf = buf[n:]
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("table %s: %d trailing bytes", s.Name, len(buf))
+	}
+	return row, nil
+}
+
+// Col returns the index of the named column, or -1.
+func (s *Schema) Col(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,110 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wattdb/internal/cc"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		ID:   1,
+		Name: "account",
+		Columns: []Column{
+			{"id", ColInt64},
+			{"branch", ColInt64},
+			{"name", ColString},
+			{"balance", ColFloat64},
+		},
+		KeyCols: 2,
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := testSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Schema{Name: "x", Columns: []Column{{"a", ColInt64}}, KeyCols: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	s := testSchema()
+	f := func(id, branch int64, name string, balance float64) bool {
+		if math.IsNaN(balance) {
+			return true
+		}
+		row := Row{id, branch, name, balance}
+		enc, err := s.EncodeRow(row)
+		if err != nil {
+			return false
+		}
+		dec, err := s.DecodeRow(enc)
+		if err != nil {
+			return false
+		}
+		return dec[0] == id && dec[1] == branch && dec[2] == name && dec[3] == balance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowTypeMismatch(t *testing.T) {
+	s := testSchema()
+	if _, err := s.EncodeRow(Row{"not-an-int", int64(1), "x", 1.0}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := s.EncodeRow(Row{int64(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	s := testSchema()
+	k1, _ := s.Key(Row{int64(1), int64(5), "a", 0.0})
+	k2, _ := s.Key(Row{int64(1), int64(9), "b", 0.0})
+	k3, _ := s.Key(Row{int64(2), int64(0), "c", 0.0})
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Fatal("composite keys not ordered")
+	}
+	prefix, _ := s.EncodeKeyPrefix(int64(1))
+	if !bytes.HasPrefix(k1, prefix) || !bytes.HasPrefix(k2, prefix) || bytes.HasPrefix(k3, prefix) {
+		t.Fatal("prefix encoding mismatch")
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	s := testSchema()
+	if _, err := s.DecodeRow([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated row accepted")
+	}
+	row := Row{int64(1), int64(2), "abc", 3.5}
+	enc, _ := s.EncodeRow(row)
+	if _, err := s.DecodeRow(append(enc, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestValueEncoding(t *testing.T) {
+	f := func(ts uint64, deleted bool, payload []byte) bool {
+		v := cc.Version{TS: cc.Timestamp(ts), Deleted: deleted, Val: payload}
+		dec, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			return false
+		}
+		return dec.TS == v.TS && dec.Deleted == deleted && bytes.Equal(dec.Val, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeValue([]byte{1}); err == nil {
+		t.Fatal("short value accepted")
+	}
+}

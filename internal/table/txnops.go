@@ -1,0 +1,379 @@
+package table
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"wattdb/internal/btree"
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+	"wattdb/internal/wal"
+)
+
+// Empty reports whether the partition holds no data at all: no live
+// segments with records, no ghosts, no staged writes. Empty partitions can
+// be dropped when quiescing a node.
+func (pt *Partition) Empty() bool {
+	if len(pt.ghosts) > 0 || len(pt.pending) > 0 {
+		return false
+	}
+	for _, h := range pt.segs {
+		if h.Seg.UsedPages() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MovementLockName is the lock a segment mover must hold in R mode to
+// drain and exclude writers of this partition during the move.
+func (pt *Partition) MovementLockName() string { return pt.lockName() }
+
+// HasPending reports whether txn staged writes in this partition.
+func (pt *Partition) HasPending(txn *cc.Txn) bool {
+	return len(pt.pending[txn.ID]) > 0
+}
+
+// Commit installs txn's staged MVCC writes into the trees at commitTS,
+// logging each with before/after images. The caller is responsible for the
+// commit record and log flush (so multi-partition transactions on one node
+// share a single group-commit flush). Locking-mode transactions have
+// nothing to install (writes applied eagerly); their pending list is empty.
+func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) error {
+	keys := pt.pending[txn.ID]
+	delete(pt.pending, txn.ID)
+	for _, ks := range keys {
+		key := []byte(ks)
+		tr, _, err := pt.writeTree(p, key)
+		if err != nil {
+			return err
+		}
+		old, err := readLeaf(p, tr, key)
+		if err != nil {
+			return err
+		}
+		v := pt.Store.CommitKey(txn, ks, old, commitTS)
+		rec := pt.logRecord(txn, key, old, v)
+		lsn := pt.deps.Log.Append(rec)
+		if _, err := pt.treePut(p, key, EncodeValue(v), lsn); err != nil {
+			return err
+		}
+		if v.Deleted {
+			pt.tombs[ks] = struct{}{}
+		}
+	}
+	pt.stats.Commits++
+	return nil
+}
+
+// Abort discards txn's staged writes (MVCC) and runs undo (locking mode).
+func (pt *Partition) Abort(p *sim.Proc, txn *cc.Txn) {
+	for _, ks := range pt.pending[txn.ID] {
+		pt.Store.AbortKey(txn, ks)
+	}
+	delete(pt.pending, txn.ID)
+	pt.stats.Aborts++
+}
+
+// logRecord builds the WAL record for installing v over old.
+func (pt *Partition) logRecord(txn *cc.Txn, key []byte, old *cc.Version, v cc.Version) wal.Record {
+	rec := wal.Record{Txn: txn.ID, Part: uint64(pt.ID), Key: bytes.Clone(key)}
+	switch {
+	case old == nil:
+		rec.Type = wal.RecInsert
+	case v.Deleted:
+		rec.Type = wal.RecDelete
+	default:
+		rec.Type = wal.RecUpdate
+	}
+	if old != nil {
+		rec.Before = EncodeValue(*old)
+	}
+	rec.After = EncodeValue(v) // tombstones are installed as values
+	return rec
+}
+
+// ErrSplitRaced reports that a segment split lost a race with a concurrent
+// structural change; callers should re-route and retry.
+var ErrSplitRaced = errors.New("table: segment split raced with a concurrent change")
+
+// treePut writes an encoded value, splitting the target mini-partition and
+// retrying when its segment fills up (physiological growth path). Split
+// races with concurrent writers are retried with fresh routing.
+func (pt *Partition) treePut(p *sim.Proc, key, val []byte, lsn uint64) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		tr, _, err := pt.writeTree(p, key)
+		if err != nil {
+			return false, err
+		}
+		replaced, err := tr.Put(p, key, val, lsn)
+		if err != btree.ErrSegmentFull {
+			return replaced, err
+		}
+		if pt.Scheme != Physiological || attempt >= 8 {
+			return false, err
+		}
+		h, rerr := pt.routeWrite(p, key)
+		if rerr != nil {
+			return false, rerr
+		}
+		if serr := pt.SplitSegment(p, h); serr != nil && serr != ErrSplitRaced {
+			return false, serr
+		}
+	}
+}
+
+// SplitSegment splits mini-partition h at its median key: the upper half of
+// its records is bulk-moved into a fresh segment. This is the paper's
+// partition split, triggered when a segment overflows or when a hot
+// mini-partition must be divided before migration.
+func (pt *Partition) SplitSegment(p *sim.Proc, h *SegHandle) error {
+	return pt.splitSeg(p, h, nil)
+}
+
+// SegmentContaining returns the live mini-partition covering key, or nil.
+func (pt *Partition) SegmentContaining(key []byte) *SegHandle {
+	for _, h := range pt.segs {
+		if h.Contains(key) {
+			return h
+		}
+	}
+	return nil
+}
+
+// SplitSegmentAt divides mini-partition h at exactly key: records >= key
+// move to a fresh segment covering [key, h.High). Used when a migration
+// boundary falls inside a segment.
+func (pt *Partition) SplitSegmentAt(p *sim.Proc, h *SegHandle, key []byte) error {
+	if pt.Scheme != Physiological {
+		return fmt.Errorf("table: segment split on %v partition", pt.Scheme)
+	}
+	return pt.splitSeg(p, h, key)
+}
+
+// splitSeg performs the split; a nil key means "at the median". All
+// decisions happen under the old tree's writer lock so no record can slip
+// into the moved range mid-split and no concurrent split can invalidate the
+// chosen boundary.
+func (pt *Partition) splitSeg(p *sim.Proc, h *SegHandle, key []byte) error {
+	// Hold the old tree's writer lock for the whole surgery.
+	return h.Tree.Exclusive(p, func() error {
+		if key == nil {
+			// Find the median under the lock.
+			total := 0
+			if err := h.Tree.Scan(p, nil, nil, func(_, _ []byte) bool { total++; return true }); err != nil {
+				return err
+			}
+			if total < 2 {
+				return ErrSplitRaced // someone already moved the records out
+			}
+			idx := 0
+			if err := h.Tree.Scan(p, nil, nil, func(k, _ []byte) bool {
+				if idx >= total/2 {
+					key = bytes.Clone(k)
+					return false
+				}
+				idx++
+				return true
+			}); err != nil {
+				return err
+			}
+		}
+		if bytes.Compare(key, h.Low) <= 0 || (h.High != nil && bytes.Compare(key, h.High) >= 0) {
+			return ErrSplitRaced // the handle's range changed underneath us
+		}
+		type pair struct{ k, v []byte }
+		var upper []pair
+		if err := h.Tree.Scan(p, key, nil, func(k, v []byte) bool {
+			upper = append(upper, pair{bytes.Clone(k), bytes.Clone(v)})
+			return true
+		}); err != nil {
+			return err
+		}
+		midKey := bytes.Clone(key)
+
+		seg, err := pt.deps.Factory.NewSegment(p)
+		if err != nil {
+			return err
+		}
+		nh := &SegHandle{
+			Seg:   seg,
+			Pager: pt.deps.Factory.Pager(seg),
+			Low:   midKey,
+			High:  h.High,
+		}
+		nh.Tree = btree.New(nh.Pager, 0, func(no storage.PageNo) { seg.TreeRoot = no })
+		i := 0
+		if err := nh.Tree.BulkLoad(p, 0.9, func() ([]byte, []byte, bool) {
+			if i >= len(upper) {
+				return nil, nil, false
+			}
+			pr := upper[i]
+			i++
+			return pr.k, pr.v, true
+		}); err != nil {
+			return err
+		}
+		nh.Tree.Serialize(pt.deps.Env)
+		// Remove the moved records from the old tree, then shrink its range.
+		for _, pr := range upper {
+			if _, err := h.Tree.DeleteLocked(p, pr.k, 0); err != nil {
+				return err
+			}
+		}
+		h.High = midKey
+		h.Seg.HighKey = midKey
+		seg.LowKey, seg.HighKey = nh.Low, nh.High
+		pt.addSegmentSorted(nh)
+		return nil
+	})
+}
+
+// Vacuum physically removes tombstones whose deletion is older than the
+// MVCC watermark (no snapshot can see the record anymore) and garbage
+// collects version chains. It returns the number of tombstones removed.
+// Vacuum removal is not logged: redoing an old delete just reinstalls a
+// tombstone, which a later vacuum removes again.
+func (pt *Partition) Vacuum(p *sim.Proc, watermark cc.Timestamp) (int, error) {
+	removed := 0
+	for ks := range pt.tombs {
+		key := []byte(ks)
+		tr, _, err := pt.writeTree(p, key)
+		if err != nil {
+			// Key range moved away; its tombstone moved with it.
+			delete(pt.tombs, ks)
+			continue
+		}
+		leaf, err := readLeaf(p, tr, key)
+		if err != nil {
+			return removed, err
+		}
+		if leaf == nil {
+			delete(pt.tombs, ks)
+			continue
+		}
+		if !leaf.Deleted || leaf.TS >= watermark {
+			continue
+		}
+		if _, err := tr.Delete(p, key, 0); err != nil {
+			return removed, err
+		}
+		delete(pt.tombs, ks)
+		removed++
+	}
+	pt.Store.GC(watermark)
+	return removed, nil
+}
+
+// RecoveryPut implements wal.Target: raw install bypassing CC.
+func (pt *Partition) RecoveryPut(p *sim.Proc, key, val []byte) error {
+	_, err := pt.treePut(p, key, val, 0)
+	return err
+}
+
+// RecoveryDelete implements wal.Target.
+func (pt *Partition) RecoveryDelete(p *sim.Proc, key []byte) error {
+	tr, _, err := pt.writeTree(p, key)
+	if err != nil {
+		return err
+	}
+	_, err = tr.Delete(p, key, 0)
+	return err
+}
+
+// DetachSegment removes mini-partition h from live service, keeping it as a
+// ghost readable by snapshots begun at or before moveTS (the paper's "old
+// copies of the records still remain until the movement is finished").
+func (pt *Partition) DetachSegment(h *SegHandle, moveTS cc.Timestamp) error {
+	if pt.Scheme != Physiological {
+		return fmt.Errorf("table: DetachSegment on %v partition", pt.Scheme)
+	}
+	for i, s := range pt.segs {
+		if s == h {
+			pt.segs = append(pt.segs[:i], pt.segs[i+1:]...)
+			pt.ghosts = append(pt.ghosts, ghost{handle: h, moveTS: moveTS})
+			return nil
+		}
+	}
+	return fmt.Errorf("table: segment %d not part of partition %d", h.Seg.ID, pt.ID)
+}
+
+// AdoptSegment incorporates a shipped mini-partition into this partition:
+// "as soon as segments arrive at the new node, they are incorporated in its
+// index and the new node overtakes query processing" (Sect. 5.2). The
+// partition's own bounds widen if needed.
+func (pt *Partition) AdoptSegment(seg *storage.Segment) (*SegHandle, error) {
+	if pt.Scheme != Physiological {
+		return nil, fmt.Errorf("table: AdoptSegment on %v partition", pt.Scheme)
+	}
+	h := &SegHandle{
+		Seg:   seg,
+		Pager: pt.deps.Factory.Pager(seg),
+		Low:   seg.LowKey,
+		High:  seg.HighKey,
+	}
+	h.Tree = btree.New(h.Pager, seg.TreeRoot, func(no storage.PageNo) { seg.TreeRoot = no })
+	h.Tree.Serialize(pt.deps.Env)
+	pt.addSegmentSorted(h)
+	if len(pt.Low) == 0 || bytes.Compare(h.Low, pt.Low) < 0 {
+		pt.Low = h.Low
+	}
+	if pt.High != nil && (h.High == nil || bytes.Compare(h.High, pt.High) > 0) {
+		pt.High = h.High
+	}
+	return h, nil
+}
+
+// DropGhost releases a ghost segment once no old reader needs it.
+func (pt *Partition) DropGhost(p *sim.Proc, segID storage.SegID) error {
+	for i, g := range pt.ghosts {
+		if g.handle.Seg.ID == segID {
+			pt.ghosts = append(pt.ghosts[:i], pt.ghosts[i+1:]...)
+			pt.deps.Factory.DropSegment(p, segID)
+			return nil
+		}
+	}
+	return fmt.Errorf("table: no ghost segment %d in partition %d", segID, pt.ID)
+}
+
+// Ghosts returns the number of ghost segments awaiting reader drain.
+func (pt *Partition) Ghosts() int { return len(pt.ghosts) }
+
+// CommitTxn drives the full commit of txn across the given co-located
+// partitions: install writes, write the commit record, group-commit flush,
+// release locks. It is the single-node transaction epilogue; the cluster's
+// two-phase commit calls the same partition primitives per branch.
+func CommitTxn(p *sim.Proc, txn *cc.Txn, parts ...*Partition) error {
+	if !txn.Active() {
+		return cc.ErrTxnNotActive
+	}
+	deps := &parts[0].deps
+	commitTS := deps.Oracle.CommitTS(txn)
+	for _, pt := range parts {
+		if err := pt.Commit(p, txn, commitTS); err != nil {
+			return err
+		}
+	}
+	lsn := deps.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
+	deps.Log.Flush(p, lsn)
+	deps.Locks.ReleaseAll(txn)
+	txn.DropUndo()
+	return nil
+}
+
+// AbortTxn rolls txn back across the given co-located partitions.
+func AbortTxn(p *sim.Proc, txn *cc.Txn, parts ...*Partition) {
+	if txn.State == cc.TxnAborted {
+		return
+	}
+	deps := &parts[0].deps
+	for _, pt := range parts {
+		pt.Abort(p, txn)
+	}
+	txn.RunUndo(p) // locking-mode in-place writes
+	deps.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecAbort})
+	deps.Oracle.Abort(txn)
+	deps.Locks.ReleaseAll(txn)
+}

@@ -1,0 +1,45 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wattdb/internal/cc"
+)
+
+// Tree values carry MVCC metadata inline:
+//
+//	[0]    flags (bit 0: tombstone)
+//	[1:9]  commit timestamp
+//	[9:]   row payload
+//
+// Deleted records stay in the tree as tombstones until vacuum removes them,
+// so old snapshots (and in-flight readers during record movement) can still
+// resolve them through the version store.
+const valueHeader = 9
+
+const flagTombstone = 0x01
+
+// EncodeValue builds a tree value from an MVCC version.
+func EncodeValue(v cc.Version) []byte {
+	buf := make([]byte, valueHeader+len(v.Val))
+	if v.Deleted {
+		buf[0] = flagTombstone
+	}
+	binary.LittleEndian.PutUint64(buf[1:9], uint64(v.TS))
+	copy(buf[valueHeader:], v.Val)
+	return buf
+}
+
+// DecodeValue parses a tree value into an MVCC version. The payload aliases
+// buf.
+func DecodeValue(buf []byte) (cc.Version, error) {
+	if len(buf) < valueHeader {
+		return cc.Version{}, fmt.Errorf("table: tree value of %d bytes", len(buf))
+	}
+	return cc.Version{
+		TS:      cc.Timestamp(binary.LittleEndian.Uint64(buf[1:9])),
+		Deleted: buf[0]&flagTombstone != 0,
+		Val:     buf[valueHeader:],
+	}, nil
+}

@@ -1,0 +1,149 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/cluster"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+)
+
+// Result describes one finished transaction attempt.
+type Result struct {
+	Type      TxnType
+	Start     time.Duration
+	Latency   time.Duration
+	Committed bool
+	Breakdown *sim.Breakdown
+}
+
+// Client submits transactions at a fixed interval, as Sect. 5.1 describes:
+// "each client submits a randomly selected query at specified intervals; if
+// the query is answered, the next query is delayed until the subsequent
+// interval" — the experiment measures adaptivity under a bounded offered
+// load, not peak throughput.
+type Client struct {
+	ID       int
+	Master   *cluster.Master
+	Dep      *Deployment
+	Interval time.Duration
+	Mode     cc.Mode
+	// Retries bounds re-execution after conflicts/timeouts.
+	Retries int
+	// OnResult receives every finished attempt.
+	OnResult func(Result)
+	// CollectBreakdown attaches a Fig. 7 time decomposition to each txn.
+	CollectBreakdown bool
+
+	rng  *rand.Rand
+	stop bool
+}
+
+// NewClient builds a client with its own deterministic random stream.
+func NewClient(id int, m *cluster.Master, dep *Deployment, interval time.Duration, mode cc.Mode) *Client {
+	return &Client{
+		ID:       id,
+		Master:   m,
+		Dep:      dep,
+		Interval: interval,
+		Mode:     mode,
+		Retries:  3,
+		rng:      rand.New(rand.NewSource(dep.Cfg.Seed*7919 + int64(id))),
+	}
+}
+
+// Stop makes the client exit after its current transaction.
+func (c *Client) Stop() { c.stop = true }
+
+// Start spawns the client's process.
+func (c *Client) Start() {
+	c.Master.Cluster().Env.Spawn(fmt.Sprintf("tpcc-client-%d", c.ID), c.Run)
+}
+
+// Run is the client loop; use Start to spawn it as its own process.
+func (c *Client) Run(p *sim.Proc) {
+	if c.Interval > 0 {
+		// Desynchronise client phases so offered load is smooth.
+		p.Sleep(time.Duration(c.rng.Int63n(int64(c.Interval))))
+	}
+	for !c.stop {
+		start := p.Now()
+		c.RunOne(p)
+		elapsed := p.Now() - start
+		if think := c.Interval - elapsed; think > 0 {
+			p.Sleep(think)
+		}
+	}
+}
+
+// RunOne executes a single randomly selected transaction (with retries) and
+// reports it. It returns whether the transaction finally committed.
+func (c *Client) RunOne(p *sim.Proc) bool {
+	typ := PickTxn(c.rng)
+	w := 1 + c.rng.Intn(c.Dep.Cfg.Warehouses)
+	return c.RunTyped(p, typ, w)
+}
+
+// RunTyped executes one transaction of the given type for home warehouse w.
+func (c *Client) RunTyped(p *sim.Proc, typ TxnType, w int) bool {
+	start := p.Now()
+	home := c.homeNode(w)
+	var bd *sim.Breakdown
+	committed := false
+	for attempt := 0; attempt <= c.Retries && !committed; attempt++ {
+		sess := c.Master.Begin(p, c.Mode, home)
+		if c.CollectBreakdown {
+			bd = &sim.Breakdown{}
+			p.Breakdown = bd
+			sess.Txn.Breakdown = bd
+		}
+		err := c.Dep.Exec(p, sess, typ, w, c.rng)
+		if err == nil {
+			err = sess.Commit(p)
+		}
+		if err != nil {
+			sess.Abort(p)
+			switch err {
+			case cc.ErrWriteConflict, cc.ErrLockTimeout:
+				p.Sleep(time.Duration(1+c.rng.Intn(5)) * time.Millisecond)
+				continue
+			default:
+				break
+			}
+		} else {
+			committed = true
+		}
+		break
+	}
+	if c.CollectBreakdown {
+		p.Breakdown = nil
+	}
+	if c.OnResult != nil {
+		c.OnResult(Result{
+			Type:      typ,
+			Start:     start,
+			Latency:   p.Now() - start,
+			Committed: committed,
+			Breakdown: bd,
+		})
+	}
+	return committed
+}
+
+// homeNode resolves the node owning warehouse w (via the master's partition
+// table for the WAREHOUSE table).
+func (c *Client) homeNode(w int) *cluster.DataNode {
+	tm, err := c.Master.Table(TWarehouse)
+	if err != nil {
+		return c.Master.Node
+	}
+	key := keycodec.Int64Key(int64(w))
+	e, err := tm.Route(key)
+	if err != nil {
+		return c.Master.Node
+	}
+	return e.Owner
+}

@@ -1,0 +1,388 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wattdb/internal/cluster"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// TxnType enumerates the five TPC-C transactions.
+type TxnType int
+
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	numTxnTypes
+)
+
+// String returns the transaction's display name.
+func (t TxnType) String() string {
+	return [...]string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}[t]
+}
+
+// PickTxn draws a transaction type with the standard mix (45/43/4/4/4).
+func PickTxn(rng *rand.Rand) TxnType {
+	r := rng.Intn(100)
+	switch {
+	case r < 45:
+		return TxnNewOrder
+	case r < 88:
+		return TxnPayment
+	case r < 92:
+		return TxnOrderStatus
+	case r < 96:
+		return TxnDelivery
+	default:
+		return TxnStockLevel
+	}
+}
+
+// Exec runs one transaction of the given type against sess, for home
+// warehouse w. The caller owns commit/abort (Exec leaves the session open on
+// success and returns any execution error as-is for retry logic).
+func (d *Deployment) Exec(p *sim.Proc, sess *cluster.Session, typ TxnType, w int, rng *rand.Rand) error {
+	switch typ {
+	case TxnNewOrder:
+		return d.NewOrder(p, sess, w, rng)
+	case TxnPayment:
+		return d.Payment(p, sess, w, rng)
+	case TxnOrderStatus:
+		return d.OrderStatus(p, sess, w, rng)
+	case TxnDelivery:
+		return d.Delivery(p, sess, w, rng)
+	default:
+		return d.StockLevel(p, sess, w, rng)
+	}
+}
+
+func (d *Deployment) get(p *sim.Proc, s *cluster.Session, tbl string, keyVals ...any) (table.Row, bool, error) {
+	schema := d.Schemas[tbl]
+	key, err := schema.EncodeKeyPrefix(keyVals...)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, ok, err := s.Get(p, tbl, key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	row, err := schema.DecodeRow(raw)
+	return row, true, err
+}
+
+func (d *Deployment) put(p *sim.Proc, s *cluster.Session, tbl string, row table.Row) error {
+	schema := d.Schemas[tbl]
+	key, err := schema.Key(row)
+	if err != nil {
+		return err
+	}
+	payload, err := schema.EncodeRow(row)
+	if err != nil {
+		return err
+	}
+	return s.Put(p, tbl, key, payload)
+}
+
+// NewOrder is the spec's order-entry transaction: reads warehouse, district
+// (bumping D_NEXT_O_ID), customer and items; inserts ORDERS, NEW_ORDER, and
+// one ORDER_LINE per item; updates each STOCK row (1% of lines supply from
+// a remote warehouse, making the transaction distributed).
+func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	cfg := d.Cfg
+	dd := 1 + rng.Intn(cfg.DistrictsPerW)
+	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
+	olCnt := 5 + rng.Intn(11)
+
+	if _, ok, err := d.get(p, s, TWarehouse, int64(w)); err != nil || !ok {
+		return orErr(err, "warehouse %d missing", w)
+	}
+	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	if err != nil || !ok {
+		return orErr(err, "district %d/%d missing", w, dd)
+	}
+	if _, ok, err = d.get(p, s, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
+		return orErr(err, "customer %d/%d/%d missing", w, dd, c)
+	}
+
+	oID := dist[5].(int64)
+	dist[5] = oID + 1
+	if err := d.put(p, s, TDistrict, dist); err != nil {
+		return err
+	}
+	if err := d.put(p, s, TOrders, table.Row{int64(w), int64(dd), oID,
+		int64(c), oID, int64(0), int64(olCnt)}); err != nil {
+		return err
+	}
+	if err := d.put(p, s, TNewOrder, table.Row{int64(w), int64(dd), oID}); err != nil {
+		return err
+	}
+	total := 0.0
+	for ol := 1; ol <= olCnt; ol++ {
+		item := NURand(rng, 8191, 1, cfg.Items)
+		supplyW := w
+		if cfg.Warehouses > 1 && rng.Intn(100) == 0 {
+			for supplyW == w {
+				supplyW = 1 + rng.Intn(cfg.Warehouses)
+			}
+		}
+		itemRow, ok, err := d.get(p, s, TItem, int64(item))
+		if err != nil || !ok {
+			return orErr(err, "item %d missing", item)
+		}
+		stock, ok, err := d.get(p, s, TStock, int64(supplyW), int64(item))
+		if err != nil || !ok {
+			return orErr(err, "stock %d/%d missing", supplyW, item)
+		}
+		qty := int64(1 + rng.Intn(10))
+		sq := stock[2].(int64)
+		if sq >= qty+10 {
+			stock[2] = sq - qty
+		} else {
+			stock[2] = sq - qty + 91
+		}
+		stock[3] = stock[3].(float64) + float64(qty)
+		stock[4] = stock[4].(int64) + 1
+		if supplyW != w {
+			stock[5] = stock[5].(int64) + 1
+		}
+		if err := d.put(p, s, TStock, stock); err != nil {
+			return err
+		}
+		amount := float64(qty) * itemRow[2].(float64)
+		total += amount
+		if err := d.put(p, s, TOrderLine, table.Row{int64(w), int64(dd), oID, int64(ol),
+			int64(item), int64(supplyW), qty, amount, "dist-info-xxxxxxxxxxxxxx"}); err != nil {
+			return err
+		}
+	}
+	_ = total
+	return nil
+}
+
+// Payment updates warehouse and district YTD, the customer's balance, and
+// appends a history row. 15% of payments are for a customer of a remote
+// warehouse, per spec.
+func (d *Deployment) Payment(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	cfg := d.Cfg
+	dd := 1 + rng.Intn(cfg.DistrictsPerW)
+	cw, cd := w, dd
+	if cfg.Warehouses > 1 && rng.Intn(100) < 15 {
+		for cw == w {
+			cw = 1 + rng.Intn(cfg.Warehouses)
+		}
+		cd = 1 + rng.Intn(cfg.DistrictsPerW)
+	}
+	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
+	amount := 1 + rng.Float64()*4999
+
+	wh, ok, err := d.get(p, s, TWarehouse, int64(w))
+	if err != nil || !ok {
+		return orErr(err, "warehouse %d missing", w)
+	}
+	wh[3] = wh[3].(float64) + amount
+	if err := d.put(p, s, TWarehouse, wh); err != nil {
+		return err
+	}
+	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	if err != nil || !ok {
+		return orErr(err, "district missing")
+	}
+	dist[4] = dist[4].(float64) + amount
+	if err := d.put(p, s, TDistrict, dist); err != nil {
+		return err
+	}
+	cust, ok, err := d.get(p, s, TCustomer, int64(cw), int64(cd), int64(c))
+	if err != nil || !ok {
+		return orErr(err, "customer missing")
+	}
+	cust[5] = cust[5].(float64) - amount
+	cust[6] = cust[6].(float64) + amount
+	cust[7] = cust[7].(int64) + 1
+	if err := d.put(p, s, TCustomer, cust); err != nil {
+		return err
+	}
+	seq := int64(s.Txn.ID) // unique per transaction
+	return d.put(p, s, THistory, table.Row{int64(cw), int64(cd), int64(c), seq,
+		amount, "payment-history-data"})
+}
+
+// OrderStatus reads a customer's most recent order and its lines
+// (read-only).
+func (d *Deployment) OrderStatus(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	cfg := d.Cfg
+	dd := 1 + rng.Intn(cfg.DistrictsPerW)
+	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
+	if _, ok, err := d.get(p, s, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
+		return orErr(err, "customer missing")
+	}
+	// Latest order of the customer: scan the district's recent orders.
+	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	if err != nil || !ok {
+		return orErr(err, "district missing")
+	}
+	nextO := dist[5].(int64)
+	fromO := nextO - 40
+	if fromO < 1 {
+		fromO = 1
+	}
+	oSchema := d.Schemas[TOrders]
+	lo, _ := oSchema.EncodeKeyPrefix(int64(w), int64(dd), fromO)
+	hi, _ := oSchema.EncodeKeyPrefix(int64(w), int64(dd), nextO)
+	var lastOrder int64 = -1
+	var olCnt int64
+	err = s.Scan(p, TOrders, lo, hi, func(_, payload []byte) bool {
+		row, derr := oSchema.DecodeRow(payload)
+		if derr != nil {
+			return false
+		}
+		if row[3].(int64) == int64(c) {
+			lastOrder = row[2].(int64)
+			olCnt = row[6].(int64)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if lastOrder < 0 {
+		return nil // customer has no recent order: valid outcome
+	}
+	olSchema := d.Schemas[TOrderLine]
+	llo, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), lastOrder)
+	lhi, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), lastOrder+1)
+	seen := int64(0)
+	if err := s.Scan(p, TOrderLine, llo, lhi, func(_, _ []byte) bool {
+		seen++
+		return true
+	}); err != nil {
+		return err
+	}
+	_ = olCnt
+	_ = seen
+	return nil
+}
+
+// Delivery processes the oldest undelivered order of every district:
+// removes its NEW_ORDER entry, stamps the carrier, sums the line amounts
+// and credits the customer.
+func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	carrier := int64(1 + rng.Intn(10))
+	noSchema := d.Schemas[TNewOrder]
+	oSchema := d.Schemas[TOrders]
+	olSchema := d.Schemas[TOrderLine]
+	for dd := 1; dd <= d.Cfg.DistrictsPerW; dd++ {
+		lo, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd))
+		hi, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd+1))
+		var oldest int64 = -1
+		if err := s.Scan(p, TNewOrder, lo, hi, func(_, payload []byte) bool {
+			row, derr := noSchema.DecodeRow(payload)
+			if derr != nil {
+				return false
+			}
+			oldest = row[2].(int64)
+			return false // first = oldest
+		}); err != nil {
+			return err
+		}
+		if oldest < 0 {
+			continue
+		}
+		noKey, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest)
+		if err := s.Delete(p, TNewOrder, noKey); err != nil {
+			return err
+		}
+		order, ok, err := d.get(p, s, TOrders, int64(w), int64(dd), oldest)
+		if err != nil || !ok {
+			return orErr(err, "order %d/%d/%d missing", w, dd, oldest)
+		}
+		order[5] = carrier
+		if err := d.put(p, s, TOrders, order); err != nil {
+			return err
+		}
+		total := 0.0
+		llo, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest)
+		lhi, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest+1)
+		if err := s.Scan(p, TOrderLine, llo, lhi, func(_, payload []byte) bool {
+			row, derr := olSchema.DecodeRow(payload)
+			if derr != nil {
+				return false
+			}
+			total += row[7].(float64)
+			return true
+		}); err != nil {
+			return err
+		}
+		cust, ok, err := d.get(p, s, TCustomer, int64(w), int64(dd), order[3].(int64))
+		if err != nil || !ok {
+			return orErr(err, "customer missing")
+		}
+		cust[5] = cust[5].(float64) + total
+		cust[8] = cust[8].(int64) + 1
+		if err := d.put(p, s, TCustomer, cust); err != nil {
+			return err
+		}
+		_ = oSchema
+	}
+	return nil
+}
+
+// StockLevel counts recently sold items whose stock fell below a threshold
+// (read-only, scan-heavy).
+func (d *Deployment) StockLevel(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	dd := 1 + rng.Intn(d.Cfg.DistrictsPerW)
+	threshold := int64(10 + rng.Intn(11))
+	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	if err != nil || !ok {
+		return orErr(err, "district missing")
+	}
+	nextO := dist[5].(int64)
+	fromO := nextO - 20
+	if fromO < 1 {
+		fromO = 1
+	}
+	olSchema := d.Schemas[TOrderLine]
+	lo, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), fromO)
+	hi, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), nextO)
+	seen := map[int64]bool{}
+	var items []int64 // kept in scan order for determinism
+	if err := s.Scan(p, TOrderLine, lo, hi, func(_, payload []byte) bool {
+		row, derr := olSchema.DecodeRow(payload)
+		if derr != nil {
+			return false
+		}
+		if id := row[4].(int64); !seen[id] {
+			seen[id] = true
+			items = append(items, id)
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	low := 0
+	for _, item := range items {
+		stock, ok, err := d.get(p, s, TStock, int64(w), item)
+		if err != nil {
+			return err
+		}
+		if ok && stock[2].(int64) < threshold {
+			low++
+		}
+	}
+	_ = low
+	return nil
+}
+
+func orErr(err error, format string, args ...any) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("tpcc: "+format, args...)
+}
+
+var _ = keycodec.Int64Key // keep import for key helpers used above

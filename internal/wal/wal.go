@@ -1,0 +1,246 @@
+// Package wal implements per-node write-ahead logging (Sect. 4.3 Logging):
+// logical log records with before/after images, group commit against the
+// node's log device, checkpoints taken when segments move, and log shipping
+// to helper nodes during rebalancing (Sect. 5.2). Restart recovery replays
+// committed work and rolls back losers.
+package wal
+
+import (
+	"fmt"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+)
+
+// RecType tags a log record.
+type RecType byte
+
+const (
+	RecUpdate RecType = iota
+	RecInsert
+	RecDelete
+	RecCommit
+	RecAbort
+	RecCheckpoint
+	RecSegMove // segment ownership transferred (movement checkpoint)
+	RecPrepare // two-phase commit prepare vote
+)
+
+// String returns the type's display name.
+func (t RecType) String() string {
+	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint", "segmove", "prepare"}[t]
+}
+
+// Record is one logical log record. Before and After carry fully encoded
+// tree values (opaque to the log), so redo/undo are simple Put/Delete calls.
+type Record struct {
+	LSN    uint64
+	Txn    cc.TxnID
+	Type   RecType
+	Part   uint64 // partition the operation applied to
+	Key    []byte
+	Before []byte // nil: key did not exist
+	After  []byte // nil: key removed
+}
+
+// Size returns the record's on-disk footprint in bytes.
+func (r *Record) Size() int64 {
+	return int64(32 + len(r.Key) + len(r.Before) + len(r.After))
+}
+
+// Device is where flushed log bytes go: the local log disk, or a helper
+// node reached over the network when log shipping is active.
+type Device interface {
+	Append(p *sim.Proc, bytes int64)
+}
+
+// DiskDevice appends to a local disk.
+type DiskDevice struct{ Disk *hw.Disk }
+
+// Append writes bytes to the local log disk.
+func (d DiskDevice) Append(p *sim.Proc, bytes int64) { d.Disk.AppendLog(p, bytes) }
+
+// ShippedDevice sends log bytes to a helper node's disk over the network,
+// relieving the local storage subsystem during rebalancing.
+type ShippedDevice struct {
+	Net      *hw.Network
+	From, To int
+	Disk     *hw.Disk // the helper's log disk
+}
+
+// Append ships bytes to the helper and appends there.
+func (d ShippedDevice) Append(p *sim.Proc, bytes int64) {
+	d.Net.Transfer(p, d.From, d.To, bytes)
+	d.Disk.AppendLog(p, bytes)
+}
+
+// Log is one node's write-ahead log.
+type Log struct {
+	env     *sim.Env
+	device  Device
+	records []Record
+	nextLSN uint64
+
+	flushedLSN   uint64
+	pendingBytes int64
+	flushing     bool
+	flushedSig   *sim.Signal
+
+	// Stats.
+	Flushes      int64
+	BytesFlushed int64
+}
+
+// NewLog creates a log writing to device.
+func NewLog(env *sim.Env, device Device) *Log {
+	return &Log{env: env, device: device, nextLSN: 1, flushedSig: sim.NewSignal(env)}
+}
+
+// SetDevice swaps the log device (e.g. to start or stop log shipping). The
+// caller should Flush first so no pending bytes straddle devices.
+func (l *Log) SetDevice(d Device) { l.device = d }
+
+// Append adds rec to the log tail and returns its LSN. The record is not
+// durable until a Flush covers it.
+func (l *Log) Append(rec Record) uint64 {
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.records = append(l.records, rec)
+	l.pendingBytes += rec.Size()
+	return rec.LSN
+}
+
+// FlushedLSN returns the highest durable LSN.
+func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
+
+// TailLSN returns the LSN the next Append will get.
+func (l *Log) TailLSN() uint64 { return l.nextLSN }
+
+// Flush makes all records with LSN <= upTo durable. Concurrent callers are
+// group-committed: whoever finds the flusher busy waits for its batch and
+// re-checks, so one device write covers many commits.
+func (l *Log) Flush(p *sim.Proc, upTo uint64) {
+	if upTo >= l.nextLSN {
+		upTo = l.nextLSN - 1
+	}
+	for l.flushedLSN < upTo {
+		if l.flushing {
+			stop := p.Meter(sim.CatLogging)
+			l.flushedSig.Wait(p)
+			stop()
+			continue
+		}
+		l.flushing = true
+		target := l.nextLSN - 1
+		bytes := l.pendingBytes
+		l.pendingBytes = 0
+		l.device.Append(p, bytes) // metered as CatLogging by the device
+		l.flushing = false
+		l.flushedLSN = target
+		l.Flushes++
+		l.BytesFlushed += bytes
+		l.flushedSig.Fire()
+	}
+}
+
+// Records returns the retained log records (recovery input). The slice is
+// owned by the log.
+func (l *Log) Records() []Record { return l.records }
+
+// Checkpoint appends a checkpoint record and flushes through it. It returns
+// the checkpoint LSN.
+func (l *Log) Checkpoint(p *sim.Proc) uint64 {
+	lsn := l.Append(Record{Type: RecCheckpoint})
+	l.Flush(p, lsn)
+	return lsn
+}
+
+// TruncateBefore discards records with LSN < lsn (after a checkpoint made
+// them obsolete, e.g. when a moved segment's history is no longer needed).
+func (l *Log) TruncateBefore(lsn uint64) {
+	cut := 0
+	for cut < len(l.records) && l.records[cut].LSN < lsn {
+		cut++
+	}
+	l.records = l.records[cut:]
+}
+
+// RetainedBytes returns the size of retained log records (storage metric).
+func (l *Log) RetainedBytes() int64 {
+	var total int64
+	for i := range l.records {
+		total += l.records[i].Size()
+	}
+	return total
+}
+
+// Target is the recovery interface to a partition: raw Put/Delete of
+// encoded tree values, bypassing concurrency control.
+type Target interface {
+	RecoveryPut(p *sim.Proc, key, val []byte) error
+	RecoveryDelete(p *sim.Proc, key []byte) error
+}
+
+// Recover replays the log against targets (keyed by partition ID): redo all
+// operations of committed transactions in LSN order, then undo losers in
+// reverse order using before images. Both passes are idempotent, matching
+// the paper's requirement that "the log file is needed to reconstruct
+// partitions and to perform appropriate UNDO and REDO operations".
+func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone int, err error) {
+	committed := make(map[cc.TxnID]bool)
+	aborted := make(map[cc.TxnID]bool)
+	for i := range recs {
+		switch recs[i].Type {
+		case RecCommit:
+			committed[recs[i].Txn] = true
+		case RecAbort:
+			aborted[recs[i].Txn] = true
+		}
+	}
+	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
+
+	// Redo winners forward.
+	for i := range recs {
+		r := &recs[i]
+		if !isDML(r.Type) || !committed[r.Txn] {
+			continue
+		}
+		tgt, ok := targets[r.Part]
+		if !ok {
+			return redone, undone, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+		}
+		if r.After != nil {
+			err = tgt.RecoveryPut(p, r.Key, r.After)
+		} else {
+			err = tgt.RecoveryDelete(p, r.Key)
+		}
+		if err != nil {
+			return redone, undone, err
+		}
+		redone++
+	}
+	// Undo losers backward (anything neither committed nor already
+	// compensated by an abort record's processing).
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := &recs[i]
+		if !isDML(r.Type) || committed[r.Txn] {
+			continue
+		}
+		tgt, ok := targets[r.Part]
+		if !ok {
+			return redone, undone, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+		}
+		if r.Before != nil {
+			err = tgt.RecoveryPut(p, r.Key, r.Before)
+		} else {
+			err = tgt.RecoveryDelete(p, r.Key)
+		}
+		if err != nil {
+			return redone, undone, err
+		}
+		undone++
+	}
+	_ = aborted
+	return redone, undone, nil
+}

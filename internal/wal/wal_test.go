@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"wattdb/internal/btree"
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+// countingDevice records appends without timing.
+type countingDevice struct {
+	appends int
+	bytes   int64
+	delay   time.Duration
+}
+
+func (d *countingDevice) Append(p *sim.Proc, bytes int64) {
+	if d.delay > 0 {
+		p.Sleep(d.delay)
+	}
+	d.appends++
+	d.bytes += bytes
+}
+
+func TestAppendAssignsLSNs(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	l1 := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a")})
+	l2 := l.Append(Record{Type: RecCommit, Txn: 1})
+	if l1 != 1 || l2 != 2 {
+		t.Fatalf("lsns = %d, %d", l1, l2)
+	}
+	if l.FlushedLSN() != 0 {
+		t.Fatal("nothing should be durable yet")
+	}
+}
+
+func TestFlushMakesDurable(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	dev := &countingDevice{}
+	l := NewLog(env, dev)
+	lsn := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("k"), After: []byte("v")})
+	env.Spawn("committer", func(p *sim.Proc) {
+		l.Flush(p, lsn)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() != lsn {
+		t.Fatalf("flushed = %d, want %d", l.FlushedLSN(), lsn)
+	}
+	if dev.appends != 1 || dev.bytes == 0 {
+		t.Fatalf("device: %d appends, %d bytes", dev.appends, dev.bytes)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	dev := &countingDevice{delay: 10 * time.Millisecond}
+	l := NewLog(env, dev)
+	const n = 20
+	done := 0
+	for i := 0; i < n; i++ {
+		i := i
+		env.Spawn("txn", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond)
+			lsn := l.Append(Record{Type: RecCommit, Txn: cc.TxnID(i)})
+			l.Flush(p, lsn)
+			done++
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("done = %d", done)
+	}
+	// All 20 commits arrive within 20µs; the first flush takes 10ms, so
+	// the rest must batch into (at most) one more device write.
+	if dev.appends > 2 {
+		t.Fatalf("appends = %d, want <= 2 (group commit)", dev.appends)
+	}
+}
+
+func TestCheckpointAndTruncate(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a"), After: []byte("1")})
+	l.Append(Record{Type: RecCommit, Txn: 1})
+	var ck uint64
+	env.Spawn("ck", func(p *sim.Proc) { ck = l.Checkpoint(p) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() != ck {
+		t.Fatal("checkpoint did not flush")
+	}
+	before := l.RetainedBytes()
+	l.TruncateBefore(ck)
+	if l.RetainedBytes() >= before {
+		t.Fatal("truncate kept old records")
+	}
+	if len(l.Records()) != 1 || l.Records()[0].Type != RecCheckpoint {
+		t.Fatalf("records after truncate: %d", len(l.Records()))
+	}
+}
+
+func TestShippedDeviceUsesNetworkAndHelperDisk(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	net.AddNode(1)
+	net.AddNode(2)
+	helper := hw.NewDisk(env, hw.HDD, cal)
+	dev := ShippedDevice{Net: net, From: 1, To: 2, Disk: helper}
+	l := NewLog(env, dev)
+	lsn := l.Append(Record{Type: RecCommit, Txn: 1})
+	var took time.Duration
+	env.Spawn("c", func(p *sim.Proc) {
+		start := p.Now()
+		l.Flush(p, lsn)
+		took = p.Now() - start
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took < cal.NetLatency {
+		t.Fatalf("shipped flush took %v, want >= net latency %v", took, cal.NetLatency)
+	}
+	if _, w := helper.Ops(); w != 1 {
+		t.Fatalf("helper disk writes = %d", w)
+	}
+	if net.BytesSent(1) == 0 {
+		t.Fatal("no bytes shipped")
+	}
+}
+
+// treeTarget adapts a B*-tree to the recovery Target interface.
+type treeTarget struct{ tr *btree.Tree }
+
+func (tt treeTarget) RecoveryPut(p *sim.Proc, key, val []byte) error {
+	_, err := tt.tr.Put(p, key, val, 0)
+	return err
+}
+
+func (tt treeTarget) RecoveryDelete(p *sim.Proc, key []byte) error {
+	_, err := tt.tr.Delete(p, key, 0)
+	return err
+}
+
+func TestRecoveryRedoesWinnersUndoesLosers(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, 64)
+	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
+
+	k := func(i int64) []byte { return keycodec.Int64Key(i) }
+	recs := []Record{
+		// txn 1 commits: insert k1=one, update k2 old->two.
+		{Type: RecInsert, Txn: 1, Part: 9, Key: k(1), After: []byte("one")},
+		{Type: RecUpdate, Txn: 1, Part: 9, Key: k(2), Before: []byte("old"), After: []byte("two")},
+		{Type: RecCommit, Txn: 1},
+		// txn 2 never commits: its insert must be undone, its delete of
+		// k2 restored.
+		{Type: RecInsert, Txn: 2, Part: 9, Key: k(3), After: []byte("ghost")},
+		{Type: RecDelete, Txn: 2, Part: 9, Key: k(2), Before: []byte("two")},
+	}
+	env.Spawn("recover", func(p *sim.Proc) {
+		// Simulate a partially applied crash state: txn 2's effects hit
+		// the "disk" image.
+		tr.Put(p, k(2), []byte("old"), 0)
+		tr.Put(p, k(3), []byte("ghost"), 0)
+
+		redone, undone, err := Recover(p, recs, map[uint64]Target{9: treeTarget{tr}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if redone != 2 || undone != 2 {
+			t.Errorf("redone=%d undone=%d, want 2,2", redone, undone)
+		}
+		if v, ok, _ := tr.Get(p, k(1)); !ok || string(v) != "one" {
+			t.Errorf("k1 = %q, %v", v, ok)
+		}
+		if v, ok, _ := tr.Get(p, k(2)); !ok || string(v) != "two" {
+			t.Errorf("k2 = %q, %v (loser delete must be rolled back)", v, ok)
+		}
+		if _, ok, _ := tr.Get(p, k(3)); ok {
+			t.Error("loser insert survived recovery")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryIsIdempotent(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, 64)
+	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
+	k := keycodec.Int64Key(7)
+	recs := []Record{
+		{Type: RecInsert, Txn: 1, Part: 1, Key: k, After: []byte("v")},
+		{Type: RecCommit, Txn: 1},
+	}
+	env.Spawn("recover-twice", func(p *sim.Proc) {
+		targets := map[uint64]Target{1: treeTarget{tr}}
+		if _, _, err := Recover(p, recs, targets); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := Recover(p, recs, targets); err != nil {
+			t.Error(err)
+		}
+		if n, _ := tr.Count(p); n != 1 {
+			t.Errorf("count = %d after double recovery", n)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryUnknownPartitionFails(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	recs := []Record{
+		{Type: RecInsert, Txn: 1, Part: 42, Key: []byte("k"), After: []byte("v")},
+		{Type: RecCommit, Txn: 1},
+	}
+	env.Spawn("recover", func(p *sim.Proc) {
+		if _, _, err := Recover(p, recs, map[uint64]Target{}); err == nil {
+			t.Error("recovery with missing partition should fail")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
