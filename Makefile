@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet bench-quick bench-micro check
+
+all: check
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: run the full unit-test suite (tier-1 verification, part 1)
+test:
+	$(GO) test ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## check: tier-1 verification in one command
+check: build vet test
+
+## bench-quick: regenerate every paper figure once at CI scale
+bench-quick:
+	$(GO) test -bench=BenchmarkFig -benchtime=1x -run '^$$' .
+
+## bench-micro: hot-path micro-benchmarks with allocation counts
+bench-micro:
+	$(GO) test -bench='BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkTableScanBatch' -benchmem -run '^$$' .

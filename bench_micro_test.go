@@ -1,0 +1,225 @@
+package wattdb_test
+
+import (
+	"testing"
+	"time"
+
+	"wattdb/internal/btree"
+	"wattdb/internal/buffer"
+	"wattdb/internal/cc"
+	"wattdb/internal/exec"
+	"wattdb/internal/hw"
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// Micro-benchmarks for the hot paths underneath every figure benchmark:
+// kernel wakeups, buffer-pool hits, batched cursor scans, and the full
+// TableScan operator stack. Run with -benchmem: the pool-hit and cursor
+// benchmarks must report 0 allocs/op (regression-guarded by
+// TestPinHitZeroAlloc and TestCursorNextBatchZeroAlloc in their packages).
+
+// BenchmarkSimWakeup measures one timer wakeup round-trip through the
+// kernel: schedule a typed resume event, park, dispatch, hand control back.
+func BenchmarkSimWakeup(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	env.Spawn("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	st := env.Stats()
+	b.ReportMetric(float64(st.Wakeups)/float64(b.N), "wakeups/op")
+}
+
+// benchBackend serves reads/writes from in-memory segments with no
+// simulated latency.
+type benchBackend struct {
+	segs map[storage.SegID]*storage.Segment
+}
+
+func (m *benchBackend) ReadPage(p *sim.Proc, id storage.PageID, dst []byte) error {
+	copy(dst, m.segs[id.Seg].Page(id.Page))
+	return nil
+}
+
+func (m *benchBackend) WritePage(p *sim.Proc, id storage.PageID, src []byte) error {
+	copy(m.segs[id.Seg].Page(id.Page), src)
+	return nil
+}
+
+// BenchmarkPoolPinHit measures Pin/Unpin of a resident idle frame — the
+// buffer pool's hit path, which must be allocation-free.
+func BenchmarkPoolPinHit(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 4096, 8)
+	no, _ := seg.AllocPage()
+	be := &benchBackend{segs: map[storage.SegID]*storage.Segment{1: seg}}
+	pool := buffer.NewPool(env, be, 4096, 8)
+	env.Spawn("bench", func(p *sim.Proc) {
+		id := storage.PageID{Seg: 1, Page: no}
+		f, err := pool.Pin(p, id)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		pool.Unpin(f, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := pool.Pin(p, id)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			pool.Unpin(g, false)
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCursorScan measures a full key-order scan of a 10k-record tree
+// via the batched cursor API (ns/op is per record).
+func BenchmarkCursorScan(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 4096, 4096)
+	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
+	const records = 10000
+	env.Spawn("bench", func(p *sim.Proc) {
+		for i := int64(0); i < records; i++ {
+			if _, err := tr.Put(p, keycodec.Int64Key(i), []byte("0123456789abcdef"), 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		c, err := tr.Seek(p, nil)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		out := make([]btree.KV, 64)
+		b.ResetTimer()
+		scanned := 0
+		for scanned < b.N {
+			if err := c.SeekTo(p, nil); err != nil {
+				b.Error(err)
+				return
+			}
+			for {
+				m, err := c.NextBatch(p, out)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if m == 0 {
+					break
+				}
+				scanned += m
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type benchFactory struct {
+	nextID   storage.SegID
+	pageSize int
+	segPages int
+}
+
+func (f *benchFactory) NewSegment(*sim.Proc) (*storage.Segment, error) {
+	f.nextID++
+	return storage.NewSegment(f.nextID, f.pageSize, f.segPages), nil
+}
+func (f *benchFactory) Pager(seg *storage.Segment) btree.Pager { return btree.MemPager{Seg: seg} }
+func (f *benchFactory) DropSegment(*sim.Proc, storage.SegID)   {}
+
+type benchNullDevice struct{}
+
+func (benchNullDevice) Append(*sim.Proc, int64) {}
+
+// BenchmarkTableScanBatch measures the full operator stack — TableScan over
+// partition, MVCC visibility, batched B*-tree cursor — draining a 5k-row
+// partition with vector size 64 (ns/op is per drained row).
+func BenchmarkTableScanBatch(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	n1 := hw.NewNode(env, 1, cal, net)
+	n1.ForceActive()
+	oracle := cc.NewOracle()
+	schema := &table.Schema{
+		ID: 1, Name: "t", KeyCols: 1,
+		Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "v", Type: table.ColString}},
+	}
+	deps := table.Deps{
+		Env:         env,
+		Oracle:      oracle,
+		Locks:       cc.NewLockManager(env),
+		Log:         wal.NewLog(env, benchNullDevice{}),
+		Factory:     &benchFactory{pageSize: 4096, segPages: 256},
+		LockTimeout: time.Second,
+		PageSize:    4096,
+		Compute:     n1.Compute,
+		CPUPerOp:    cal.CPUBTreeOp,
+		CPUPerTuple: cal.CPUTupleScan,
+	}
+	part := table.NewPartition(1, schema, table.Physiological, nil, nil, deps)
+	const rows = 5000
+	env.Spawn("load", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		for i := 0; i < rows; i++ {
+			key, _ := schema.Key(table.Row{int64(i), "payload"})
+			payload, _ := schema.EncodeRow(table.Row{int64(i), "payload"})
+			if err := part.Put(p, txn, key, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if err := table.CommitTxn(p, txn, part); err != nil {
+			b.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	env.Spawn("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		drained := 0
+		for drained < b.N {
+			scan := &exec.TableScan{
+				Part:   part,
+				Txn:    oracle.Begin(cc.SnapshotIsolation),
+				Vector: 64,
+			}
+			n, err := exec.Drain(p, scan)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if n != rows {
+				b.Errorf("drained %d rows, want %d", n, rows)
+				return
+			}
+			drained += n
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+

@@ -1,0 +1,3 @@
+module wattdb
+
+go 1.24

@@ -50,6 +50,9 @@ type Tree struct {
 	// writers interleaving mid-descent would corrupt the tree. Readers
 	// never block on it; Get retries on concurrent structural changes.
 	writers *sim.Resource
+	// curFree recycles scan cursors (with their stack/scratch/batch
+	// buffers) so repeated scans allocate nothing.
+	curFree *Cursor
 }
 
 // Serialize enables writer mutual exclusion for trees whose pager can block

@@ -12,18 +12,34 @@ import (
 // Next calls; if the tree changes structurally underneath it (another
 // transaction splits or frees a page at a blocking point), the cursor
 // re-seeks its last key transparently.
+//
+// A cursor's stack, key/value scratch, and batch buffers are all reusable:
+// re-Seeking an existing cursor (or obtaining one from the tree's internal
+// free list via Scan) iterates without per-record allocation.
 type Cursor struct {
-	t     *Tree
-	stack []cursorLevel
-	gen   uint64
-	key   []byte
-	val   []byte
-	valid bool
+	t       *Tree
+	stack   []cursorLevel
+	gen     uint64
+	key     []byte
+	val     []byte
+	seekBuf []byte
+	valid   bool
+
+	next  *Cursor // tree free-list link
+	batch []KV    // scratch batch for Tree.Scan
 }
 
 type cursorLevel struct {
 	no   storage.PageNo
 	slot int
+}
+
+// KV is one record delivered by Cursor.NextBatch. Key and Val are appended
+// into the entry's existing backing arrays, so a reused batch reaches zero
+// allocations per scan in steady state.
+type KV struct {
+	Key []byte
+	Val []byte
 }
 
 // Seek positions a cursor at the first key >= key. A nil key starts at the
@@ -34,6 +50,29 @@ func (t *Tree) Seek(p *sim.Proc, key []byte) (*Cursor, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// SeekTo repositions an existing cursor at the first key >= key, reusing its
+// scratch buffers.
+func (c *Cursor) SeekTo(p *sim.Proc, key []byte) error { return c.seek(p, key) }
+
+// getCursor pops a cursor from the tree's free list (or makes one). Cursors
+// are returned by putCursor; interleaved scans each pop a distinct cursor,
+// so scans that block mid-flight cannot share scratch state.
+func (t *Tree) getCursor() *Cursor {
+	c := t.curFree
+	if c == nil {
+		return &Cursor{t: t}
+	}
+	t.curFree = c.next
+	c.next = nil
+	c.valid = false
+	return c
+}
+
+func (t *Tree) putCursor(c *Cursor) {
+	c.next = t.curFree
+	t.curFree = c
 }
 
 func (c *Cursor) seek(p *sim.Proc, key []byte) error {
@@ -116,6 +155,20 @@ func (c *Cursor) reseekForward(p *sim.Proc) error {
 	return nil
 }
 
+// anchorLeaf re-locates c.key's slot in leaf page pg. Non-structural
+// mutations (inserts into or deletes from the same leaf by another process)
+// shift slot positions without bumping the tree's gen, so a stored slot can
+// drift; re-searching the page recovers it. It returns the slot of the first
+// key >= c.key, which may be pg.NumSlots() when the leaf's remaining keys
+// are all smaller.
+func (c *Cursor) anchorLeaf(pg storage.Page, leaf *cursorLevel) int {
+	if leaf.slot < pg.NumSlots() && bytes.Equal(cellKey(pg.Cell(leaf.slot)), c.key) {
+		return leaf.slot
+	}
+	slot, _ := search(pg, c.key)
+	return slot
+}
+
 // step moves one slot forward within the current leaf, spilling into the
 // next leaf when exhausted.
 func (c *Cursor) step(p *sim.Proc) error {
@@ -128,7 +181,11 @@ func (c *Cursor) step(p *sim.Proc) error {
 		rel()
 		return c.reseekForward(p)
 	}
-	leaf.slot++
+	slot := c.anchorLeaf(pg, leaf)
+	if slot < pg.NumSlots() && bytes.Equal(cellKey(pg.Cell(slot)), c.key) {
+		slot++ // still present: deliver its successor
+	}
+	leaf.slot = slot
 	if leaf.slot < pg.NumSlots() {
 		c.load(pg, leaf.slot)
 		rel()
@@ -187,26 +244,127 @@ func (c *Cursor) advance(p *sim.Proc) error {
 	return nil
 }
 
+// NextBatch copies up to len(out) records, starting at the cursor's current
+// position, into out — reusing each entry's Key/Val backing arrays — and
+// advances the cursor past them. An entire leaf is consumed under a single
+// page fetch, which is what lets table scans amortise per-record pager
+// costs. It returns the number of records delivered; 0 means the cursor is
+// exhausted. After a short (n < len(out)) return the cursor may still be
+// valid (e.g. after a concurrent structural change); callers should loop
+// until n == 0.
+func (c *Cursor) NextBatch(p *sim.Proc, out []KV) (int, error) {
+	return c.nextBatch(p, out, nil)
+}
+
+// nextBatch is NextBatch with an optional exclusive upper bound: delivery
+// stops before the first key >= hi and the cursor stays positioned on it,
+// so bounded scans never fetch pages past their range.
+func (c *Cursor) nextBatch(p *sim.Proc, out []KV, hi []byte) (int, error) {
+	n := 0
+	for n < len(out) && c.valid {
+		if c.gen != c.t.gen {
+			// Stale position stack: re-find the current (undelivered)
+			// record. seek mutates c.key, so go through scratch.
+			c.seekBuf = append(c.seekBuf[:0], c.key...)
+			if err := c.seek(p, c.seekBuf); err != nil {
+				return n, err
+			}
+			continue
+		}
+		if hi != nil && bytes.Compare(c.key, hi) >= 0 {
+			return n, nil
+		}
+		leaf := &c.stack[len(c.stack)-1]
+		pg, rel, err := c.t.pager.Read(p, leaf.no)
+		if err != nil {
+			return n, err
+		}
+		if c.gen != c.t.gen { // page fetch yielded and the tree changed
+			rel()
+			continue
+		}
+		// Re-anchor against intra-leaf slot drift, then reload the current
+		// record: it may have been deleted, in which case its successor
+		// (possibly on a later leaf) is the next record to deliver.
+		leaf.slot = c.anchorLeaf(pg, leaf)
+		if leaf.slot >= pg.NumSlots() {
+			rel()
+			if err := c.advance(p); err != nil {
+				return n, err
+			}
+			continue
+		}
+		c.load(pg, leaf.slot)
+		if hi != nil && bytes.Compare(c.key, hi) >= 0 {
+			rel()
+			return n, nil
+		}
+		// Deliver the current record, then as many successors as fit,
+		// all under this one page fetch.
+		for {
+			out[n].Key = append(out[n].Key[:0], c.key...)
+			out[n].Val = append(out[n].Val[:0], c.val...)
+			n++
+			if leaf.slot+1 >= pg.NumSlots() {
+				rel()
+				if err := c.advance(p); err != nil {
+					return n, err
+				}
+				break
+			}
+			leaf.slot++
+			c.load(pg, leaf.slot)
+			if n == len(out) || (hi != nil && bytes.Compare(c.key, hi) >= 0) {
+				// The just-loaded record is the cursor's new position.
+				rel()
+				return n, nil
+			}
+		}
+	}
+	return n, nil
+}
+
+// scanBatchSize is the steady-state leaf-at-a-time delivery unit for
+// Tree.Scan. Typical leaves hold a few dozen cells, so one full batch
+// usually covers a whole leaf.
+const scanBatchSize = 64
+
 // Scan iterates keys in [lo, hi) (nil bounds are open) and calls fn for each
 // record; fn returning false stops the scan. Key and value slices passed to
-// fn are only valid during the call.
+// fn are only valid during the call. Records are fetched via NextBatch with
+// a pooled cursor, so steady-state scans allocate nothing. The batch ramps
+// 1 → 8 → 64 so a consumer that stops after the first record (classic
+// single-record volcano plans) pays no prefetch cost, while long scans
+// quickly reach whole-leaf fetches.
 func (t *Tree) Scan(p *sim.Proc, lo, hi []byte, fn func(key, val []byte) bool) error {
-	c, err := t.Seek(p, lo)
-	if err != nil {
+	c := t.getCursor()
+	defer t.putCursor(c)
+	if err := c.seek(p, lo); err != nil {
 		return err
 	}
-	for c.Valid() {
-		if hi != nil && bytes.Compare(c.Key(), hi) >= 0 {
-			return nil
+	if c.batch == nil {
+		c.batch = make([]KV, scanBatchSize)
+	}
+	size := 1
+	for {
+		n, err := c.nextBatch(p, c.batch[:size], hi)
+		for i := 0; i < n; i++ {
+			if !fn(c.batch[i].Key, c.batch[i].Val) {
+				// The consumer stopped; errors from prefetching past its
+				// stop point are not its concern.
+				return nil
+			}
 		}
-		if !fn(c.Key(), c.Value()) {
-			return nil
-		}
-		if err := c.Next(p); err != nil {
+		if err != nil || n == 0 {
 			return err
 		}
+		if size < scanBatchSize {
+			size *= 8
+			if size > scanBatchSize {
+				size = scanBatchSize
+			}
+		}
 	}
-	return nil
 }
 
 // Count returns the number of records in the tree.

@@ -1,0 +1,187 @@
+package btree
+
+import (
+	"bytes"
+	"testing"
+
+	"wattdb/internal/keycodec"
+	"wattdb/internal/sim"
+	"wattdb/internal/storage"
+)
+
+func TestNextBatchMatchesScan(t *testing.T) {
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, seg *storage.Segment) {
+		const n = 500
+		for i := int64(0); i < n; i++ {
+			if _, err := tr.Put(p, ik(i), val(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, batchSize := range []int{1, 3, 7, 64, 1000} {
+			c, err := tr.Seek(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]KV, batchSize)
+			var got int64
+			for {
+				m, err := c.NextBatch(p, out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m == 0 {
+					break
+				}
+				for i := 0; i < m; i++ {
+					if !bytes.Equal(out[i].Key, ik(got)) || !bytes.Equal(out[i].Val, val(got)) {
+						t.Fatalf("batch %d: record %d = %x/%q", batchSize, got, out[i].Key, out[i].Val)
+					}
+					got++
+				}
+			}
+			if got != n {
+				t.Fatalf("batch %d: delivered %d records, want %d", batchSize, got, n)
+			}
+		}
+	})
+}
+
+func TestNextBatchFromSeekPosition(t *testing.T) {
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, seg *storage.Segment) {
+		for i := int64(0); i < 200; i++ {
+			if _, err := tr.Put(p, ik(i), val(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := tr.Seek(p, ik(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]KV, 16)
+		m, err := c.NextBatch(p, out)
+		if err != nil || m != 16 {
+			t.Fatalf("m=%d err=%v", m, err)
+		}
+		for i := 0; i < m; i++ {
+			if !bytes.Equal(out[i].Key, ik(150+int64(i))) {
+				t.Fatalf("record %d = %x", i, out[i].Key)
+			}
+		}
+		// The cursor must be positioned on the record after the batch.
+		if !c.Valid() || !bytes.Equal(c.Key(), ik(166)) {
+			t.Fatalf("cursor at %x valid=%v, want 166", c.Key(), c.Valid())
+		}
+	})
+}
+
+func TestNextBatchSurvivesConcurrentSplit(t *testing.T) {
+	// Mirror of TestCursorSurvivesConcurrentSplit for the batched path: a
+	// writer splits pages between batch fetches; every pre-existing even key
+	// must still be delivered exactly once.
+	env := sim.NewEnv(7)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, 800)
+	tr := New(MemPager{seg}, 0, nil)
+	const n = 300
+	env.Spawn("setup", func(p *sim.Proc) {
+		for i := int64(0); i < n; i++ {
+			if _, err := tr.Put(p, ik(i*2), val(i*2), 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var seen []int64
+	env.Spawn("scanner", func(p *sim.Proc) {
+		c, err := tr.Seek(p, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]KV, 8)
+		for {
+			m, err := c.NextBatch(p, out)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m == 0 {
+				return
+			}
+			for i := 0; i < m; i++ {
+				k, _, err := keycodec.DecodeInt64(out[i].Key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen = append(seen, k)
+			}
+			p.Yield() // let the writer interleave between batches
+		}
+	})
+	env.Spawn("writer", func(p *sim.Proc) {
+		for i := int64(0); i < n; i++ {
+			if _, err := tr.Put(p, ik(i*2+1), val(i*2+1), 0); err != nil {
+				t.Error(err)
+			}
+			p.Yield()
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var evens []int64
+	for _, k := range seen {
+		if k%2 == 0 {
+			evens = append(evens, k)
+		}
+	}
+	if len(evens) != n {
+		t.Fatalf("saw %d even keys, want %d", len(evens), n)
+	}
+	for i, k := range evens {
+		if k != int64(i*2) {
+			t.Fatalf("even key %d = %d, want %d", i, k, i*2)
+		}
+	}
+}
+
+func TestCursorNextBatchZeroAlloc(t *testing.T) {
+	testTree(t, 400, func(p *sim.Proc, tr *Tree, seg *storage.Segment) {
+		for i := int64(0); i < 500; i++ {
+			if _, err := tr.Put(p, ik(i), val(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := tr.Seek(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]KV, 32)
+		// Warm the KV backing arrays and the cursor scratch.
+		if _, err := c.NextBatch(p, out); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := c.SeekTo(p, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				m, err := c.NextBatch(p, out)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m == 0 {
+					return
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("warm cursor NextBatch scan allocates %v objects/run, want 0", allocs)
+		}
+	})
+}

@@ -25,13 +25,14 @@ type SegPager struct {
 
 var _ btree.Pager = SegPager{}
 
-// Read pins the page for reading.
+// Read pins the page for reading. The release closure is cached on the
+// frame, so a buffer hit performs no allocation.
 func (sp SegPager) Read(p *sim.Proc, no storage.PageNo) (storage.Page, btree.Release, error) {
 	f, err := sp.Pool.Pin(p, storage.PageID{Seg: sp.Seg, Page: no})
 	if err != nil {
 		return nil, nil, err
 	}
-	return f.Data, func() { sp.Pool.Unpin(f, false) }, nil
+	return f.Data, f.Release(), nil
 }
 
 // Write pins the page for modification.
@@ -40,7 +41,7 @@ func (sp SegPager) Write(p *sim.Proc, no storage.PageNo) (storage.Page, btree.Re
 	if err != nil {
 		return nil, nil, err
 	}
-	return f.Data, func() { sp.Pool.Unpin(f, true) }, nil
+	return f.Data, f.ReleaseMod(), nil
 }
 
 // Alloc allocates a durable page and pins a zeroed frame for it.
@@ -53,7 +54,7 @@ func (sp SegPager) Alloc(p *sim.Proc) (storage.PageNo, storage.Page, btree.Relea
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	return no, f.Data, func() { sp.Pool.Unpin(f, true) }, nil
+	return no, f.Data, f.ReleaseMod(), nil
 }
 
 // Free drops any buffered frame and releases the durable page.

@@ -29,7 +29,9 @@ const (
 	frameFlushing
 )
 
-// Frame is one buffered page.
+// Frame is one buffered page. Frames (and their page buffers) are recycled
+// through the pool's free list: eviction pushes the frame there, the next
+// miss pops it, so a steady-state miss allocates nothing.
 type Frame struct {
 	ID    storage.PageID
 	Data  storage.Page
@@ -39,6 +41,19 @@ type Frame struct {
 	cond  *sim.Signal
 	ref   bool // clock reference bit
 	dead  bool
+
+	// gen increments every time the frame is recycled for a new page, so
+	// holders that block (FlushSegment, FlushAll) can detect that the
+	// *Frame they remembered now buffers someone else's page.
+	gen uint64
+	// clockPos is the frame's slot in the clock ring, -1 when unlinked.
+	clockPos int
+	// release / releaseMod are cached unpin closures handed out by pagers,
+	// so a buffer hit costs no closure allocation (see SegPager.Read).
+	release    func()
+	releaseMod func()
+	nextFree   *Frame
+	pool       *Pool
 }
 
 // Dirty reports whether the frame has unflushed modifications.
@@ -49,6 +64,9 @@ type Stats struct {
 	Hits, Misses, Evictions, Flushes int64
 	LatchWaits                       int64
 	RemoteHits                       int64
+	// FrameAllocs counts frames newly allocated; FrameReuses counts frames
+	// (and their page buffers) served from the free list.
+	FrameAllocs, FrameReuses int64
 }
 
 // Pool is a single node's buffer pool.
@@ -58,8 +76,10 @@ type Pool struct {
 	pageSize int
 	capacity int
 	frames   map[storage.PageID]*Frame
-	clock    []*Frame
+	clock    []*Frame // ring with nil holes left by dropped frames
 	hand     int
+	holes    int
+	free     *Frame // recycled frames, linked by nextFree
 	stats    Stats
 
 	// walFlush, when set, is invoked before a dirty frame is written back
@@ -96,6 +116,44 @@ func (bp *Pool) Stats() Stats { return bp.stats }
 // InUse returns the number of resident frames.
 func (bp *Pool) InUse() int { return len(bp.frames) }
 
+// getFrame returns a frame for id, zeroed and linked into the frame map and
+// clock ring — from the free list when possible, freshly allocated otherwise.
+func (bp *Pool) getFrame(id storage.PageID) *Frame {
+	f := bp.free
+	if f != nil {
+		bp.free = f.nextFree
+		f.nextFree = nil
+		f.ID = id
+		f.pins = 0
+		f.dirty = false
+		f.state = frameIdle
+		f.ref = false
+		f.dead = false
+		f.gen++
+		clear(f.Data)
+		bp.stats.FrameReuses++
+	} else {
+		f = &Frame{
+			ID:   id,
+			Data: make([]byte, bp.pageSize),
+			cond: sim.NewSignal(bp.env),
+			pool: bp,
+		}
+		f.release = func() { f.pool.Unpin(f, false) }
+		f.releaseMod = func() { f.pool.Unpin(f, true) }
+		bp.stats.FrameAllocs++
+	}
+	bp.frames[id] = f
+	f.clockPos = len(bp.clock)
+	bp.clock = append(bp.clock, f)
+	return f
+}
+
+// Release returns the cached unpin-clean closure for the frame (no per-pin
+// closure allocation). ReleaseMod is the unpin-dirty variant.
+func (f *Frame) Release() func()    { return f.release }
+func (f *Frame) ReleaseMod() func() { return f.releaseMod }
+
 // Pin fetches page id into the pool and pins it. New pages (not yet durable)
 // are pinned with pinNew instead.
 func (bp *Pool) Pin(p *sim.Proc, id storage.PageID) (*Frame, error) {
@@ -117,19 +175,13 @@ func (bp *Pool) Pin(p *sim.Proc, id storage.PageID) (*Frame, error) {
 		f.cond.Wait(p)
 		stop()
 	}
-	f := &Frame{
-		ID:    id,
-		Data:  make([]byte, bp.pageSize),
-		pins:  1,
-		state: frameLoading,
-		cond:  sim.NewSignal(bp.env),
-		ref:   true,
-	}
-	bp.frames[id] = f
-	bp.clock = append(bp.clock, f)
+	f := bp.getFrame(id)
+	f.pins = 1
+	f.state = frameLoading
+	f.ref = true
 	if err := bp.makeRoom(p); err != nil {
-		f.dead = true
-		delete(bp.frames, id)
+		f.pins--
+		bp.drop(f)
 		f.cond.Fire()
 		return nil, err
 	}
@@ -156,20 +208,17 @@ func (bp *Pool) PinNew(p *sim.Proc, id storage.PageID) (*Frame, error) {
 	if _, ok := bp.frames[id]; ok {
 		return nil, fmt.Errorf("buffer: PinNew of resident page %v", id)
 	}
-	f := &Frame{
-		ID:    id,
-		Data:  make([]byte, bp.pageSize),
-		pins:  1,
-		dirty: true,
-		state: frameIdle,
-		cond:  sim.NewSignal(bp.env),
-		ref:   true,
-	}
-	bp.frames[id] = f
-	bp.clock = append(bp.clock, f)
+	f := bp.getFrame(id)
+	f.pins = 1
+	f.dirty = true
+	f.ref = true
 	if err := bp.makeRoom(p); err != nil {
+		// Decrement rather than zero: a concurrent Pin may have taken a
+		// hit on this idle frame while makeRoom blocked; drop leaves such
+		// a still-pinned frame out of the free list.
 		f.pins--
 		bp.drop(f)
+		f.cond.Fire()
 		return nil, err
 	}
 	return f, nil
@@ -229,7 +278,7 @@ func (bp *Pool) pickVictim() *Frame {
 		}
 		f := bp.clock[bp.hand%n]
 		bp.hand++
-		if f.dead || f.pins > 0 || f.state != frameIdle {
+		if f == nil || f.pins > 0 || f.state != frameIdle {
 			continue
 		}
 		if f.ref {
@@ -241,17 +290,21 @@ func (bp *Pool) pickVictim() *Frame {
 	return nil
 }
 
+// compactClock squeezes the holes left by dropped frames out of the ring
+// once they outnumber the live entries.
 func (bp *Pool) compactClock() {
-	if len(bp.clock) < 2*bp.capacity {
+	if bp.holes <= len(bp.clock)/2 || bp.holes == 0 {
 		return
 	}
 	live := bp.clock[:0]
 	for _, f := range bp.clock {
-		if !f.dead {
+		if f != nil {
+			f.clockPos = len(live)
 			live = append(live, f)
 		}
 	}
 	bp.clock = live
+	bp.holes = 0
 	bp.hand = 0
 }
 
@@ -282,27 +335,55 @@ func (bp *Pool) evict(p *sim.Proc, f *Frame) error {
 	return nil
 }
 
+// drop removes f from the frame map and clock ring and recycles it. The
+// frame's Signal stays valid, so latch waiters woken by a subsequent Fire
+// simply re-check the frame map. A frame that still carries pins (a
+// concurrent process pinned it before this drop, e.g. during PinNew's
+// makeRoom) is unlinked but NOT recycled: the holder's later Unpin on the
+// dead frame is harmless, whereas reusing the frame would corrupt another
+// page's pin count.
 func (bp *Pool) drop(f *Frame) {
 	f.dead = true
 	delete(bp.frames, f.ID)
+	if f.clockPos >= 0 {
+		bp.clock[f.clockPos] = nil
+		bp.holes++
+		f.clockPos = -1
+	}
+	if f.pins == 0 {
+		f.nextFree = bp.free
+		bp.free = f
+	}
 }
 
 // FlushSegment writes back every dirty frame of seg and drops all of the
 // segment's frames from the pool. Called before a segment is shipped so the
 // durable bytes are complete ("flushed to disk", Sect. 4.3 Logging).
+type flushTarget struct {
+	f   *Frame
+	gen uint64
+}
+
 func (bp *Pool) FlushSegment(p *sim.Proc, seg storage.SegID) error {
-	var targets []*Frame
+	var targets []flushTarget
 	for id, f := range bp.frames {
 		if id.Seg == seg {
-			targets = append(targets, f)
+			targets = append(targets, flushTarget{f, f.gen})
 		}
 	}
-	for _, f := range targets {
-		if f.dead {
-			continue
+	for _, t := range targets {
+		f := t.f
+		if f.dead || f.gen != t.gen {
+			continue // evicted (and possibly recycled) while we worked
 		}
 		for f.state != frameIdle {
 			f.cond.Wait(p)
+			if f.dead || f.gen != t.gen {
+				break
+			}
+		}
+		if f.dead || f.gen != t.gen {
+			continue
 		}
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: FlushSegment %d: page %v still pinned", seg, f.ID)
@@ -316,14 +397,15 @@ func (bp *Pool) FlushSegment(p *sim.Proc, seg storage.SegID) error {
 
 // FlushAll writes back every dirty unpinned frame (checkpoint helper).
 func (bp *Pool) FlushAll(p *sim.Proc) error {
-	var targets []*Frame
+	var targets []flushTarget
 	for _, f := range bp.frames {
 		if f.dirty {
-			targets = append(targets, f)
+			targets = append(targets, flushTarget{f, f.gen})
 		}
 	}
-	for _, f := range targets {
-		if f.dead || !f.dirty || f.state != frameIdle || f.pins > 0 {
+	for _, t := range targets {
+		f := t.f
+		if f.dead || f.gen != t.gen || !f.dirty || f.state != frameIdle || f.pins > 0 {
 			continue
 		}
 		f.state = frameFlushing
@@ -344,9 +426,13 @@ func (bp *Pool) FlushAll(p *sim.Proc) error {
 // DropSegment discards all frames of seg without flushing (used after a
 // segment's ownership moved away and old readers drained).
 func (bp *Pool) DropSegment(seg storage.SegID) {
+	var targets []*Frame
 	for id, f := range bp.frames {
 		if id.Seg == seg && f.pins == 0 && f.state == frameIdle {
-			bp.drop(f)
+			targets = append(targets, f)
 		}
+	}
+	for _, f := range targets {
+		bp.drop(f)
 	}
 }

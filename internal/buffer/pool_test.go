@@ -385,3 +385,133 @@ func TestRemoteInvalidationOnDirty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// clockLive counts non-hole entries in the clock ring.
+func clockLive(bp *Pool) int {
+	n := 0
+	for _, f := range bp.clock {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPinFailureUnlinksFrameFromClock(t *testing.T) {
+	be := newMemBackend()
+	be.addSegment(1, 256, 8)
+	runSim(t, func(env *sim.Env, p *sim.Proc) {
+		pool := NewPool(env, be, 256, 8)
+		// Backend read failure: segment 99 does not exist.
+		if _, err := pool.Pin(p, storage.PageID{Seg: 99, Page: 0}); err == nil {
+			t.Fatal("pin of missing segment should fail")
+		}
+		if pool.InUse() != 0 {
+			t.Fatalf("frame map holds %d frames after failed pin", pool.InUse())
+		}
+		if n := clockLive(pool); n != 0 {
+			t.Fatalf("clock ring holds %d frames after failed pin", n)
+		}
+	})
+}
+
+func TestEvictionUnderPinFailureLeavesCleanClock(t *testing.T) {
+	// Regression: a frame whose makeRoom fails (pool exhausted) used to stay
+	// in the clock ring as a dead entry until the hand happened to pass it.
+	be := newMemBackend()
+	be.addSegment(1, 256, 64)
+	var nos []storage.PageNo
+	for i := 0; i < 12; i++ {
+		nos = append(nos, preparePage(t, be, 1, "x"))
+	}
+	runSim(t, func(env *sim.Env, p *sim.Proc) {
+		pool := NewPool(env, be, 256, 8)
+		var held []*Frame
+		for _, no := range nos[:8] {
+			f, err := pool.Pin(p, storage.PageID{Seg: 1, Page: no})
+			if err != nil {
+				t.Fatal(err)
+			}
+			held = append(held, f)
+		}
+		// Every extra pin must fail (all frames pinned) without leaving a
+		// dead frame behind in the map or the ring.
+		for i := 8; i < 11; i++ {
+			if _, err := pool.Pin(p, storage.PageID{Seg: 1, Page: nos[i]}); err == nil {
+				t.Fatal("pin beyond capacity should fail")
+			}
+			if pool.InUse() != 8 {
+				t.Fatalf("frame map holds %d frames, want 8", pool.InUse())
+			}
+			if n := clockLive(pool); n != 8 {
+				t.Fatalf("clock ring holds %d live frames, want 8", n)
+			}
+		}
+		// After releasing a pin the pool must recover.
+		pool.Unpin(held[0], false)
+		f, err := pool.Pin(p, storage.PageID{Seg: 1, Page: nos[11]})
+		if err != nil {
+			t.Fatalf("pin after unpin: %v", err)
+		}
+		pool.Unpin(f, false)
+		for _, g := range held[1:] {
+			pool.Unpin(g, false)
+		}
+	})
+}
+
+func TestEvictedFramesAreRecycled(t *testing.T) {
+	be := newMemBackend()
+	be.addSegment(1, 256, 64)
+	var nos []storage.PageNo
+	for i := 0; i < 40; i++ {
+		nos = append(nos, preparePage(t, be, 1, "x"))
+	}
+	runSim(t, func(env *sim.Env, p *sim.Proc) {
+		pool := NewPool(env, be, 256, 8)
+		for pass := 0; pass < 3; pass++ {
+			for _, no := range nos {
+				f, err := pool.Pin(p, storage.PageID{Seg: 1, Page: no})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool.Unpin(f, false)
+			}
+		}
+		st := pool.Stats()
+		if st.FrameAllocs > 9 {
+			t.Fatalf("allocated %d frames for a capacity-8 pool", st.FrameAllocs)
+		}
+		if st.FrameReuses == 0 {
+			t.Fatal("no frame reuses despite heavy eviction")
+		}
+	})
+}
+
+func TestPinHitZeroAlloc(t *testing.T) {
+	be := newMemBackend()
+	be.addSegment(1, 256, 8)
+	no := preparePage(t, be, 1, "hot")
+	runSim(t, func(env *sim.Env, p *sim.Proc) {
+		pool := NewPool(env, be, 256, 8)
+		id := storage.PageID{Seg: 1, Page: no}
+		f, err := pool.Pin(p, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(f, false)
+		// A buffer hit of a resident idle frame never blocks, so it is safe
+		// to measure inside the simulation process.
+		allocs := testing.AllocsPerRun(100, func() {
+			g, err := pool.Pin(p, id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pool.Unpin(g, false)
+		})
+		if allocs != 0 {
+			t.Fatalf("buffer-hit Pin/Unpin allocates %v objects/op, want 0", allocs)
+		}
+	})
+}

@@ -12,7 +12,6 @@
 package exec
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +25,12 @@ import (
 // Operator is the volcano iterator interface. Next returns a batch of rows
 // (nil = exhausted). Classic single-record operators use batch size 1;
 // vectorised operators return up to their configured vector size.
+//
+// Batch ownership: the []table.Row slice returned by Next is only valid
+// until the following Next or Close call — operators reuse the backing
+// array across calls. The table.Row values inside are immutable and may be
+// retained. An operator that holds batches across Next calls (e.g. the
+// asynchronous Buffer) must copy the slice it keeps.
 type Operator interface {
 	Open(p *sim.Proc) error
 	Next(p *sim.Proc) ([]table.Row, error)
@@ -56,8 +61,11 @@ type TableScan struct {
 	Lo, Hi []byte
 	Vector int
 
-	last []byte
-	done bool
+	last    []byte
+	loBuf   []byte
+	batch   []table.Row
+	started bool
+	done    bool
 }
 
 // Open resets the scan.
@@ -65,21 +73,27 @@ func (s *TableScan) Open(p *sim.Proc) error {
 	if s.Vector <= 0 {
 		s.Vector = 1
 	}
-	s.last, s.done = nil, false
+	s.last, s.started, s.done = s.last[:0], false, false
 	return nil
 }
 
-// Next returns the next batch.
+// Next returns the next batch. The partition scan underneath runs on the
+// B*-tree's batched cursor (leaf-at-a-time fetches); the returned slice is
+// reused across calls per the Operator contract.
 func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
 	if s.done {
 		return nil, nil
 	}
 	lo := s.Lo
-	if s.last != nil {
+	if s.started {
 		// Resume strictly after the last delivered key.
-		lo = append(bytes.Clone(s.last), 0)
+		s.loBuf = append(append(s.loBuf[:0], s.last...), 0)
+		lo = s.loBuf
 	}
-	batch := make([]table.Row, 0, s.Vector)
+	if s.batch == nil {
+		s.batch = make([]table.Row, 0, s.Vector)
+	}
+	s.batch = s.batch[:0]
 	var decodeErr error
 	err := s.Part.Scan(p, s.Txn, lo, s.Hi, func(k, payload []byte) bool {
 		row, err := s.Part.Schema.DecodeRow(payload)
@@ -87,9 +101,10 @@ func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
 			decodeErr = err
 			return false
 		}
-		batch = append(batch, row)
+		s.batch = append(s.batch, row)
 		s.last = append(s.last[:0], k...)
-		return len(batch) < s.Vector
+		s.started = true
+		return len(s.batch) < s.Vector
 	})
 	if err == nil {
 		err = decodeErr
@@ -97,14 +112,14 @@ func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(batch) == 0 {
+	if len(s.batch) == 0 {
 		s.done = true
 		return nil, nil
 	}
-	if len(batch) < s.Vector {
+	if len(s.batch) < s.Vector {
 		s.done = true
 	}
-	return batch, nil
+	return s.batch, nil
 }
 
 // Close releases the scan.
@@ -117,30 +132,36 @@ type Project struct {
 	Node      *hw.Node
 	Cols      []int
 	CPUPerRow time.Duration
+
+	out []table.Row
 }
 
 // Open opens the child.
 func (o *Project) Open(p *sim.Proc) error { return o.Child.Open(p) }
 
-// Next projects the child's next batch.
+// Next projects the child's next batch. The batch header array is reused
+// across calls; the projected rows themselves are carved from one flat
+// allocation per batch, so consumers may retain them (Operator contract).
 func (o *Project) Next(p *sim.Proc) ([]table.Row, error) {
 	batch, err := o.Child.Next(p)
 	if err != nil || batch == nil {
 		return nil, err
 	}
 	o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
-	out := make([]table.Row, len(batch))
-	for i, r := range batch {
-		pr := make(table.Row, len(o.Cols))
+	o.out = o.out[:0]
+	vals := make(table.Row, len(batch)*len(o.Cols))
+	for _, r := range batch {
+		pr := vals[:len(o.Cols):len(o.Cols)]
+		vals = vals[len(o.Cols):]
 		for j, c := range o.Cols {
 			if c < 0 || c >= len(r) {
 				return nil, fmt.Errorf("exec: project column %d out of range", c)
 			}
 			pr[j] = r[c]
 		}
-		out[i] = pr
+		o.out = append(o.out, pr)
 	}
-	return out, nil
+	return o.out, nil
 }
 
 // Close closes the child.

@@ -84,6 +84,12 @@ func (o *Buffer) Open(p *sim.Proc) error {
 			if cancelled {
 				return
 			}
+			if batch != nil {
+				// The child reuses its batch slice across Next calls
+				// (Operator contract), but the queue holds several batches
+				// at once: copy the headers we enqueue.
+				batch = append([]table.Row(nil), batch...)
+			}
 			if !ch.Put(pp, fetchResult{batch, err}) {
 				return // consumer closed early
 			}

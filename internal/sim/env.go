@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -26,7 +25,7 @@ import (
 // from within a running simulation process.
 type Env struct {
 	now     time.Duration
-	events  eventHeap
+	events  []event // binary min-heap ordered by (at, seq)
 	seq     uint64
 	yield   chan struct{}
 	current *Proc
@@ -35,34 +34,95 @@ type Env struct {
 	stopped bool
 	failure error
 
+	stats      Stats
+	waiterFree *waiter
+
 	// Rand is the environment's seeded random source. All stochastic
 	// behaviour in a simulation must draw from it to stay reproducible.
 	Rand *rand.Rand
 }
 
+// Stats is a snapshot of kernel counters, exposed for observability and
+// benchmarking (see Env.Stats).
+type Stats struct {
+	// Events is the total number of events dispatched.
+	Events uint64
+	// Wakeups counts events that resumed a parked process directly
+	// (the allocation-free fast path: timers, grants, signals).
+	Wakeups uint64
+	// Callbacks counts events that invoked a scheduled closure.
+	Callbacks uint64
+	// HeapDepth is the current event-queue length.
+	HeapDepth int
+	// MaxHeapDepth is the high-water mark of the event queue.
+	MaxHeapDepth int
+	// WaiterAllocs / WaiterReuses count wait-list entries newly allocated
+	// vs. served from the kernel's free list.
+	WaiterAllocs uint64
+	WaiterReuses uint64
+}
+
+// event is one entry of the event queue. The common case — waking a parked
+// process — is expressed by a non-nil proc, so dispatching it allocates
+// nothing. fn is the fallback for arbitrary scheduled callbacks.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at     time.Duration
+	seq    uint64
+	proc   *Proc
+	reason wakeReason
+	fn     func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// push inserts ev into the event heap. The heap is hand-rolled over the
+// slice (rather than container/heap) so no interface boxing occurs on the
+// per-event hot path.
+func (e *Env) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.events[i].before(e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+	if len(e.events) > e.stats.MaxHeapDepth {
+		e.stats.MaxHeapDepth = len(e.events)
+	}
+}
+
+// pop removes and returns the earliest event. The queue must be non-empty.
+func (e *Env) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // release the closure/proc references
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && e.events[r].before(e.events[l]) {
+			c = r
+		}
+		if !e.events[c].before(e.events[i]) {
+			break
+		}
+		e.events[i], e.events[c] = e.events[c], e.events[i]
+		i = c
+	}
+	return top
 }
 
 // NewEnv returns a fresh environment whose random source is seeded with seed.
@@ -77,6 +137,13 @@ func NewEnv(seed int64) *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
 
+// Stats returns a snapshot of the kernel's counters.
+func (e *Env) Stats() Stats {
+	s := e.stats
+	s.HeapDepth = len(e.events)
+	return s
+}
+
 // Schedule registers fn to run at absolute virtual time at (clamped to the
 // present). fn runs in the scheduler context and must not block; to do
 // blocking work, have fn spawn a process.
@@ -85,11 +152,50 @@ func (e *Env) Schedule(at time.Duration, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After registers fn to run d from now.
 func (e *Env) After(d time.Duration, fn func()) { e.Schedule(e.now+d, fn) }
+
+// scheduleResume registers a typed proc-wakeup event: p is resumed with
+// reason at time at. Unlike Schedule, no closure is allocated.
+func (e *Env) scheduleResume(at time.Duration, p *Proc, reason wakeReason) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, proc: p, reason: reason})
+}
+
+// getWaiter returns a wait-list entry from the free list (or a fresh one),
+// initialised to park p.
+func (e *Env) getWaiter(p *Proc) *waiter {
+	w := e.waiterFree
+	if w == nil {
+		e.stats.WaiterAllocs++
+		return &waiter{p: p}
+	}
+	e.waiterFree = w.next
+	e.stats.WaiterReuses++
+	w.p = p
+	w.amount = 0
+	w.state = waitPending
+	w.pinned = false
+	w.next = nil
+	return w
+}
+
+// putWaiter recycles a consumed wait-list entry. Pinned entries (still
+// referenced by a timeout callback) are left for the GC.
+func (e *Env) putWaiter(w *waiter) {
+	if w.pinned {
+		return
+	}
+	w.p = nil
+	w.next = e.waiterFree
+	e.waiterFree = w
+}
 
 // Spawn starts a new simulation process executing fn. The process begins at
 // the current virtual time, after the spawning process next yields.
@@ -103,7 +209,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	}
 	e.procs[p.id] = p
 	go p.run(fn)
-	e.Schedule(e.now, func() { p.resume(wakeScheduled) })
+	e.scheduleResume(e.now, p, wakeScheduled)
 	return p
 }
 
@@ -116,13 +222,19 @@ func (e *Env) Run() error { return e.RunUntil(1<<62 - 1) }
 // are killed when Close is called.
 func (e *Env) RunUntil(deadline time.Duration) error {
 	for !e.stopped && e.failure == nil && len(e.events) > 0 {
-		ev := e.events[0]
-		if ev.at > deadline {
+		if e.events[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.stats.Events++
+		if ev.proc != nil {
+			e.stats.Wakeups++
+			ev.proc.resume(ev.reason)
+		} else {
+			e.stats.Callbacks++
+			ev.fn()
+		}
 	}
 	if e.failure == nil && e.now < deadline && deadline < 1<<62-1 {
 		e.now = deadline

@@ -94,12 +94,13 @@ func (p *Proc) resume(r wakeReason) {
 	<-p.env.yield
 }
 
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. The timer is a typed
+// kernel event, so sleeping allocates nothing.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.After(d, func() { p.resume(wakeScheduled) })
+	p.env.scheduleResume(p.env.now+d, p, wakeScheduled)
 	p.block()
 }
 

@@ -10,10 +10,16 @@ const (
 	waitCancelled
 )
 
+// waiter is one wait-list entry. Entries are recycled through the
+// environment's free list (getWaiter/putWaiter) so parking on a signal,
+// resource, or channel allocates nothing in steady state. An entry that a
+// timeout callback still references is pinned and exempt from recycling.
 type waiter struct {
 	p      *Proc
 	amount int64
 	state  waiterState
+	pinned bool
+	next   *waiter // free-list link
 }
 
 // Signal is a broadcast condition: Wait parks the calling process until the
@@ -29,7 +35,7 @@ func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait parks p until the next Fire.
 func (s *Signal) Wait(p *Proc) {
-	w := &waiter{p: p}
+	w := s.env.getWaiter(p)
 	s.waiters = append(s.waiters, w)
 	p.block()
 }
@@ -37,7 +43,8 @@ func (s *Signal) Wait(p *Proc) {
 // WaitTimeout parks p until the next Fire or until d elapses. It reports
 // whether the signal fired (true) or the wait timed out (false).
 func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
-	w := &waiter{p: p}
+	w := s.env.getWaiter(p)
+	w.pinned = true // the timer closure below outlives the wait
 	s.waiters = append(s.waiters, w)
 	s.env.After(d, func() {
 		if w.state == waitPending {
@@ -51,13 +58,14 @@ func (s *Signal) WaitTimeout(p *Proc, d time.Duration) bool {
 // Fire wakes every process currently waiting on the signal.
 func (s *Signal) Fire() {
 	ws := s.waiters
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
 	for _, w := range ws {
 		if w.state != waitPending {
 			continue
 		}
 		w.state = waitGranted
-		s.env.Schedule(s.env.now, func() { w.p.resume(wakeSignaled) })
+		s.env.scheduleResume(s.env.now, w.p, wakeSignaled)
+		s.env.putWaiter(w)
 	}
 }
 
@@ -125,7 +133,8 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		r.inUse += n
 		return
 	}
-	w := &waiter{p: p, amount: n}
+	w := r.env.getWaiter(p)
+	w.amount = n
 	r.queue = append(r.queue, w)
 	p.block()
 }
@@ -151,6 +160,7 @@ func (r *Resource) Release(n int64) {
 		w := r.queue[0]
 		if w.state == waitCancelled {
 			r.queue = r.queue[1:]
+			r.env.putWaiter(w)
 			continue
 		}
 		if r.inUse+w.amount > r.capacity {
@@ -160,7 +170,8 @@ func (r *Resource) Release(n int64) {
 		r.account()
 		r.inUse += w.amount
 		w.state = waitGranted
-		r.env.Schedule(r.env.now, func() { w.p.resume(wakeSignaled) })
+		r.env.scheduleResume(r.env.now, w.p, wakeSignaled)
+		r.env.putWaiter(w)
 	}
 }
 
@@ -202,7 +213,7 @@ func (c *Chan[T]) Put(p *Proc, v T) bool {
 		if c.closed {
 			return false
 		}
-		w := &waiter{p: p}
+		w := c.env.getWaiter(p)
 		c.putters = append(c.putters, w)
 		p.block()
 	}
@@ -221,7 +232,7 @@ func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
 		if c.closed {
 			return v, false
 		}
-		w := &waiter{p: p}
+		w := c.env.getWaiter(p)
 		c.getters = append(c.getters, w)
 		p.block()
 	}
@@ -246,22 +257,26 @@ func (c *Chan[T]) wakeOne(list *[]*waiter) {
 		w := (*list)[0]
 		*list = (*list)[1:]
 		if w.state != waitPending {
+			c.env.putWaiter(w)
 			continue
 		}
 		w.state = waitGranted
-		c.env.Schedule(c.env.now, func() { w.p.resume(wakeSignaled) })
+		c.env.scheduleResume(c.env.now, w.p, wakeSignaled)
+		c.env.putWaiter(w)
 		return
 	}
 }
 
 func (c *Chan[T]) wakeAll(list *[]*waiter) {
 	ws := *list
-	*list = nil
+	*list = (*list)[:0]
 	for _, w := range ws {
 		if w.state != waitPending {
+			c.env.putWaiter(w)
 			continue
 		}
 		w.state = waitGranted
-		c.env.Schedule(c.env.now, func() { w.p.resume(wakeSignaled) })
+		c.env.scheduleResume(c.env.now, w.p, wakeSignaled)
+		c.env.putWaiter(w)
 	}
 }
