@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet bench-quick bench-micro check
+# Micro-benchmarks compared by bench-baseline / bench-compare.
+BENCH_PATTERN  ?= BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkScanPipeline|BenchmarkTableScanBatch
+BENCH_COUNT    ?= 10
+BENCH_BASELINE ?= bench-baseline.txt
+BENCH_NEW      ?= bench-new.txt
+
+.PHONY: all build test vet bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -25,4 +31,24 @@ bench-quick:
 
 ## bench-micro: hot-path micro-benchmarks with allocation counts
 bench-micro:
-	$(GO) test -bench='BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkTableScanBatch' -benchmem -run '^$$' .
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run '^$$' .
+
+## bench-baseline: record the micro-benchmark baseline bench-compare diffs
+## against (run it on the old code before starting a change)
+bench-baseline:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -run '^$$' . | tee $(BENCH_BASELINE)
+
+## bench-compare: re-run the micro-benchmarks with -count=$(BENCH_COUNT) and
+## report old-vs-new via benchstat (install: go install
+## golang.org/x/perf/cmd/benchstat@latest); without benchstat the raw runs
+## are kept on disk for manual comparison
+bench-compare:
+	@test -f $(BENCH_BASELINE) || { \
+		echo "no $(BENCH_BASELINE); run 'make bench-baseline' on the old code first"; exit 1; }
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -run '^$$' . | tee $(BENCH_NEW)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASELINE) $(BENCH_NEW); \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
+		echo "raw runs kept in $(BENCH_BASELINE) and $(BENCH_NEW) for manual comparison"; \
+	fi

@@ -151,9 +151,97 @@ type benchNullDevice struct{}
 
 func (benchNullDevice) Append(*sim.Proc, int64) {}
 
+// scanWorld builds a single-node 5k-row partition for the operator-stack
+// benchmarks.
+func scanWorld(b *testing.B) (*sim.Env, *cc.Oracle, *table.Partition, *hw.Node) {
+	env := sim.NewEnv(1)
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	n1 := hw.NewNode(env, 1, cal, net)
+	n1.ForceActive()
+	oracle := cc.NewOracle()
+	schema := &table.Schema{
+		ID: 1, Name: "t", KeyCols: 1,
+		Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "v", Type: table.ColString}},
+	}
+	deps := table.Deps{
+		Env:         env,
+		Oracle:      oracle,
+		Locks:       cc.NewLockManager(env),
+		Log:         wal.NewLog(env, benchNullDevice{}),
+		Factory:     &benchFactory{pageSize: 4096, segPages: 256},
+		LockTimeout: time.Second,
+		PageSize:    4096,
+		Compute:     n1.Compute,
+		CPUPerOp:    cal.CPUBTreeOp,
+		CPUPerTuple: cal.CPUTupleScan,
+	}
+	part := table.NewPartition(1, schema, table.Physiological, nil, nil, deps)
+	const rows = 5000
+	env.Spawn("load", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		for i := 0; i < rows; i++ {
+			key, _ := schema.Key(table.Row{int64(i), "payload"})
+			payload, _ := schema.EncodeRow(table.Row{int64(i), "payload"})
+			if err := part.Put(p, txn, key, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if err := table.CommitTxn(p, txn, part); err != nil {
+			b.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return env, oracle, part, n1
+}
+
+// BenchmarkScanPipeline measures a TableScan -> Project -> Filter pipeline
+// over the columnar batch representation, draining a 5k-row partition with
+// vector size 64 (ns/op is per scanned row). Must report 0 allocs/op
+// (regression-guarded by TestScanPipelineZeroAlloc in internal/exec).
+func BenchmarkScanPipeline(b *testing.B) {
+	env, oracle, part, node := scanWorld(b)
+	defer env.Close()
+	const rows = 5000
+	env.Spawn("bench", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		plan := &exec.Filter{
+			Child: &exec.Project{
+				Child:     &exec.TableScan{Part: part, Txn: txn, Vector: 64},
+				Node:      node,
+				Cols:      []int{0},
+				CPUPerRow: time.Microsecond,
+			},
+			Node:      node,
+			Pred:      func(bt *table.Batch, i int) bool { return bt.Int(0, i)%2 == 0 },
+			CPUPerRow: time.Microsecond,
+		}
+		if _, err := exec.Drain(p, plan); err != nil { // warm operator state
+			b.Error(err)
+			return
+		}
+		b.ResetTimer()
+		scanned := 0
+		for scanned < b.N {
+			if _, err := exec.Drain(p, plan); err != nil {
+				b.Error(err)
+				return
+			}
+			scanned += rows
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkTableScanBatch measures the full operator stack — TableScan over
-// partition, MVCC visibility, batched B*-tree cursor — draining a 5k-row
-// partition with vector size 64 (ns/op is per drained row).
+// partition, MVCC visibility, batched B*-tree cursor, columnar decode —
+// draining a 5k-row partition with vector size 64 (ns/op is per drained
+// row).
 func BenchmarkTableScanBatch(b *testing.B) {
 	env := sim.NewEnv(1)
 	defer env.Close()

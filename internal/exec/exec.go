@@ -5,10 +5,10 @@
 // that hides network latency during distributed execution.
 //
 // Every operator runs "on" a node: its CPU work is charged there. Batches
-// flow between operators by value; when a plan edge crosses nodes, a Remote
-// operator pays the network cost per next() call — which is exactly the
-// effect Fig. 1 of the paper quantifies for single-record vs vectorised
-// protocols.
+// flow between operators as columnar *table.Batch values; when a plan edge
+// crosses nodes, a Remote operator pays the network cost per next() call —
+// which is exactly the effect Fig. 1 of the paper quantifies for
+// single-record vs vectorised protocols.
 package exec
 
 import (
@@ -22,22 +22,29 @@ import (
 	"wattdb/internal/table"
 )
 
-// Operator is the volcano iterator interface. Next returns a batch of rows
-// (nil = exhausted). Classic single-record operators use batch size 1;
-// vectorised operators return up to their configured vector size.
+// Operator is the volcano iterator interface. Next returns a columnar batch
+// of rows (nil = exhausted). Classic single-record operators use batch size
+// 1; vectorised operators return up to their configured vector size.
 //
-// Batch ownership: the []table.Row slice returned by Next is only valid
-// until the following Next or Close call — operators reuse the backing
-// array across calls. The table.Row values inside are immutable and may be
-// retained. An operator that holds batches across Next calls (e.g. the
-// asynchronous Buffer) must copy the slice it keeps.
+// Batch ownership: the *table.Batch returned by Next is only valid until
+// the following Next or Close call on that operator — every operator
+// refills a privately owned batch (or reuses its child's) across calls.
+// Until then the batch belongs to the consumer, which may read it through
+// the typed column accessors and may also mutate it in place (Filter
+// compacts passing rows to the front, Limit truncates); producers must not
+// assume a returned batch comes back intact. An operator that holds batches
+// across Next calls (e.g. the asynchronous Buffer) must take a deep copy
+// with Batch.CopyFrom. Strings read via Batch.Bytes alias the batch's arena
+// and follow the same lifetime.
 type Operator interface {
 	Open(p *sim.Proc) error
-	Next(p *sim.Proc) ([]table.Row, error)
+	Next(p *sim.Proc) (*table.Batch, error)
 	Close(p *sim.Proc)
 }
 
-// RowBytes estimates the wire size of a row for network cost accounting.
+// RowBytes estimates the wire size of a boxed row for network cost
+// accounting (compatibility helper; batch-at-a-time accounting uses
+// Batch.WireBytes, which works from the schema's cached column widths).
 func RowBytes(r table.Row) int64 {
 	var n int64 = 8 // framing
 	for _, v := range r {
@@ -52,20 +59,22 @@ func RowBytes(r table.Row) int64 {
 }
 
 // TableScan reads a partition's visible records in key order, decoding rows
-// and emitting batches of Vector rows. Each batch restarts the range scan
-// after the last delivered key, so the operator needs no long-lived cursor
-// state across blocking points.
+// columnarly into a reused batch of up to Vector rows. Each batch restarts
+// the range scan after the last delivered key, so the operator needs no
+// long-lived cursor state across blocking points.
 type TableScan struct {
 	Part   *table.Partition
 	Txn    *cc.Txn
 	Lo, Hi []byte
 	Vector int
 
-	last    []byte
-	loBuf   []byte
-	batch   []table.Row
-	started bool
-	done    bool
+	last      []byte
+	loBuf     []byte
+	batch     *table.Batch
+	emit      func(k, payload []byte) bool
+	decodeErr error
+	started   bool
+	done      bool
 }
 
 // Open resets the scan.
@@ -73,14 +82,27 @@ func (s *TableScan) Open(p *sim.Proc) error {
 	if s.Vector <= 0 {
 		s.Vector = 1
 	}
+	if s.batch == nil {
+		s.batch = table.NewBatch(s.Part.Schema)
+		// One closure for the operator's lifetime: Next stays allocation-free.
+		s.emit = func(k, payload []byte) bool {
+			if err := s.Part.Schema.AppendDecoded(s.batch, payload); err != nil {
+				s.decodeErr = err
+				return false
+			}
+			s.last = append(s.last[:0], k...)
+			s.started = true
+			return s.batch.Len() < s.Vector
+		}
+	}
 	s.last, s.started, s.done = s.last[:0], false, false
 	return nil
 }
 
 // Next returns the next batch. The partition scan underneath runs on the
-// B*-tree's batched cursor (leaf-at-a-time fetches); the returned slice is
+// B*-tree's batched cursor (leaf-at-a-time fetches); the returned batch is
 // reused across calls per the Operator contract.
-func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
+func (s *TableScan) Next(p *sim.Proc) (*table.Batch, error) {
 	if s.done {
 		return nil, nil
 	}
@@ -90,33 +112,20 @@ func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
 		s.loBuf = append(append(s.loBuf[:0], s.last...), 0)
 		lo = s.loBuf
 	}
-	if s.batch == nil {
-		s.batch = make([]table.Row, 0, s.Vector)
-	}
-	s.batch = s.batch[:0]
-	var decodeErr error
-	err := s.Part.Scan(p, s.Txn, lo, s.Hi, func(k, payload []byte) bool {
-		row, err := s.Part.Schema.DecodeRow(payload)
-		if err != nil {
-			decodeErr = err
-			return false
-		}
-		s.batch = append(s.batch, row)
-		s.last = append(s.last[:0], k...)
-		s.started = true
-		return len(s.batch) < s.Vector
-	})
+	s.batch.Reset()
+	s.decodeErr = nil
+	err := s.Part.Scan(p, s.Txn, lo, s.Hi, s.emit)
 	if err == nil {
-		err = decodeErr
+		err = s.decodeErr
 	}
 	if err != nil {
 		return nil, err
 	}
-	if len(s.batch) == 0 {
+	if s.batch.Len() == 0 {
 		s.done = true
 		return nil, nil
 	}
-	if len(s.batch) < s.Vector {
+	if s.batch.Len() < s.Vector {
 		s.done = true
 	}
 	return s.batch, nil
@@ -126,74 +135,90 @@ func (s *TableScan) Next(p *sim.Proc) ([]table.Row, error) {
 func (s *TableScan) Close(p *sim.Proc) {}
 
 // Project is a pipelining operator emitting a column subset of its child's
-// rows; per-record CPU is charged on Node.
+// batches; per-record CPU is charged on Node. Its output batches carry a
+// derived schema holding just the projected columns.
 type Project struct {
 	Child     Operator
 	Node      *hw.Node
 	Cols      []int
 	CPUPerRow time.Duration
 
-	out []table.Row
+	out *table.Batch
 }
 
 // Open opens the child.
 func (o *Project) Open(p *sim.Proc) error { return o.Child.Open(p) }
 
-// Next projects the child's next batch. The batch header array is reused
-// across calls; the projected rows themselves are carved from one flat
-// allocation per batch, so consumers may retain them (Operator contract).
-func (o *Project) Next(p *sim.Proc) ([]table.Row, error) {
+// Next projects the child's next batch with column-vector copies into a
+// reused output batch (Operator contract).
+func (o *Project) Next(p *sim.Proc) (*table.Batch, error) {
 	batch, err := o.Child.Next(p)
 	if err != nil || batch == nil {
 		return nil, err
 	}
-	o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
-	o.out = o.out[:0]
-	vals := make(table.Row, len(batch)*len(o.Cols))
-	for _, r := range batch {
-		pr := vals[:len(o.Cols):len(o.Cols)]
-		vals = vals[len(o.Cols):]
-		for j, c := range o.Cols {
-			if c < 0 || c >= len(r) {
-				return nil, fmt.Errorf("exec: project column %d out of range", c)
-			}
-			pr[j] = r[c]
+	o.Node.Compute(p, time.Duration(batch.Len())*o.CPUPerRow)
+	if o.out == nil {
+		schema, err := projectedSchema(batch.Schema, o.Cols)
+		if err != nil {
+			return nil, err
 		}
-		o.out = append(o.out, pr)
+		o.out = table.NewBatch(schema)
 	}
+	o.out.Reset()
+	o.out.AppendColumns(batch, o.Cols)
 	return o.out, nil
 }
 
 // Close closes the child.
 func (o *Project) Close(p *sim.Proc) { o.Child.Close(p) }
 
-// Filter is a pipelining operator keeping rows matching Pred.
+// projectedSchema derives the output schema of a projection.
+func projectedSchema(src *table.Schema, cols []int) (*table.Schema, error) {
+	out := &table.Schema{Name: src.Name + ".project", KeyCols: 1}
+	for _, c := range cols {
+		if c < 0 || c >= len(src.Columns) {
+			return nil, fmt.Errorf("exec: project column %d out of range", c)
+		}
+		out.Columns = append(out.Columns, src.Columns[c])
+	}
+	return out, nil
+}
+
+// Filter is a pipelining operator keeping rows for which Pred returns true.
+// Pred receives the batch and a row index and reads columns through the
+// typed accessors.
 type Filter struct {
 	Child     Operator
 	Node      *hw.Node
-	Pred      func(table.Row) bool
+	Pred      func(b *table.Batch, i int) bool
 	CPUPerRow time.Duration
 }
 
 // Open opens the child.
 func (o *Filter) Open(p *sim.Proc) error { return o.Child.Open(p) }
 
-// Next returns the next non-empty filtered batch.
-func (o *Filter) Next(p *sim.Proc) ([]table.Row, error) {
+// Next returns the next non-empty filtered batch: passing rows are
+// compacted to the front of the child's batch in place (the contract lets a
+// consumer mutate the batch it was handed).
+func (o *Filter) Next(p *sim.Proc) (*table.Batch, error) {
 	for {
 		batch, err := o.Child.Next(p)
 		if err != nil || batch == nil {
 			return nil, err
 		}
-		o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
-		out := batch[:0]
-		for _, r := range batch {
-			if o.Pred(r) {
-				out = append(out, r)
+		o.Node.Compute(p, time.Duration(batch.Len())*o.CPUPerRow)
+		w := 0
+		for i := 0; i < batch.Len(); i++ {
+			if o.Pred(batch, i) {
+				if w != i {
+					batch.MoveRow(w, i)
+				}
+				w++
 			}
 		}
-		if len(out) > 0 {
-			return out, nil
+		if w > 0 {
+			batch.Truncate(w)
+			return batch, nil
 		}
 	}
 }
@@ -201,14 +226,15 @@ func (o *Filter) Next(p *sim.Proc) ([]table.Row, error) {
 // Close closes the child.
 func (o *Filter) Close(p *sim.Proc) { o.Child.Close(p) }
 
-// Sort is a blocking operator: Open drains the child, sorts with Less, and
-// Next streams the result in Vector-sized batches. Sorting costs
-// CPUPerRow·n·ceil(log2 n) on Node — blocking operators "generally consume
-// more resources and are therefore good candidates for offloading".
+// Sort is a blocking operator: Open drains the child into one accumulated
+// batch, sorts a row permutation with Less, and Next streams the result in
+// Vector-sized batches. Sorting costs CPUPerRow·n·ceil(log2 n) on Node —
+// blocking operators "generally consume more resources and are therefore
+// good candidates for offloading".
 type Sort struct {
 	Child     Operator
 	Node      *hw.Node
-	Less      func(a, b table.Row) bool
+	Less      func(b *table.Batch, i, j int) bool
 	CPUPerRow time.Duration
 	Vector    int
 
@@ -224,7 +250,9 @@ type Sort struct {
 	// Group tracks concurrently open sorts sharing the workspace.
 	Group *SortGroup
 
-	rows     []table.Row
+	acc      *table.Batch
+	perm     []int
+	out      *table.Batch
 	pos      int
 	reserved int64
 	inGroup  bool
@@ -241,7 +269,11 @@ func (o *Sort) Open(p *sim.Proc) error {
 	if err := o.Child.Open(p); err != nil {
 		return err
 	}
-	o.rows, o.pos = nil, 0
+	o.pos = 0
+	o.perm = o.perm[:0]
+	if o.acc != nil {
+		o.acc.Reset()
+	}
 	for {
 		batch, err := o.Child.Next(p)
 		if err != nil {
@@ -250,19 +282,26 @@ func (o *Sort) Open(p *sim.Proc) error {
 		if batch == nil {
 			break
 		}
-		o.rows = append(o.rows, batch...)
+		if o.acc == nil {
+			o.acc = table.NewBatch(batch.Schema)
+			o.out = table.NewBatch(batch.Schema)
+		}
+		o.acc.AppendBatch(batch)
 	}
-	n := len(o.rows)
+	if o.acc == nil {
+		return nil
+	}
+	n := o.acc.Len()
+	for i := 0; i < n; i++ {
+		o.perm = append(o.perm, i)
+	}
 	if n > 1 {
 		if o.Group != nil {
 			o.Group.Active++
 			o.inGroup = true
 		}
 		if o.Workspace != nil {
-			var need int64
-			for _, r := range o.rows {
-				need += RowBytes(r)
-			}
+			need := o.acc.WireBytes()
 			capped := need
 			if capped > o.Workspace.Capacity() {
 				capped = o.Workspace.Capacity()
@@ -295,23 +334,27 @@ func (o *Sort) Open(p *sim.Proc) error {
 			levels++
 		}
 		o.Node.Compute(p, time.Duration(n*levels)*o.CPUPerRow)
-		sort.SliceStable(o.rows, func(i, j int) bool { return o.Less(o.rows[i], o.rows[j]) })
+		sort.SliceStable(o.perm, func(i, j int) bool { return o.Less(o.acc, o.perm[i], o.perm[j]) })
 	}
 	return nil
 }
 
-// Next streams the sorted rows.
-func (o *Sort) Next(p *sim.Proc) ([]table.Row, error) {
-	if o.pos >= len(o.rows) {
+// Next streams the sorted rows in permutation order through a reused output
+// batch.
+func (o *Sort) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.acc == nil || o.pos >= len(o.perm) {
 		return nil, nil
 	}
 	end := o.pos + o.Vector
-	if end > len(o.rows) {
-		end = len(o.rows)
+	if end > len(o.perm) {
+		end = len(o.perm)
 	}
-	batch := o.rows[o.pos:end]
+	o.out.Reset()
+	for _, idx := range o.perm[o.pos:end] {
+		o.out.AppendFrom(o.acc, idx)
+	}
 	o.pos = end
-	return batch, nil
+	return o.out, nil
 }
 
 // Close releases the buffered rows and any reserved workspace.
@@ -324,12 +367,17 @@ func (o *Sort) Close(p *sim.Proc) {
 		o.Group.Active--
 		o.inGroup = false
 	}
-	o.rows = nil
+	if o.acc != nil {
+		o.acc.Reset()
+	}
+	o.perm = o.perm[:0]
 	o.Child.Close(p)
 }
 
 // GroupAgg is a blocking hash aggregation: COUNT(*) and SUM(SumCol) per
-// distinct GroupCol value, emitted as rows [group, count, sum].
+// distinct GroupCol value, emitted as batches over the derived schema
+// [group, count int64, sum float64]. The hash table is typed by the group
+// column (no interface-keyed map on the aggregation path).
 type GroupAgg struct {
 	Child     Operator
 	Node      *hw.Node
@@ -338,11 +386,13 @@ type GroupAgg struct {
 	CPUPerRow time.Duration
 	Vector    int
 
-	groups []table.Row
+	groups *table.Batch
+	out    *table.Batch
 	pos    int
 }
 
-// Open drains the child and builds the hash table.
+// Open drains the child and builds the hash table. Group rows accumulate
+// directly in the output-ordered groups batch (first-seen order).
 func (o *GroupAgg) Open(p *sim.Proc) error {
 	if o.Vector <= 0 {
 		o.Vector = 1
@@ -350,13 +400,12 @@ func (o *GroupAgg) Open(p *sim.Proc) error {
 	if err := o.Child.Open(p); err != nil {
 		return err
 	}
-	o.groups, o.pos = nil, 0
-	type agg struct {
-		count int64
-		sum   float64
-	}
-	m := make(map[any]*agg)
-	var order []any
+	o.groups, o.out, o.pos = nil, nil, 0
+	var (
+		intIdx map[int64]int
+		strIdx map[string]int
+		fltIdx map[float64]int
+	)
 	for {
 		batch, err := o.Child.Next(p)
 		if err != nil {
@@ -365,50 +414,98 @@ func (o *GroupAgg) Open(p *sim.Proc) error {
 		if batch == nil {
 			break
 		}
-		o.Node.Compute(p, time.Duration(len(batch))*o.CPUPerRow)
-		for _, r := range batch {
-			g := r[o.GroupCol]
-			a, ok := m[g]
-			if !ok {
-				a = &agg{}
-				m[g] = a
-				order = append(order, g)
+		o.Node.Compute(p, time.Duration(batch.Len())*o.CPUPerRow)
+		if o.groups == nil {
+			gcol := batch.Schema.Columns[o.GroupCol]
+			schema := &table.Schema{
+				Name:    batch.Schema.Name + ".group",
+				KeyCols: 1,
+				Columns: []table.Column{
+					{Name: gcol.Name, Type: gcol.Type},
+					{Name: "count", Type: table.ColInt64},
+					{Name: "sum", Type: table.ColFloat64},
+				},
 			}
-			a.count++
+			o.groups = table.NewBatch(schema)
+			o.out = table.NewBatch(schema)
+			switch gcol.Type {
+			case table.ColInt64:
+				intIdx = make(map[int64]int)
+			case table.ColString:
+				strIdx = make(map[string]int)
+			case table.ColFloat64:
+				fltIdx = make(map[float64]int)
+			}
+		}
+		gtype := batch.Schema.Columns[o.GroupCol].Type
+		for i := 0; i < batch.Len(); i++ {
+			var idx int
+			var seen bool
+			switch gtype {
+			case table.ColInt64:
+				idx, seen = intIdx[batch.Int(o.GroupCol, i)]
+			case table.ColString:
+				idx, seen = strIdx[string(batch.Bytes(o.GroupCol, i))]
+			case table.ColFloat64:
+				idx, seen = fltIdx[batch.Float(o.GroupCol, i)]
+			}
+			if !seen {
+				idx = o.groups.Len()
+				switch gtype {
+				case table.ColInt64:
+					v := batch.Int(o.GroupCol, i)
+					intIdx[v] = idx
+					if err := o.groups.AppendRow(table.Row{v, int64(0), 0.0}); err != nil {
+						return err
+					}
+				case table.ColString:
+					v := batch.String(o.GroupCol, i)
+					strIdx[v] = idx
+					if err := o.groups.AppendRow(table.Row{v, int64(0), 0.0}); err != nil {
+						return err
+					}
+				case table.ColFloat64:
+					v := batch.Float(o.GroupCol, i)
+					fltIdx[v] = idx
+					if err := o.groups.AppendRow(table.Row{v, int64(0), 0.0}); err != nil {
+						return err
+					}
+				}
+			}
+			o.groups.SetInt(1, idx, o.groups.Int(1, idx)+1)
 			if o.SumCol >= 0 {
-				switch v := r[o.SumCol].(type) {
-				case int64:
-					a.sum += float64(v)
-				case float64:
-					a.sum += v
+				switch batch.Schema.Columns[o.SumCol].Type {
+				case table.ColInt64:
+					o.groups.SetFloat(2, idx, o.groups.Float(2, idx)+float64(batch.Int(o.SumCol, i)))
+				case table.ColFloat64:
+					o.groups.SetFloat(2, idx, o.groups.Float(2, idx)+batch.Float(o.SumCol, i))
 				}
 			}
 		}
-	}
-	for _, g := range order {
-		a := m[g]
-		o.groups = append(o.groups, table.Row{g, a.count, a.sum})
 	}
 	return nil
 }
 
 // Next streams the aggregated groups.
-func (o *GroupAgg) Next(p *sim.Proc) ([]table.Row, error) {
-	if o.pos >= len(o.groups) {
+func (o *GroupAgg) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.groups == nil || o.pos >= o.groups.Len() {
 		return nil, nil
 	}
 	end := o.pos + o.Vector
-	if end > len(o.groups) {
-		end = len(o.groups)
+	if end > o.groups.Len() {
+		end = o.groups.Len()
 	}
-	batch := o.groups[o.pos:end]
+	o.out.Reset()
+	for i := o.pos; i < end; i++ {
+		o.out.AppendFrom(o.groups, i)
+	}
 	o.pos = end
-	return batch, nil
+	return o.out, nil
 }
 
 // Close releases state.
 func (o *GroupAgg) Close(p *sim.Proc) {
-	o.groups = nil
+	o.groups, o.out = nil, nil
 	o.Child.Close(p)
 }
 
@@ -422,8 +519,9 @@ type Limit struct {
 // Open opens the child.
 func (o *Limit) Open(p *sim.Proc) error { o.seen = 0; return o.Child.Open(p) }
 
-// Next truncates the child's output at N rows.
-func (o *Limit) Next(p *sim.Proc) ([]table.Row, error) {
+// Next truncates the child's output at N rows (in place, per the batch
+// ownership contract).
+func (o *Limit) Next(p *sim.Proc) (*table.Batch, error) {
 	if o.seen >= o.N {
 		return nil, nil
 	}
@@ -431,10 +529,10 @@ func (o *Limit) Next(p *sim.Proc) ([]table.Row, error) {
 	if err != nil || batch == nil {
 		return nil, err
 	}
-	if o.seen+len(batch) > o.N {
-		batch = batch[:o.N-o.seen]
+	if o.seen+batch.Len() > o.N {
+		batch.Truncate(o.N - o.seen)
 	}
-	o.seen += len(batch)
+	o.seen += batch.Len()
 	return batch, nil
 }
 
@@ -457,11 +555,12 @@ func Drain(p *sim.Proc, op Operator) (int, error) {
 		if batch == nil {
 			return n, nil
 		}
-		n += len(batch)
+		n += batch.Len()
 	}
 }
 
-// Collect runs a plan to exhaustion and returns all rows (testing helper).
+// Collect runs a plan to exhaustion and returns all rows boxed (testing
+// helper).
 func Collect(p *sim.Proc, op Operator) ([]table.Row, error) {
 	if err := op.Open(p); err != nil {
 		return nil, err
@@ -476,6 +575,8 @@ func Collect(p *sim.Proc, op Operator) ([]table.Row, error) {
 		if batch == nil {
 			return rows, nil
 		}
-		rows = append(rows, batch...)
+		for i := 0; i < batch.Len(); i++ {
+			rows = append(rows, batch.Row(i))
+		}
 	}
 }

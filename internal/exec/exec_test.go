@@ -155,7 +155,7 @@ func TestFilterAndLimit(t *testing.T) {
 			Child: &Filter{
 				Child: w.scan(8),
 				Node:  w.nodes[1],
-				Pred:  func(r table.Row) bool { return r[0].(int64)%2 == 0 },
+				Pred:  func(b *table.Batch, i int) bool { return b.Int(0, i)%2 == 0 },
 			},
 		}
 		rows, err := Collect(p, plan)
@@ -178,7 +178,7 @@ func TestSortOrdersDescending(t *testing.T) {
 		plan := &Sort{
 			Child:     w.scan(8),
 			Node:      w.nodes[1],
-			Less:      func(a, b table.Row) bool { return a[0].(int64) > b[0].(int64) },
+			Less:      func(b *table.Batch, i, j int) bool { return b.Int(0, i) > b.Int(0, j) },
 			CPUPerRow: time.Microsecond,
 			Vector:    8,
 		}
@@ -319,7 +319,7 @@ func TestSortOffloadRelievesLoadedNode(t *testing.T) {
 				plan := &Sort{
 					Child:     child,
 					Node:      node,
-					Less:      func(a, b table.Row) bool { return a[0].(int64) < b[0].(int64) },
+					Less:      func(b *table.Batch, i, j int) bool { return b.Int(0, i) < b.Int(0, j) },
 					CPUPerRow: 40 * time.Microsecond,
 					Vector:    64,
 				}

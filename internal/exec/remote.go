@@ -24,19 +24,17 @@ func (o *Remote) Open(p *sim.Proc) error {
 	return o.Child.Open(p)
 }
 
-// Next fetches the child's next batch across the network.
-func (o *Remote) Next(p *sim.Proc) ([]table.Row, error) {
+// Next fetches the child's next batch across the network. The response size
+// comes from the batch's column widths (Batch.WireBytes), not a per-row
+// walk over boxed values.
+func (o *Remote) Next(p *sim.Proc) (*table.Batch, error) {
 	o.Net.Transfer(p, o.ConsumerNode, o.ChildNode, 32) // next() request
 	batch, err := o.Child.Next(p)
 	if err != nil || batch == nil {
 		o.Net.Transfer(p, o.ChildNode, o.ConsumerNode, 32) // EOF / error frame
 		return nil, err
 	}
-	var bytes int64
-	for _, r := range batch {
-		bytes += RowBytes(r)
-	}
-	o.Net.Transfer(p, o.ChildNode, o.ConsumerNode, bytes)
+	o.Net.Transfer(p, o.ChildNode, o.ConsumerNode, batch.WireBytes())
 	return batch, nil
 }
 
@@ -58,10 +56,18 @@ type Buffer struct {
 
 	ch        *sim.Chan[fetchResult]
 	cancelled *bool
+	// free recycles the deep copies circulating through the queue: the
+	// prefetcher copies the child's batch into a recycled one (column-vector
+	// copies, Batch.CopyFrom) and the consumer returns the batch it finished
+	// with on its following Next. Steady state allocates nothing. The slice
+	// is shared by the two simulation processes; the kernel is cooperative,
+	// so unsynchronised access is safe.
+	free *[]*table.Batch
+	last *table.Batch
 }
 
 type fetchResult struct {
-	batch []table.Row
+	batch *table.Batch
 	err   error
 }
 
@@ -76,8 +82,14 @@ func (o *Buffer) Open(p *sim.Proc) error {
 	o.ch = sim.NewChan[fetchResult](o.Env, o.Depth)
 	cancelled := false
 	o.cancelled = &cancelled
+	if o.free == nil {
+		free := make([]*table.Batch, 0, o.Depth+2)
+		o.free = &free
+	}
+	o.last = nil
 	ch := o.ch
 	child := o.Child
+	free := o.free
 	o.Env.Spawn("prefetch", func(pp *sim.Proc) {
 		for !cancelled {
 			batch, err := child.Next(pp)
@@ -85,10 +97,18 @@ func (o *Buffer) Open(p *sim.Proc) error {
 				return
 			}
 			if batch != nil {
-				// The child reuses its batch slice across Next calls
-				// (Operator contract), but the queue holds several batches
-				// at once: copy the headers we enqueue.
-				batch = append([]table.Row(nil), batch...)
+				// The child reuses its batch across Next calls (Operator
+				// contract), but the queue holds several batches at once:
+				// deep-copy into a recycled batch before enqueueing.
+				var cp *table.Batch
+				if n := len(*free); n > 0 {
+					cp = (*free)[n-1]
+					*free = (*free)[:n-1]
+				} else {
+					cp = &table.Batch{}
+				}
+				cp.CopyFrom(batch)
+				batch = cp
 			}
 			if !ch.Put(pp, fetchResult{batch, err}) {
 				return // consumer closed early
@@ -103,11 +123,16 @@ func (o *Buffer) Open(p *sim.Proc) error {
 
 // Next returns the next prefetched batch, waiting only when the prefetcher
 // has fallen behind.
-func (o *Buffer) Next(p *sim.Proc) ([]table.Row, error) {
+func (o *Buffer) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.last != nil {
+		*o.free = append(*o.free, o.last)
+		o.last = nil
+	}
 	res, ok := o.ch.Get(p)
 	if !ok {
 		return nil, nil
 	}
+	o.last = res.batch
 	return res.batch, res.err
 }
 
@@ -119,5 +144,6 @@ func (o *Buffer) Close(p *sim.Proc) {
 		o.ch.Get(p)
 	}
 	o.ch.Close()
+	o.last = nil
 	o.Child.Close(p)
 }

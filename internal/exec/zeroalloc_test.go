@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// newFixedWidthWorld builds one active node and a partition over a
+// fixed-width (int64, int64, float64) schema with n rows.
+func newFixedWidthWorld(t *testing.T, n int) (*sim.Env, *cc.Oracle, *table.Partition, *hw.Node) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	n1 := hw.NewNode(env, 1, cal, net)
+	n1.ForceActive()
+	oracle := cc.NewOracle()
+	schema := &table.Schema{
+		ID: 1, Name: "fixed", KeyCols: 1,
+		Columns: []table.Column{
+			{Name: "k", Type: table.ColInt64},
+			{Name: "grp", Type: table.ColInt64},
+			{Name: "val", Type: table.ColFloat64},
+		},
+	}
+	deps := table.Deps{
+		Env:         env,
+		Oracle:      oracle,
+		Locks:       cc.NewLockManager(env),
+		Log:         wal.NewLog(env, nullDevice{}),
+		Factory:     &memFactory{pageSize: 4096, segPages: 256},
+		LockTimeout: time.Second,
+		PageSize:    4096,
+		Compute:     n1.Compute,
+		CPUPerOp:    cal.CPUBTreeOp,
+		CPUPerTuple: cal.CPUTupleScan,
+	}
+	part := table.NewPartition(1, schema, table.Physiological, nil, nil, deps)
+	env.Spawn("load", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		for i := 0; i < n; i++ {
+			row := table.Row{int64(i), int64(i % 7), float64(i) * 1.5}
+			key, _ := schema.Key(row)
+			payload, _ := schema.EncodeRow(row)
+			if err := part.Put(p, txn, key, payload); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := table.CommitTxn(p, txn, part); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return env, oracle, part, n1
+}
+
+// TestScanPipelineZeroAlloc proves the columnar acceptance criterion: a
+// warm TableScan -> Project -> Filter pipeline over a fixed-width schema
+// drains with 0 allocations per run — i.e. 0 allocs/row, where PR 1 still
+// paid ~3 (the boxed table.Row decode). Vectors, the string arena, and the
+// scan cursor machinery are all reused; a run includes Open, so first-Open
+// lazy setup is warmed with one throwaway drain.
+func TestScanPipelineZeroAlloc(t *testing.T) {
+	const rows = 2000
+	env, oracle, part, node := newFixedWidthWorld(t, rows)
+	defer env.Close()
+	env.Spawn("measure", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		plan := &Filter{
+			Child: &Project{
+				Child:     &TableScan{Part: part, Txn: txn, Vector: 64},
+				Node:      node,
+				Cols:      []int{1, 2},
+				CPUPerRow: time.Microsecond,
+			},
+			Node:      node,
+			Pred:      func(b *table.Batch, i int) bool { return b.Int(0, i)%2 == 0 },
+			CPUPerRow: time.Microsecond,
+		}
+		want := 0
+		for i := 0; i < rows; i++ {
+			if i%7%2 == 0 {
+				want++
+			}
+		}
+		drain := func() {
+			n, err := Drain(p, plan)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n != want {
+				t.Errorf("drained %d rows, want %d", n, want)
+			}
+		}
+		drain() // warm batch vectors and lazily built operator state
+		allocs := testing.AllocsPerRun(10, drain)
+		if allocs != 0 {
+			t.Fatalf("warm scan pipeline allocates %v objects per %d-row drain, want 0 (0 allocs/row)", allocs, rows)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableScanAloneZeroAlloc pins the scan operator by itself, mirroring
+// the PR 1 micro-benchmark that reported 3 allocs/row for the boxed decode.
+func TestTableScanAloneZeroAlloc(t *testing.T) {
+	const rows = 1500
+	env, oracle, part, _ := newFixedWidthWorld(t, rows)
+	defer env.Close()
+	env.Spawn("measure", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		scan := &TableScan{Part: part, Txn: txn, Vector: 64}
+		drain := func() {
+			n, err := Drain(p, scan)
+			if err != nil || n != rows {
+				t.Errorf("n=%d err=%v", n, err)
+			}
+		}
+		drain()
+		if allocs := testing.AllocsPerRun(10, drain); allocs != 0 {
+			t.Fatalf("warm TableScan allocates %v objects per %d-row drain, want 0", allocs, rows)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
@@ -98,7 +99,7 @@ func Fig2(rows int, levels []int, seed int64) (Fig2Result, error) {
 					plan := &exec.Sort{
 						Child:     child,
 						Node:      node,
-						Less:      func(a, b table.Row) bool { return a[1].(string) < b[1].(string) },
+						Less:      func(b *table.Batch, i, j int) bool { return bytes.Compare(b.Bytes(1, i), b.Bytes(1, j)) < 0 },
 						CPUPerRow: cal.CPUTupleSort,
 						Vector:    256,
 						Workspace: workspace[nodeID],

@@ -46,7 +46,9 @@ func AppendFloat64(b []byte, v float64) []byte {
 // AppendString appends s with 0x00 bytes escaped as 0x00 0xFF and a
 // 0x00 0x00 terminator, so prefixes sort before extensions and later fields
 // cannot bleed into the comparison.
-func AppendString(b []byte, s string) []byte {
+func AppendString(b []byte, s string) []byte { return appendEscaped(b, s) }
+
+func appendEscaped[T ~string | ~[]byte](b []byte, s T) []byte {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		b = append(b, c)
@@ -56,6 +58,10 @@ func AppendString(b []byte, s string) []byte {
 	}
 	return append(b, 0x00, 0x00)
 }
+
+// AppendBytes is AppendString for a byte-slice source, avoiding the string
+// conversion on decode-free hot paths.
+func AppendBytes(b []byte, s []byte) []byte { return appendEscaped(b, s) }
 
 // DecodeInt64 reads an int64 encoded by AppendInt64 and returns the value
 // and the remaining bytes.

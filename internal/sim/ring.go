@@ -1,0 +1,56 @@
+package sim
+
+// ring is a growable FIFO ring buffer. The kernel's wait queues and channel
+// buffers pop from the front on every grant; a plain slice either
+// shift-copies or, via s = s[1:], strands its prefix and re-allocates once
+// the backing array's tail is consumed. The ring reuses its backing array
+// in steady state: pushes and pops are O(1) and allocation-free once the
+// buffer has grown to the high-water mark.
+type ring[T any] struct {
+	buf  []T
+	head int
+	size int
+}
+
+// len returns the number of queued items.
+func (r *ring[T]) len() int { return r.size }
+
+// push appends v at the tail.
+func (r *ring[T]) push(v T) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+// pop removes and returns the head item; it panics on an empty ring (the
+// kernel always guards with len).
+func (r *ring[T]) pop() T {
+	if r.size == 0 {
+		panic("sim: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // drop the reference for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+// peek returns the head item without removing it.
+func (r *ring[T]) peek() T { return r.buf[r.head] }
+
+// grow doubles the backing array, linearising the live items.
+func (r *ring[T]) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]T, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -80,14 +80,15 @@ func (s *Signal) Waiting() int {
 	return n
 }
 
-// Resource is a counted resource (semaphore) with a FIFO wait queue. It
-// models servers such as CPU cores, disk arms, and network links. It also
+// Resource is a counted resource (semaphore) with a FIFO wait queue (a
+// ring buffer, so grants pop without shifting or re-allocating). It models
+// servers such as CPU cores, disk arms, and network links. It also
 // integrates busy units over time so callers can compute utilisation.
 type Resource struct {
 	env      *Env
 	capacity int64
 	inUse    int64
-	queue    []*waiter
+	queue    ring[*waiter]
 
 	lastChange time.Duration
 	busyInt    float64 // integral of inUse over time, in unit·seconds
@@ -108,7 +109,7 @@ func (r *Resource) Capacity() int64 { return r.capacity }
 func (r *Resource) InUse() int64 { return r.inUse }
 
 // QueueLen returns the number of processes waiting for units.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return r.queue.len() }
 
 func (r *Resource) account() {
 	now := r.env.now
@@ -128,20 +129,20 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	if n <= 0 || n > r.capacity {
 		panic("sim: invalid acquire amount")
 	}
-	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
+	if r.queue.len() == 0 && r.inUse+n <= r.capacity {
 		r.account()
 		r.inUse += n
 		return
 	}
 	w := r.env.getWaiter(p)
 	w.amount = n
-	r.queue = append(r.queue, w)
+	r.queue.push(w)
 	p.block()
 }
 
 // TryAcquire obtains n units if immediately available, reporting success.
 func (r *Resource) TryAcquire(n int64) bool {
-	if len(r.queue) == 0 && r.inUse+n <= r.capacity {
+	if r.queue.len() == 0 && r.inUse+n <= r.capacity {
 		r.account()
 		r.inUse += n
 		return true
@@ -156,17 +157,17 @@ func (r *Resource) Release(n int64) {
 	if r.inUse < 0 {
 		panic("sim: resource released more than acquired")
 	}
-	for len(r.queue) > 0 {
-		w := r.queue[0]
+	for r.queue.len() > 0 {
+		w := r.queue.peek()
 		if w.state == waitCancelled {
-			r.queue = r.queue[1:]
+			r.queue.pop()
 			r.env.putWaiter(w)
 			continue
 		}
 		if r.inUse+w.amount > r.capacity {
 			break
 		}
-		r.queue = r.queue[1:]
+		r.queue.pop()
 		r.account()
 		r.inUse += w.amount
 		w.state = waitGranted
@@ -183,13 +184,15 @@ func (r *Resource) Use(p *Proc, n int64, fn func()) {
 }
 
 // Chan is a bounded FIFO channel between simulation processes, analogous to
-// a buffered Go channel but operating in virtual time.
+// a buffered Go channel but operating in virtual time. The item buffer and
+// both wait lists are ring buffers: pops reuse the backing arrays instead
+// of abandoning their prefixes.
 type Chan[T any] struct {
 	env      *Env
 	capacity int
-	items    []T
-	getters  []*waiter
-	putters  []*waiter
+	items    ring[T]
+	getters  ring[*waiter]
+	putters  ring[*waiter]
 	closed   bool
 }
 
@@ -203,24 +206,24 @@ func NewChan[T any](env *Env, capacity int) *Chan[T] {
 }
 
 // Len returns the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.items) }
+func (c *Chan[T]) Len() int { return c.items.len() }
 
 // Put appends v, blocking while the channel is full. It reports false (and
 // drops v) if the channel was closed, which lets producers observe
 // cancellation even when they were parked mid-Put.
 func (c *Chan[T]) Put(p *Proc, v T) bool {
-	for len(c.items) >= c.capacity {
+	for c.items.len() >= c.capacity {
 		if c.closed {
 			return false
 		}
 		w := c.env.getWaiter(p)
-		c.putters = append(c.putters, w)
+		c.putters.push(w)
 		p.block()
 	}
 	if c.closed {
 		return false
 	}
-	c.items = append(c.items, v)
+	c.items.push(v)
 	c.wakeOne(&c.getters)
 	return true
 }
@@ -228,16 +231,15 @@ func (c *Chan[T]) Put(p *Proc, v T) bool {
 // Get removes and returns the oldest item, blocking while the channel is
 // empty. ok is false when the channel is closed and drained.
 func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
-	for len(c.items) == 0 {
+	for c.items.len() == 0 {
 		if c.closed {
 			return v, false
 		}
 		w := c.env.getWaiter(p)
-		c.getters = append(c.getters, w)
+		c.getters.push(w)
 		p.block()
 	}
-	v = c.items[0]
-	c.items = c.items[1:]
+	v = c.items.pop()
 	c.wakeOne(&c.putters)
 	return v, true
 }
@@ -252,10 +254,9 @@ func (c *Chan[T]) Close() {
 	c.wakeAll(&c.putters)
 }
 
-func (c *Chan[T]) wakeOne(list *[]*waiter) {
-	for len(*list) > 0 {
-		w := (*list)[0]
-		*list = (*list)[1:]
+func (c *Chan[T]) wakeOne(list *ring[*waiter]) {
+	for list.len() > 0 {
+		w := list.pop()
 		if w.state != waitPending {
 			c.env.putWaiter(w)
 			continue
@@ -267,10 +268,9 @@ func (c *Chan[T]) wakeOne(list *[]*waiter) {
 	}
 }
 
-func (c *Chan[T]) wakeAll(list *[]*waiter) {
-	ws := *list
-	*list = (*list)[:0]
-	for _, w := range ws {
+func (c *Chan[T]) wakeAll(list *ring[*waiter]) {
+	for list.len() > 0 {
+		w := list.pop()
 		if w.state != waitPending {
 			c.env.putWaiter(w)
 			continue

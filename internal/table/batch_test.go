@@ -1,0 +1,223 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestBatchDecodeMatchesDecodeRow round-trips random rows through both
+// representations: AppendEncodedRow must equal EncodeRow's bytes,
+// AppendDecoded into a batch must reconstruct the same values the boxed
+// DecodeRow sees, and AppendEncoded from the batch must reproduce the
+// original encoding byte-for-byte.
+func TestBatchDecodeMatchesDecodeRow(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s)
+	var encBuf []byte
+	f := func(id, branch int64, name string, balance float64) bool {
+		if math.IsNaN(balance) {
+			return true
+		}
+		row := Row{id, branch, name, balance}
+		enc, err := s.EncodeRow(row)
+		if err != nil {
+			return false
+		}
+		encBuf, err = s.AppendEncodedRow(encBuf[:0], row)
+		if err != nil || !bytes.Equal(encBuf, enc) {
+			return false
+		}
+		b.Reset()
+		if err := s.AppendDecoded(b, enc); err != nil || b.Len() != 1 {
+			return false
+		}
+		if b.Int(0, 0) != id || b.Int(1, 0) != branch ||
+			b.String(2, 0) != name || b.Float(3, 0) != balance {
+			return false
+		}
+		reenc, err := s.AppendEncoded(nil, b, 0)
+		if err != nil || !bytes.Equal(reenc, enc) {
+			return false
+		}
+		got := b.Row(0)
+		want, err := s.DecodeRow(enc)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchKeyMatchesSchemaKey checks AppendKey against the Row-based key
+// encoder.
+func TestBatchKeyMatchesSchemaKey(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s)
+	f := func(id, branch int64, name string, balance float64) bool {
+		if math.IsNaN(balance) {
+			return true
+		}
+		row := Row{id, branch, name, balance}
+		want, err := s.Key(row)
+		if err != nil {
+			return false
+		}
+		b.Reset()
+		if err := b.AppendRow(row); err != nil {
+			return false
+		}
+		got, err := s.AppendKey(nil, b, 0)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchMultiRowOps exercises the batch manipulation primitives the
+// executor relies on: append, move-compaction, truncation, column
+// projection, whole-batch append, and deep copy.
+func TestBatchMultiRowOps(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s)
+	const n = 37
+	for i := 0; i < n; i++ {
+		row := Row{int64(i), int64(i % 5), string(rune('a' + i%26)), float64(i) / 2}
+		if err := b.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.WireBytes(); got <= 0 {
+		t.Fatalf("WireBytes = %d", got)
+	}
+
+	// Deep copy, then mutate the copy: the original must not change.
+	cp := &Batch{}
+	cp.CopyFrom(b)
+	cp.SetInt(0, 3, -99)
+	if b.Int(0, 3) != 3 {
+		t.Fatal("CopyFrom aliases the source")
+	}
+	if cp.Len() != n || cp.String(2, 7) != b.String(2, 7) {
+		t.Fatal("CopyFrom mismatch")
+	}
+
+	// In-place compaction: keep even ids.
+	w := 0
+	for i := 0; i < b.Len(); i++ {
+		if b.Int(0, i)%2 == 0 {
+			if w != i {
+				b.MoveRow(w, i)
+			}
+			w++
+		}
+	}
+	b.Truncate(w)
+	if b.Len() != (n+1)/2 {
+		t.Fatalf("after filter Len = %d", b.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Int(0, i) != int64(2*i) {
+			t.Fatalf("row %d id = %d", i, b.Int(0, i))
+		}
+		if b.String(2, i) != string(rune('a'+(2*i)%26)) {
+			t.Fatalf("row %d name = %q", i, b.String(2, i))
+		}
+	}
+
+	// Projection: name + balance only.
+	ps := &Schema{Name: "proj", KeyCols: 1, Columns: []Column{s.Columns[2], s.Columns[3]}}
+	pb := NewBatch(ps)
+	pb.AppendColumns(b, []int{2, 3})
+	if pb.Len() != b.Len() || pb.String(0, 1) != b.String(2, 1) || pb.Float(1, 2) != b.Float(3, 2) {
+		t.Fatal("AppendColumns mismatch")
+	}
+
+	// Whole-batch append doubles the row count.
+	before := cp.Len()
+	cp.AppendBatch(cp2(t, b))
+	if cp.Len() != before+b.Len() {
+		t.Fatalf("AppendBatch Len = %d", cp.Len())
+	}
+	if cp.String(2, before) != b.String(2, 0) {
+		t.Fatal("AppendBatch row content mismatch")
+	}
+}
+
+func cp2(t *testing.T, b *Batch) *Batch {
+	t.Helper()
+	out := &Batch{}
+	out.CopyFrom(b)
+	return out
+}
+
+// TestBatchDecodeErrors mirrors the DecodeRow error cases and checks a
+// failed append leaves the batch unchanged.
+func TestBatchDecodeErrors(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s)
+	good, _ := s.EncodeRow(Row{int64(1), int64(2), "abc", 3.5})
+	if err := s.AppendDecoded(b, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDecoded(b, []byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated row accepted")
+	}
+	if err := s.AppendDecoded(b, append(bytes.Clone(good), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if b.Len() != 1 || b.Int(0, 0) != 1 || b.String(2, 0) != "abc" {
+		t.Fatal("failed decode corrupted the batch")
+	}
+	if err := b.AppendRow(Row{"nope", int64(0), "x", 0.0}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if b.Len() != 1 {
+		t.Fatal("failed AppendRow changed row count")
+	}
+}
+
+// TestBatchRefillZeroAlloc pins the decode-into contract: refilling a warm
+// batch (including a string column, whose bytes land in the reused arena)
+// allocates nothing.
+func TestBatchRefillZeroAlloc(t *testing.T) {
+	s := testSchema()
+	b := NewBatch(s)
+	var payloads [][]byte
+	for i := 0; i < 64; i++ {
+		enc, err := s.EncodeRow(Row{int64(i), int64(i % 3), "some-name-bytes", float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, enc)
+	}
+	refill := func() {
+		b.Reset()
+		for _, enc := range payloads {
+			if err := s.AppendDecoded(b, enc); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	refill() // warm vectors and arena
+	if allocs := testing.AllocsPerRun(100, refill); allocs != 0 {
+		t.Fatalf("warm batch refill allocates %v objects/run, want 0", allocs)
+	}
+}

@@ -42,6 +42,11 @@ type Schema struct {
 	Name    string
 	Columns []Column
 	KeyCols int
+
+	// wireFixed caches the fixed-width wire footprint of one row (framing
+	// plus per-column fixed bytes), so wire-cost accounting never re-walks
+	// column values. Computed lazily by FixedWireBytes.
+	wireFixed int64
 }
 
 // Row is one record's values, position-matched to Schema.Columns. Values
@@ -67,28 +72,34 @@ func (s *Schema) Key(row Row) ([]byte, error) {
 // EncodeKeyPrefix encodes a (possibly partial) key prefix: useful for range
 // bounds like "all orders of warehouse 3".
 func (s *Schema) EncodeKeyPrefix(vals ...any) ([]byte, error) {
+	return s.AppendKeyPrefix(nil, vals...)
+}
+
+// AppendKeyPrefix is EncodeKeyPrefix appending into a reusable buffer. On
+// error the buffer (possibly extended by already-encoded columns) is
+// returned so callers keep their scratch capacity.
+func (s *Schema) AppendKeyPrefix(key []byte, vals ...any) ([]byte, error) {
 	if len(vals) > s.KeyCols {
-		return nil, fmt.Errorf("table %s: %d key values, max %d", s.Name, len(vals), s.KeyCols)
+		return key, fmt.Errorf("table %s: %d key values, max %d", s.Name, len(vals), s.KeyCols)
 	}
-	var key []byte
 	for i, v := range vals {
 		switch s.Columns[i].Type {
 		case ColInt64:
 			iv, ok := v.(int64)
 			if !ok {
-				return nil, fmt.Errorf("table %s: key col %d: want int64, got %T", s.Name, i, v)
+				return key, fmt.Errorf("table %s: key col %d: want int64, got %T", s.Name, i, v)
 			}
 			key = keycodec.AppendInt64(key, iv)
 		case ColString:
 			sv, ok := v.(string)
 			if !ok {
-				return nil, fmt.Errorf("table %s: key col %d: want string, got %T", s.Name, i, v)
+				return key, fmt.Errorf("table %s: key col %d: want string, got %T", s.Name, i, v)
 			}
 			key = keycodec.AppendString(key, sv)
 		case ColFloat64:
 			fv, ok := v.(float64)
 			if !ok {
-				return nil, fmt.Errorf("table %s: key col %d: want float64, got %T", s.Name, i, v)
+				return key, fmt.Errorf("table %s: key col %d: want float64, got %T", s.Name, i, v)
 			}
 			key = keycodec.AppendFloat64(key, fv)
 		}
@@ -99,79 +110,75 @@ func (s *Schema) EncodeKeyPrefix(vals ...any) ([]byte, error) {
 // EncodeRow serialises all column values (including key columns, so rows
 // are self-contained when shipped between nodes).
 func (s *Schema) EncodeRow(row Row) ([]byte, error) {
+	return s.AppendEncodedRow(nil, row)
+}
+
+// AppendEncodedRow is EncodeRow appending into a reusable buffer: encode
+// paths that ship one record at a time (TPC-C writes, data generators) use
+// it to stop allocating a fresh buffer per record.
+func (s *Schema) AppendEncodedRow(dst []byte, row Row) ([]byte, error) {
 	if len(row) != len(s.Columns) {
-		return nil, fmt.Errorf("table %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
+		return dst, fmt.Errorf("table %s: row has %d values, want %d", s.Name, len(row), len(s.Columns))
 	}
-	var buf []byte
-	for i, col := range s.Columns {
+	for i := range s.Columns {
+		col := &s.Columns[i]
 		switch col.Type {
 		case ColInt64:
 			iv, ok := row[i].(int64)
 			if !ok {
-				return nil, fmt.Errorf("table %s: col %s: want int64, got %T", s.Name, col.Name, row[i])
+				return dst, fmt.Errorf("table %s: col %s: want int64, got %T", s.Name, col.Name, row[i])
 			}
-			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], uint64(iv))
-			buf = append(buf, b[:]...)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(iv))
 		case ColFloat64:
 			fv, ok := row[i].(float64)
 			if !ok {
-				return nil, fmt.Errorf("table %s: col %s: want float64, got %T", s.Name, col.Name, row[i])
+				return dst, fmt.Errorf("table %s: col %s: want float64, got %T", s.Name, col.Name, row[i])
 			}
-			var b [8]byte
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(fv))
-			buf = append(buf, b[:]...)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(fv))
 		case ColString:
 			sv, ok := row[i].(string)
 			if !ok {
-				return nil, fmt.Errorf("table %s: col %s: want string, got %T", s.Name, col.Name, row[i])
+				return dst, fmt.Errorf("table %s: col %s: want string, got %T", s.Name, col.Name, row[i])
 			}
 			if len(sv) > 0xFFFF {
-				return nil, fmt.Errorf("table %s: col %s: string too long", s.Name, col.Name)
+				return dst, fmt.Errorf("table %s: col %s: string too long", s.Name, col.Name)
 			}
-			var b [2]byte
-			binary.LittleEndian.PutUint16(b[:], uint16(len(sv)))
-			buf = append(buf, b[:]...)
-			buf = append(buf, sv...)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(sv)))
+			dst = append(dst, sv...)
 		}
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// DecodeRow parses bytes produced by EncodeRow.
+// DecodeRow parses bytes produced by EncodeRow into a boxed Row. It is a
+// compatibility wrapper over a one-row Batch; decode hot paths should use
+// AppendDecoded into a reused Batch instead.
 func (s *Schema) DecodeRow(buf []byte) (Row, error) {
-	row := make(Row, len(s.Columns))
-	for i, col := range s.Columns {
-		switch col.Type {
-		case ColInt64:
-			if len(buf) < 8 {
-				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
+	var b Batch
+	b.Init(s)
+	if err := s.AppendDecoded(&b, buf); err != nil {
+		return nil, err
+	}
+	return b.Row(0), nil
+}
+
+// FixedWireBytes returns the fixed-width wire footprint of one encoded row:
+// 8 bytes framing, 8 per numeric column, and 2 (the length header) per
+// string column. String payload bytes are accounted separately by
+// Batch.WireBytes.
+func (s *Schema) FixedWireBytes() int64 {
+	if s.wireFixed == 0 {
+		var n int64 = 8 // framing
+		for i := range s.Columns {
+			if s.Columns[i].Type == ColString {
+				n += 2
+			} else {
+				n += 8
 			}
-			row[i] = int64(binary.LittleEndian.Uint64(buf))
-			buf = buf[8:]
-		case ColFloat64:
-			if len(buf) < 8 {
-				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
-			}
-			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
-			buf = buf[8:]
-		case ColString:
-			if len(buf) < 2 {
-				return nil, fmt.Errorf("table %s: truncated row at col %s", s.Name, col.Name)
-			}
-			n := int(binary.LittleEndian.Uint16(buf))
-			buf = buf[2:]
-			if len(buf) < n {
-				return nil, fmt.Errorf("table %s: truncated string at col %s", s.Name, col.Name)
-			}
-			row[i] = string(buf[:n])
-			buf = buf[n:]
 		}
+		s.wireFixed = n
 	}
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("table %s: %d trailing bytes", s.Name, len(buf))
-	}
-	return row, nil
+	return s.wireFixed
 }
 
 // Col returns the index of the named column, or -1.

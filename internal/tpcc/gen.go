@@ -40,6 +40,9 @@ type Deployment struct {
 	Cfg     Config
 	Schemas map[string]*table.Schema
 	Master  *cluster.Master
+
+	// scratch pools per-transaction decode/encode workspaces (txnScratch).
+	scratch []*txnScratch
 }
 
 // WarehouseRange assigns warehouses [FromW, ToW] (inclusive) to Owner.
@@ -76,10 +79,48 @@ func Deploy(m *cluster.Master, cfg Config, scheme table.Scheme, ranges []Warehou
 	return &Deployment{Cfg: cfg, Schemas: schemas, Master: m}, nil
 }
 
-// rowStream produces encoded (key, payload) pairs in key order.
-type rowStream struct {
-	schema *table.Schema
-	rows   func(emit func(table.Row) error) error
+// arenaStream encodes a generated table into one shared arena — keys and
+// payloads back-to-back, offsets recorded instead of slices — so a whole
+// load stream costs a few amortised allocations instead of two per record.
+// It returns a restartable stream factory; the arena stops growing before
+// any stream is drained, so the handed-out sub-slices stay valid across the
+// bulk loader's one-record look-ahead.
+func arenaStream(s *table.Schema, gen func(emit func(table.Row) error) error) (func() func() ([]byte, []byte, bool), error) {
+	type span struct{ k1, v1 int } // key = arena[prev.v1:k1], payload = arena[k1:v1]
+	var arena []byte
+	var rows []span
+	err := gen(func(r table.Row) error {
+		var err error
+		arena, err = s.AppendKeyPrefix(arena, r[:s.KeyCols]...)
+		if err != nil {
+			return err
+		}
+		k1 := len(arena)
+		arena, err = s.AppendEncodedRow(arena, r)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, span{k1, len(arena)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func() func() ([]byte, []byte, bool) {
+		i := 0
+		return func() ([]byte, []byte, bool) {
+			if i >= len(rows) {
+				return nil, nil, false
+			}
+			k0 := 0
+			if i > 0 {
+				k0 = rows[i-1].v1
+			}
+			sp := rows[i]
+			i++
+			return arena[k0:sp.k1], arena[sp.k1:sp.v1], true
+		}
+	}, nil
 }
 
 // Load generates and bulk-loads the full dataset (no simulation time).
@@ -87,36 +128,15 @@ func (d *Deployment) Load(p *sim.Proc) error {
 	cfg := d.Cfg
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Generation is cheap; each table is buffered whole (as an encoded
+	// arena) to keep the stream strictly sorted — generators already emit
+	// in key order.
 	load := func(name string, gen func(emit func(table.Row) error) error) error {
-		s := d.Schemas[name]
-		type kv struct{ k, v []byte }
-		// Generation is cheap; buffer a whole table to keep the stream
-		// strictly sorted (generators already emit in key order).
-		var rows []kv
-		err := gen(func(r table.Row) error {
-			key, err := s.Key(r)
-			if err != nil {
-				return err
-			}
-			payload, err := s.EncodeRow(r)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, kv{key, payload})
-			return nil
-		})
+		stream, err := arenaStream(d.Schemas[name], gen)
 		if err != nil {
 			return err
 		}
-		i := 0
-		return d.Master.BulkLoad(p, name, func() ([]byte, []byte, bool) {
-			if i >= len(rows) {
-				return nil, nil, false
-			}
-			r := rows[i]
-			i++
-			return r.k, r.v, true
-		})
+		return d.Master.BulkLoad(p, name, stream())
 	}
 
 	W, D, C := cfg.Warehouses, cfg.DistrictsPerW, cfg.CustomersPerDistrict
@@ -275,20 +295,20 @@ func (d *Deployment) Load(p *sim.Proc) error {
 		return err
 	}
 
-	// ITEM: replicated, restartable stream.
-	return d.Master.BulkLoadReplicated(p, TItem, func() func() ([]byte, []byte, bool) {
+	// ITEM: replicated, restartable stream. The arena is encoded once and
+	// every replica drains its own pass over it.
+	itemStream, err := arenaStream(d.Schemas[TItem], func(emit func(table.Row) error) error {
 		r := rand.New(rand.NewSource(cfg.Seed + 13))
-		s := d.Schemas[TItem]
-		i := 0
-		return func() ([]byte, []byte, bool) {
-			if i >= cfg.Items {
-				return nil, nil, false
-			}
-			i++
+		for i := 1; i <= cfg.Items; i++ {
 			row := table.Row{int64(i), fmt.Sprintf("item-%05d", i), 1 + r.Float64()*99, randData(r, 26, 50)}
-			key, _ := s.Key(row)
-			payload, _ := s.EncodeRow(row)
-			return key, payload, true
+			if err := emit(row); err != nil {
+				return err
+			}
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return d.Master.BulkLoadReplicated(p, TItem, itemStream)
 }

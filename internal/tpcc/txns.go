@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"wattdb/internal/cluster"
-	"wattdb/internal/keycodec"
 	"wattdb/internal/sim"
 	"wattdb/internal/table"
 )
@@ -44,6 +43,40 @@ func PickTxn(rng *rand.Rand) TxnType {
 	}
 }
 
+// txnScratch is the per-transaction decode/encode workspace: one reusable
+// one-row batch per table plus key and payload encode buffers. Scratches
+// are pooled on the Deployment (the simulation kernel is cooperative, so
+// the pool needs no locking); a warm transaction mix decodes and re-encodes
+// rows without allocating per record.
+type txnScratch struct {
+	rows map[string]*table.Batch
+	key  []byte
+	buf  []byte
+}
+
+// batch returns the scratch's reusable batch for schema, reset to empty.
+func (sc *txnScratch) batch(s *table.Schema) *table.Batch {
+	b := sc.rows[s.Name]
+	if b == nil {
+		b = table.NewBatch(s)
+		sc.rows[s.Name] = b
+	} else {
+		b.Reset()
+	}
+	return b
+}
+
+func (d *Deployment) getScratch() *txnScratch {
+	if n := len(d.scratch); n > 0 {
+		sc := d.scratch[n-1]
+		d.scratch = d.scratch[:n-1]
+		return sc
+	}
+	return &txnScratch{rows: make(map[string]*table.Batch)}
+}
+
+func (d *Deployment) putScratch(sc *txnScratch) { d.scratch = append(d.scratch, sc) }
+
 // Exec runs one transaction of the given type against sess, for home
 // warehouse w. The caller owns commit/abort (Exec leaves the session open on
 // success and returns any execution error as-is for retry logic).
@@ -62,31 +95,56 @@ func (d *Deployment) Exec(p *sim.Proc, sess *cluster.Session, typ TxnType, w int
 	}
 }
 
-func (d *Deployment) get(p *sim.Proc, s *cluster.Session, tbl string, keyVals ...any) (table.Row, bool, error) {
+// get reads tbl[keyVals...] into the scratch's reusable batch for that
+// table (row 0 of the returned batch; valid until the table is read again
+// through the same scratch).
+func (d *Deployment) get(p *sim.Proc, s *cluster.Session, sc *txnScratch, tbl string, keyVals ...any) (*table.Batch, bool, error) {
 	schema := d.Schemas[tbl]
-	key, err := schema.EncodeKeyPrefix(keyVals...)
+	var err error
+	sc.key, err = schema.AppendKeyPrefix(sc.key[:0], keyVals...)
 	if err != nil {
 		return nil, false, err
 	}
-	raw, ok, err := s.Get(p, tbl, key)
+	raw, ok, err := s.Get(p, tbl, sc.key)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	row, err := schema.DecodeRow(raw)
-	return row, true, err
+	b := sc.batch(schema)
+	if err := schema.AppendDecoded(b, raw); err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
 }
 
-func (d *Deployment) put(p *sim.Proc, s *cluster.Session, tbl string, row table.Row) error {
+// putRow writes back row 0 of b, re-encoding key and payload into the
+// scratch's buffers (the partition layer copies what it stages).
+func (d *Deployment) putRow(p *sim.Proc, s *cluster.Session, sc *txnScratch, tbl string, b *table.Batch) error {
 	schema := d.Schemas[tbl]
-	key, err := schema.Key(row)
+	var err error
+	sc.key, err = schema.AppendKey(sc.key[:0], b, 0)
 	if err != nil {
 		return err
 	}
-	payload, err := schema.EncodeRow(row)
+	sc.buf, err = schema.AppendEncoded(sc.buf[:0], b, 0)
 	if err != nil {
 		return err
 	}
-	return s.Put(p, tbl, key, payload)
+	return s.Put(p, tbl, sc.key, sc.buf)
+}
+
+// put inserts a freshly built row, encoding through the scratch buffers.
+func (d *Deployment) put(p *sim.Proc, s *cluster.Session, sc *txnScratch, tbl string, row table.Row) error {
+	schema := d.Schemas[tbl]
+	var err error
+	sc.key, err = schema.AppendKeyPrefix(sc.key[:0], row[:schema.KeyCols]...)
+	if err != nil {
+		return err
+	}
+	sc.buf, err = schema.AppendEncodedRow(sc.buf[:0], row)
+	if err != nil {
+		return err
+	}
+	return s.Put(p, tbl, sc.key, sc.buf)
 }
 
 // NewOrder is the spec's order-entry transaction: reads warehouse, district
@@ -94,32 +152,34 @@ func (d *Deployment) put(p *sim.Proc, s *cluster.Session, tbl string, row table.
 // one ORDER_LINE per item; updates each STOCK row (1% of lines supply from
 // a remote warehouse, making the transaction distributed).
 func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	cfg := d.Cfg
 	dd := 1 + rng.Intn(cfg.DistrictsPerW)
 	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
 	olCnt := 5 + rng.Intn(11)
 
-	if _, ok, err := d.get(p, s, TWarehouse, int64(w)); err != nil || !ok {
+	if _, ok, err := d.get(p, s, sc, TWarehouse, int64(w)); err != nil || !ok {
 		return orErr(err, "warehouse %d missing", w)
 	}
-	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	dist, ok, err := d.get(p, s, sc, TDistrict, int64(w), int64(dd))
 	if err != nil || !ok {
 		return orErr(err, "district %d/%d missing", w, dd)
 	}
-	if _, ok, err = d.get(p, s, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
+	if _, ok, err = d.get(p, s, sc, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
 		return orErr(err, "customer %d/%d/%d missing", w, dd, c)
 	}
 
-	oID := dist[5].(int64)
-	dist[5] = oID + 1
-	if err := d.put(p, s, TDistrict, dist); err != nil {
+	oID := dist.Int(5, 0)
+	dist.SetInt(5, 0, oID+1)
+	if err := d.putRow(p, s, sc, TDistrict, dist); err != nil {
 		return err
 	}
-	if err := d.put(p, s, TOrders, table.Row{int64(w), int64(dd), oID,
+	if err := d.put(p, s, sc, TOrders, table.Row{int64(w), int64(dd), oID,
 		int64(c), oID, int64(0), int64(olCnt)}); err != nil {
 		return err
 	}
-	if err := d.put(p, s, TNewOrder, table.Row{int64(w), int64(dd), oID}); err != nil {
+	if err := d.put(p, s, sc, TNewOrder, table.Row{int64(w), int64(dd), oID}); err != nil {
 		return err
 	}
 	total := 0.0
@@ -131,32 +191,33 @@ func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 				supplyW = 1 + rng.Intn(cfg.Warehouses)
 			}
 		}
-		itemRow, ok, err := d.get(p, s, TItem, int64(item))
+		itemRow, ok, err := d.get(p, s, sc, TItem, int64(item))
 		if err != nil || !ok {
 			return orErr(err, "item %d missing", item)
 		}
-		stock, ok, err := d.get(p, s, TStock, int64(supplyW), int64(item))
+		price := itemRow.Float(2, 0)
+		stock, ok, err := d.get(p, s, sc, TStock, int64(supplyW), int64(item))
 		if err != nil || !ok {
 			return orErr(err, "stock %d/%d missing", supplyW, item)
 		}
 		qty := int64(1 + rng.Intn(10))
-		sq := stock[2].(int64)
+		sq := stock.Int(2, 0)
 		if sq >= qty+10 {
-			stock[2] = sq - qty
+			stock.SetInt(2, 0, sq-qty)
 		} else {
-			stock[2] = sq - qty + 91
+			stock.SetInt(2, 0, sq-qty+91)
 		}
-		stock[3] = stock[3].(float64) + float64(qty)
-		stock[4] = stock[4].(int64) + 1
+		stock.SetFloat(3, 0, stock.Float(3, 0)+float64(qty))
+		stock.SetInt(4, 0, stock.Int(4, 0)+1)
 		if supplyW != w {
-			stock[5] = stock[5].(int64) + 1
+			stock.SetInt(5, 0, stock.Int(5, 0)+1)
 		}
-		if err := d.put(p, s, TStock, stock); err != nil {
+		if err := d.putRow(p, s, sc, TStock, stock); err != nil {
 			return err
 		}
-		amount := float64(qty) * itemRow[2].(float64)
+		amount := float64(qty) * price
 		total += amount
-		if err := d.put(p, s, TOrderLine, table.Row{int64(w), int64(dd), oID, int64(ol),
+		if err := d.put(p, s, sc, TOrderLine, table.Row{int64(w), int64(dd), oID, int64(ol),
 			int64(item), int64(supplyW), qty, amount, "dist-info-xxxxxxxxxxxxxx"}); err != nil {
 			return err
 		}
@@ -169,6 +230,8 @@ func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 // appends a history row. 15% of payments are for a customer of a remote
 // warehouse, per spec.
 func (d *Deployment) Payment(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	cfg := d.Cfg
 	dd := 1 + rng.Intn(cfg.DistrictsPerW)
 	cw, cd := w, dd
@@ -181,52 +244,54 @@ func (d *Deployment) Payment(p *sim.Proc, s *cluster.Session, w int, rng *rand.R
 	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
 	amount := 1 + rng.Float64()*4999
 
-	wh, ok, err := d.get(p, s, TWarehouse, int64(w))
+	wh, ok, err := d.get(p, s, sc, TWarehouse, int64(w))
 	if err != nil || !ok {
 		return orErr(err, "warehouse %d missing", w)
 	}
-	wh[3] = wh[3].(float64) + amount
-	if err := d.put(p, s, TWarehouse, wh); err != nil {
+	wh.SetFloat(3, 0, wh.Float(3, 0)+amount)
+	if err := d.putRow(p, s, sc, TWarehouse, wh); err != nil {
 		return err
 	}
-	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	dist, ok, err := d.get(p, s, sc, TDistrict, int64(w), int64(dd))
 	if err != nil || !ok {
 		return orErr(err, "district missing")
 	}
-	dist[4] = dist[4].(float64) + amount
-	if err := d.put(p, s, TDistrict, dist); err != nil {
+	dist.SetFloat(4, 0, dist.Float(4, 0)+amount)
+	if err := d.putRow(p, s, sc, TDistrict, dist); err != nil {
 		return err
 	}
-	cust, ok, err := d.get(p, s, TCustomer, int64(cw), int64(cd), int64(c))
+	cust, ok, err := d.get(p, s, sc, TCustomer, int64(cw), int64(cd), int64(c))
 	if err != nil || !ok {
 		return orErr(err, "customer missing")
 	}
-	cust[5] = cust[5].(float64) - amount
-	cust[6] = cust[6].(float64) + amount
-	cust[7] = cust[7].(int64) + 1
-	if err := d.put(p, s, TCustomer, cust); err != nil {
+	cust.SetFloat(5, 0, cust.Float(5, 0)-amount)
+	cust.SetFloat(6, 0, cust.Float(6, 0)+amount)
+	cust.SetInt(7, 0, cust.Int(7, 0)+1)
+	if err := d.putRow(p, s, sc, TCustomer, cust); err != nil {
 		return err
 	}
 	seq := int64(s.Txn.ID) // unique per transaction
-	return d.put(p, s, THistory, table.Row{int64(cw), int64(cd), int64(c), seq,
+	return d.put(p, s, sc, THistory, table.Row{int64(cw), int64(cd), int64(c), seq,
 		amount, "payment-history-data"})
 }
 
 // OrderStatus reads a customer's most recent order and its lines
 // (read-only).
 func (d *Deployment) OrderStatus(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	cfg := d.Cfg
 	dd := 1 + rng.Intn(cfg.DistrictsPerW)
 	c := NURand(rng, 1023, 1, cfg.CustomersPerDistrict)
-	if _, ok, err := d.get(p, s, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
+	if _, ok, err := d.get(p, s, sc, TCustomer, int64(w), int64(dd), int64(c)); err != nil || !ok {
 		return orErr(err, "customer missing")
 	}
 	// Latest order of the customer: scan the district's recent orders.
-	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	dist, ok, err := d.get(p, s, sc, TDistrict, int64(w), int64(dd))
 	if err != nil || !ok {
 		return orErr(err, "district missing")
 	}
-	nextO := dist[5].(int64)
+	nextO := dist.Int(5, 0)
 	fromO := nextO - 40
 	if fromO < 1 {
 		fromO = 1
@@ -236,14 +301,15 @@ func (d *Deployment) OrderStatus(p *sim.Proc, s *cluster.Session, w int, rng *ra
 	hi, _ := oSchema.EncodeKeyPrefix(int64(w), int64(dd), nextO)
 	var lastOrder int64 = -1
 	var olCnt int64
+	ob := sc.batch(oSchema)
 	err = s.Scan(p, TOrders, lo, hi, func(_, payload []byte) bool {
-		row, derr := oSchema.DecodeRow(payload)
-		if derr != nil {
+		ob.Reset()
+		if oSchema.AppendDecoded(ob, payload) != nil {
 			return false
 		}
-		if row[3].(int64) == int64(c) {
-			lastOrder = row[2].(int64)
-			olCnt = row[6].(int64)
+		if ob.Int(3, 0) == int64(c) {
+			lastOrder = ob.Int(2, 0)
+			olCnt = ob.Int(6, 0)
 		}
 		return true
 	})
@@ -272,20 +338,22 @@ func (d *Deployment) OrderStatus(p *sim.Proc, s *cluster.Session, w int, rng *ra
 // removes its NEW_ORDER entry, stamps the carrier, sums the line amounts
 // and credits the customer.
 func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	carrier := int64(1 + rng.Intn(10))
 	noSchema := d.Schemas[TNewOrder]
-	oSchema := d.Schemas[TOrders]
 	olSchema := d.Schemas[TOrderLine]
 	for dd := 1; dd <= d.Cfg.DistrictsPerW; dd++ {
 		lo, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd))
 		hi, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd+1))
 		var oldest int64 = -1
+		nb := sc.batch(noSchema)
 		if err := s.Scan(p, TNewOrder, lo, hi, func(_, payload []byte) bool {
-			row, derr := noSchema.DecodeRow(payload)
-			if derr != nil {
+			nb.Reset()
+			if noSchema.AppendDecoded(nb, payload) != nil {
 				return false
 			}
-			oldest = row[2].(int64)
+			oldest = nb.Int(2, 0)
 			return false // first = oldest
 		}); err != nil {
 			return err
@@ -293,41 +361,46 @@ func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 		if oldest < 0 {
 			continue
 		}
-		noKey, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest)
-		if err := s.Delete(p, TNewOrder, noKey); err != nil {
+		noKey, err := noSchema.AppendKeyPrefix(sc.key[:0], int64(w), int64(dd), oldest)
+		if err != nil {
 			return err
 		}
-		order, ok, err := d.get(p, s, TOrders, int64(w), int64(dd), oldest)
+		sc.key = noKey
+		if err := s.Delete(p, TNewOrder, sc.key); err != nil {
+			return err
+		}
+		order, ok, err := d.get(p, s, sc, TOrders, int64(w), int64(dd), oldest)
 		if err != nil || !ok {
 			return orErr(err, "order %d/%d/%d missing", w, dd, oldest)
 		}
-		order[5] = carrier
-		if err := d.put(p, s, TOrders, order); err != nil {
+		order.SetInt(5, 0, carrier)
+		if err := d.putRow(p, s, sc, TOrders, order); err != nil {
 			return err
 		}
+		custID := order.Int(3, 0)
 		total := 0.0
 		llo, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest)
 		lhi, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), oldest+1)
+		ob := sc.batch(olSchema)
 		if err := s.Scan(p, TOrderLine, llo, lhi, func(_, payload []byte) bool {
-			row, derr := olSchema.DecodeRow(payload)
-			if derr != nil {
+			ob.Reset()
+			if olSchema.AppendDecoded(ob, payload) != nil {
 				return false
 			}
-			total += row[7].(float64)
+			total += ob.Float(7, 0)
 			return true
 		}); err != nil {
 			return err
 		}
-		cust, ok, err := d.get(p, s, TCustomer, int64(w), int64(dd), order[3].(int64))
+		cust, ok, err := d.get(p, s, sc, TCustomer, int64(w), int64(dd), custID)
 		if err != nil || !ok {
 			return orErr(err, "customer missing")
 		}
-		cust[5] = cust[5].(float64) + total
-		cust[8] = cust[8].(int64) + 1
-		if err := d.put(p, s, TCustomer, cust); err != nil {
+		cust.SetFloat(5, 0, cust.Float(5, 0)+total)
+		cust.SetInt(8, 0, cust.Int(8, 0)+1)
+		if err := d.putRow(p, s, sc, TCustomer, cust); err != nil {
 			return err
 		}
-		_ = oSchema
 	}
 	return nil
 }
@@ -335,13 +408,15 @@ func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 // StockLevel counts recently sold items whose stock fell below a threshold
 // (read-only, scan-heavy).
 func (d *Deployment) StockLevel(p *sim.Proc, s *cluster.Session, w int, rng *rand.Rand) error {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	dd := 1 + rng.Intn(d.Cfg.DistrictsPerW)
 	threshold := int64(10 + rng.Intn(11))
-	dist, ok, err := d.get(p, s, TDistrict, int64(w), int64(dd))
+	dist, ok, err := d.get(p, s, sc, TDistrict, int64(w), int64(dd))
 	if err != nil || !ok {
 		return orErr(err, "district missing")
 	}
-	nextO := dist[5].(int64)
+	nextO := dist.Int(5, 0)
 	fromO := nextO - 20
 	if fromO < 1 {
 		fromO = 1
@@ -351,12 +426,13 @@ func (d *Deployment) StockLevel(p *sim.Proc, s *cluster.Session, w int, rng *ran
 	hi, _ := olSchema.EncodeKeyPrefix(int64(w), int64(dd), nextO)
 	seen := map[int64]bool{}
 	var items []int64 // kept in scan order for determinism
+	ob := sc.batch(olSchema)
 	if err := s.Scan(p, TOrderLine, lo, hi, func(_, payload []byte) bool {
-		row, derr := olSchema.DecodeRow(payload)
-		if derr != nil {
+		ob.Reset()
+		if olSchema.AppendDecoded(ob, payload) != nil {
 			return false
 		}
-		if id := row[4].(int64); !seen[id] {
+		if id := ob.Int(4, 0); !seen[id] {
 			seen[id] = true
 			items = append(items, id)
 		}
@@ -366,11 +442,11 @@ func (d *Deployment) StockLevel(p *sim.Proc, s *cluster.Session, w int, rng *ran
 	}
 	low := 0
 	for _, item := range items {
-		stock, ok, err := d.get(p, s, TStock, int64(w), item)
+		stock, ok, err := d.get(p, s, sc, TStock, int64(w), item)
 		if err != nil {
 			return err
 		}
-		if ok && stock[2].(int64) < threshold {
+		if ok && stock.Int(2, 0) < threshold {
 			low++
 		}
 	}
@@ -384,5 +460,3 @@ func orErr(err error, format string, args ...any) error {
 	}
 	return fmt.Errorf("tpcc: "+format, args...)
 }
-
-var _ = keycodec.Int64Key // keep import for key helpers used above
