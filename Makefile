@@ -6,7 +6,10 @@ BENCH_COUNT    ?= 10
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-.PHONY: all build test vet bench-quick bench-micro bench-baseline bench-compare check
+# Chaos harness: number of seeds swept by `make chaos`.
+SEEDS ?= 25
+
+.PHONY: all build test test-race vet chaos bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -14,16 +17,25 @@ all: check
 build:
 	$(GO) build ./...
 
-## test: run the full unit-test suite (tier-1 verification, part 1)
+## test: run the full unit-test suite
 test:
 	$(GO) test ./...
+
+## test-race: the full suite under the race detector
+test-race:
+	$(GO) test -race ./...
 
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
 
-## check: tier-1 verification in one command
-check: build vet test
+## chaos: sweep the deterministic fault-injection harness over SEEDS seeds
+## (schemes rotate per seed); any failing seed prints a one-line repro
+chaos:
+	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS)
+
+## check: tier-1 verification in one command (build + vet + race-enabled tests)
+check: build vet test-race
 
 ## bench-quick: regenerate every paper figure once at CI scale
 bench-quick:

@@ -310,4 +310,3 @@ func BenchmarkTableScanBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 }
-

@@ -1,0 +1,116 @@
+// Command wattdb-chaos drives the deterministic fault-injection harness
+// (internal/chaos) from the command line:
+//
+//	wattdb-chaos -seeds 25          # seeds 1..25, schemes rotating per seed
+//	wattdb-chaos -seed 7 -scheme logical -v   # reproduce one run exactly
+//
+// Every run prints its seed, scheme, and final state hash; a failing seed
+// reproduces bit-for-bit with the same flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wattdb/internal/chaos"
+	"wattdb/internal/table"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 0, "run seeds 1..N (schemes rotate per seed)")
+	seed := flag.Int64("seed", 1, "single seed to run (ignored when -seeds is set)")
+	schemeFlag := flag.String("scheme", "", "partitioning scheme: physical, logical, physiological (default: rotate by seed)")
+	keys := flag.Int("keys", 0, "key-space size (default 400)")
+	workers := flag.Int("workers", 0, "workload processes (default 4)")
+	duration := flag.Duration("duration", 0, "simulated workload window (default 45s)")
+	faults := flag.Int("faults", 0, "extra random fault events (default 4)")
+	verbose := flag.Bool("v", false, "print the fault schedule of every run")
+	flag.Parse()
+
+	schemes := []table.Scheme{table.Physical, table.Logical, table.Physiological}
+	pick := func(s int64) (table.Scheme, error) {
+		switch *schemeFlag {
+		case "":
+			return schemes[int(s)%len(schemes)], nil
+		case "physical":
+			return table.Physical, nil
+		case "logical":
+			return table.Logical, nil
+		case "physiological":
+			return table.Physiological, nil
+		}
+		return 0, fmt.Errorf("unknown scheme %q", *schemeFlag)
+	}
+
+	var runSeeds []int64
+	if *seeds > 0 {
+		for s := int64(1); s <= int64(*seeds); s++ {
+			runSeeds = append(runSeeds, s)
+		}
+	} else {
+		runSeeds = []int64{*seed}
+	}
+
+	failures := 0
+	start := time.Now()
+	for _, s := range runSeeds {
+		scheme, err := pick(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep, err := chaos.Run(chaos.Config{
+			Seed:     s,
+			Scheme:   scheme,
+			Keys:     *keys,
+			Workers:  *workers,
+			Duration: *duration,
+			Faults:   *faults,
+		})
+		if err != nil {
+			fmt.Printf("seed=%-4d scheme=%-13s ERROR: %v\n", s, scheme, err)
+			failures++
+			continue
+		}
+		status := "PASS"
+		if !rep.Passed() {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d restarts=%d\n",
+			s, scheme, status, rep.StateHash, rep.SimTime.Seconds(),
+			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.Restarts)
+		if *verbose || !rep.Passed() {
+			for _, f := range rep.Faults {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+		if !rep.Passed() {
+			for _, v := range rep.Violations {
+				fmt.Printf("    VIOLATION: %s\n", v)
+			}
+			repro := fmt.Sprintf("go run ./cmd/wattdb-chaos -seed %d -scheme %s", s, scheme)
+			// Non-default knobs change the fault plan; the repro must carry
+			// them or the failing schedule will not regenerate.
+			if *keys != 0 {
+				repro += fmt.Sprintf(" -keys %d", *keys)
+			}
+			if *workers != 0 {
+				repro += fmt.Sprintf(" -workers %d", *workers)
+			}
+			if *duration != 0 {
+				repro += fmt.Sprintf(" -duration %s", *duration)
+			}
+			if *faults != 0 {
+				repro += fmt.Sprintf(" -faults %d", *faults)
+			}
+			fmt.Printf("    reproduce: %s\n", repro)
+		}
+	}
+	fmt.Printf("%d/%d runs passed (%.1fs wall)\n", len(runSeeds)-failures, len(runSeeds), time.Since(start).Seconds())
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

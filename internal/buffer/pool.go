@@ -6,6 +6,7 @@ package buffer
 
 import (
 	"fmt"
+	"sort"
 
 	"wattdb/internal/sim"
 	"wattdb/internal/storage"
@@ -364,6 +365,19 @@ type flushTarget struct {
 	gen uint64
 }
 
+// sortFlushTargets orders write-backs by page ID: each flush performs
+// simulated disk I/O, so the map-iteration order the targets were collected
+// in would otherwise leak into the virtual clock.
+func sortFlushTargets(ts []flushTarget) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i].f.ID, ts[j].f.ID
+		if a.Seg != b.Seg {
+			return a.Seg < b.Seg
+		}
+		return a.Page < b.Page
+	})
+}
+
 func (bp *Pool) FlushSegment(p *sim.Proc, seg storage.SegID) error {
 	var targets []flushTarget
 	for id, f := range bp.frames {
@@ -371,6 +385,7 @@ func (bp *Pool) FlushSegment(p *sim.Proc, seg storage.SegID) error {
 			targets = append(targets, flushTarget{f, f.gen})
 		}
 	}
+	sortFlushTargets(targets) // deterministic write-back order
 	for _, t := range targets {
 		f := t.f
 		if f.dead || f.gen != t.gen {
@@ -403,6 +418,7 @@ func (bp *Pool) FlushAll(p *sim.Proc) error {
 			targets = append(targets, flushTarget{f, f.gen})
 		}
 	}
+	sortFlushTargets(targets) // deterministic write-back order
 	for _, t := range targets {
 		f := t.f
 		if f.dead || f.gen != t.gen || !f.dirty || f.state != frameIdle || f.pins > 0 {

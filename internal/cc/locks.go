@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"sort"
 	"time"
 
 	"wattdb/internal/sim"
@@ -194,15 +195,24 @@ func (lm *LockManager) Unlock(txn *Txn, name string) {
 	}
 }
 
-// ReleaseAll releases every lock txn holds (commit/abort epilogue).
+// ReleaseAll releases every lock txn holds (commit/abort epilogue). Locks
+// are released in name order: each release fires a signal that reschedules
+// waiters, so map-iteration order would leak scheduling nondeterminism into
+// otherwise identical runs.
 func (lm *LockManager) ReleaseAll(txn *Txn) {
+	var names []string
 	for name, h := range lm.locks {
 		if _, held := h.granted[txn.ID]; held {
-			delete(h.granted, txn.ID)
-			h.freed.Fire()
-			if len(h.granted) == 0 && len(h.queue) == 0 {
-				delete(lm.locks, name)
-			}
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := lm.locks[name]
+		delete(h.granted, txn.ID)
+		h.freed.Fire()
+		if len(h.granted) == 0 && len(h.queue) == 0 {
+			delete(lm.locks, name)
 		}
 	}
 }

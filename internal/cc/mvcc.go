@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"sort"
 	"time"
 
 	"wattdb/internal/sim"
@@ -38,11 +39,23 @@ type VersionStore struct {
 	// versionBytes tracks retained old-version bytes (Fig. 3's storage
 	// overhead line).
 	versionBytes int64
+
+	// intentKeys is the set of keys holding an active write intent;
+	// maxCommit is the newest commit timestamp installed through this
+	// store. Together they let ChangedSince answer its common no-change
+	// case without scanning, and keep CommittedPending proportional to the
+	// number of in-flight writers rather than the number of entries.
+	intentKeys map[string]struct{}
+	maxCommit  Timestamp
 }
 
 // NewVersionStore returns an empty store.
 func NewVersionStore(env *sim.Env) *VersionStore {
-	return &VersionStore{env: env, entries: make(map[string]*mvccEntry)}
+	return &VersionStore{
+		env:        env,
+		entries:    make(map[string]*mvccEntry),
+		intentKeys: make(map[string]struct{}),
+	}
 }
 
 func (vs *VersionStore) entry(key string) *mvccEntry {
@@ -89,6 +102,7 @@ func (vs *VersionStore) AcquireWriteIntent(p *sim.Proc, txn *Txn, key string, le
 	}
 	e.writer = txn
 	e.hasPending = false
+	vs.intentKeys[key] = struct{}{}
 	return nil
 }
 
@@ -105,14 +119,25 @@ func (vs *VersionStore) StagePending(txn *Txn, key string, deleted bool, val []b
 
 // ReadVisible resolves the version of key visible to txn. leaf is the
 // current tree version (nil if the key is absent from the tree). It returns
-// ok=false if no version is visible at txn's snapshot.
+// ok=false if no version is visible at txn's snapshot (absent, or a
+// visible tombstone).
 func (vs *VersionStore) ReadVisible(txn *Txn, key string, leaf *Version) (Version, bool) {
+	v, exists := vs.VisibleVersion(txn, key, leaf)
+	if !exists || v.Deleted {
+		return Version{}, false
+	}
+	return v, true
+}
+
+// VisibleVersion is ReadVisible distinguishing "no version at this
+// snapshot" (exists=false) from a visible tombstone (exists=true,
+// Deleted=true). Migration routing needs the distinction: a tombstone at a
+// range's new location is an authoritative committed state, not a license
+// to fall back to the old copy.
+func (vs *VersionStore) VisibleVersion(txn *Txn, key string, leaf *Version) (Version, bool) {
 	e := vs.entries[key]
 	if e != nil && e.writer == txn && e.hasPending {
 		// Own uncommitted write.
-		if e.pending.Deleted {
-			return Version{}, false
-		}
 		return e.pending, true
 	}
 	if e != nil && e.writer != nil && e.writer != txn && e.hasPending &&
@@ -121,30 +146,125 @@ func (vs *VersionStore) ReadVisible(txn *Txn, key string, leaf *Version) (Versio
 		// snapshot) but the tree install is still in flight — this happens
 		// while a distributed commit walks its participants. The staged
 		// value is the authoritative newest version for this snapshot.
-		if e.pending.Deleted {
-			return Version{}, false
-		}
 		v := e.pending
 		v.TS = e.writer.Commit
 		return v, true
 	}
 	if leaf != nil && leaf.TS <= txn.Begin {
-		if leaf.Deleted {
-			return Version{}, false
-		}
 		return *leaf, true
 	}
 	if e != nil {
 		for _, v := range e.history {
 			if v.TS <= txn.Begin {
-				if v.Deleted {
-					return Version{}, false
-				}
 				return v, true
 			}
 		}
 	}
 	return Version{}, false
+}
+
+// ChangedSince reports whether any key in [lo, hi) (nil bounds are open)
+// has a write txn cannot have seen: a foreign write intent still in flight,
+// or a commit newer than txn's snapshot. Record movement uses it — in the
+// same non-blocking step as the boundary advance — before retargeting a
+// migration window: a record that was invisible to the mover's scan
+// (tombstoned, not yet staged, or not yet committed) but was (or is being)
+// (re-)written at the source would otherwise be stranded there once routing
+// points at the destination. Keys compare bytewise (the key codec is
+// order-preserving). ownIntents is the number of intents txn itself holds
+// in this store (the mover's staged batch): when every live intent is the
+// caller's and nothing committed past its snapshot, the store provably
+// contains no relevant change and the entry scan is skipped.
+func (vs *VersionStore) ChangedSince(txn *Txn, lo, hi []byte, ownIntents int) bool {
+	if len(vs.intentKeys) == ownIntents && vs.maxCommit <= txn.Begin {
+		return false
+	}
+	for k := range vs.intentKeys {
+		e := vs.entries[k]
+		if e == nil || e.writer == nil || e.writer == txn {
+			continue
+		}
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k >= string(hi) {
+			continue
+		}
+		return true
+	}
+	if vs.maxCommit <= txn.Begin {
+		return false
+	}
+	for k, e := range vs.entries {
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k >= string(hi) {
+			continue
+		}
+		if e.lastCommit > txn.Begin {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingRead is one committed-but-still-installing write visible to a
+// snapshot (see CommittedPending).
+type PendingRead struct {
+	Key string
+	Ver Version
+}
+
+// CommittedPending returns, sorted by key, the staged writes in [lo, hi)
+// (nil bounds open) whose transactions committed at or below txn's snapshot
+// but whose tree installs are still in flight. Such writes have no tree
+// leaf yet, so a concurrent scan would miss them entirely — a committed
+// insert must not be invisible to a snapshot that covers its timestamp.
+// Point reads get the same answer through VisibleVersion's
+// committed-writer path.
+func (vs *VersionStore) CommittedPending(txn *Txn, lo, hi []byte) []PendingRead {
+	if len(vs.intentKeys) == 0 {
+		return nil // common case: no writer in flight anywhere
+	}
+	var out []PendingRead
+	for k := range vs.intentKeys {
+		e := vs.entries[k]
+		if e == nil || e.writer == nil || e.writer == txn || !e.hasPending ||
+			e.writer.State != TxnCommitted || e.writer.Commit > txn.Begin {
+			continue
+		}
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k >= string(hi) {
+			continue
+		}
+		v := e.pending
+		v.TS = e.writer.Commit
+		out = append(out, PendingRead{Key: k, Ver: v})
+	}
+	// The common case is empty: keep it allocation-free (sort.Slice boxes
+	// its argument even for a nil slice, and scans run per batch on the
+	// executor's hot path).
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	}
+	return out
+}
+
+// StaleLeaf reports whether a caller-held copy of key's tree leaf (commit
+// timestamp leafTS) predates a later install. Batched leaf-at-a-time scans
+// copy a whole page and then emit from the copy; an install that lands
+// between the copy and the emit leaves the copy stale, and the version the
+// snapshot must see may live only in the current tree leaf or the history
+// entries pushed by the newer installs (never in the stale copy). Callers
+// that see true must re-read the current leaf before resolving visibility —
+// even when the newest commit is above the reader's snapshot, an
+// intermediate visible version may have landed after the copy too.
+func (vs *VersionStore) StaleLeaf(key string, leafTS Timestamp) bool {
+	e := vs.entries[key]
+	return e != nil && e.lastCommit > leafTS
 }
 
 // HasIntent reports whether txn holds the write intent on key with a staged
@@ -157,14 +277,31 @@ func (vs *VersionStore) HasIntent(txn *Txn, key string) (Version, bool) {
 	return Version{}, false
 }
 
-// CommitKey finalises txn's pending write of key at commitTS. oldLeaf (the
-// tree version being replaced, nil if none) is pushed into the history so
-// older snapshots can still read it. It returns the version the caller must
-// install in the tree.
-func (vs *VersionStore) CommitKey(txn *Txn, key string, oldLeaf *Version, commitTS Timestamp) Version {
+// BeginCommitKey stamps txn's pending write of key with its commit
+// timestamp and returns the version the caller must install in the tree.
+// The write intent is NOT released: while the (possibly blocking) tree
+// install is in flight, ReadVisible keeps serving the staged value through
+// its committed-writer path, so readers whose snapshot covers commitTS
+// never fall back to the stale leaf. Call FinishCommitKey after the
+// install.
+func (vs *VersionStore) BeginCommitKey(txn *Txn, key string, commitTS Timestamp) Version {
 	e := vs.entry(key)
 	if e.writer != txn || !e.hasPending {
-		panic("cc: CommitKey without staged write")
+		panic("cc: BeginCommitKey without staged write")
+	}
+	v := e.pending
+	v.TS = commitTS
+	return v
+}
+
+// FinishCommitKey finalises txn's write of key after the tree install:
+// oldLeaf (the version the install replaced, nil if none) is pushed into
+// the history so older snapshots can still read it, and the write intent is
+// released, waking queued writers — who now see the new leaf.
+func (vs *VersionStore) FinishCommitKey(txn *Txn, key string, oldLeaf *Version, commitTS Timestamp) {
+	e := vs.entry(key)
+	if e.writer != txn || !e.hasPending {
+		panic("cc: FinishCommitKey without staged write")
 	}
 	if oldLeaf != nil && oldLeaf.TS > txn.Begin {
 		panic("cc: first-committer-wins violation: overwriting a version newer than the snapshot")
@@ -173,12 +310,21 @@ func (vs *VersionStore) CommitKey(txn *Txn, key string, oldLeaf *Version, commit
 		e.history = append([]Version{*oldLeaf}, e.history...)
 		vs.versionBytes += oldLeaf.Bytes()
 	}
-	v := e.pending
-	v.TS = commitTS
 	e.lastCommit = commitTS
 	e.writer = nil
 	e.hasPending = false
+	delete(vs.intentKeys, key)
+	if commitTS > vs.maxCommit {
+		vs.maxCommit = commitTS
+	}
 	e.released.Fire()
+}
+
+// CommitKey is BeginCommitKey+FinishCommitKey in one step, for callers that
+// install without blocking (tests, single-site usage).
+func (vs *VersionStore) CommitKey(txn *Txn, key string, oldLeaf *Version, commitTS Timestamp) Version {
+	v := vs.BeginCommitKey(txn, key, commitTS)
+	vs.FinishCommitKey(txn, key, oldLeaf, commitTS)
 	return v
 }
 
@@ -190,6 +336,7 @@ func (vs *VersionStore) AbortKey(txn *Txn, key string) {
 	}
 	e.writer = nil
 	e.hasPending = false
+	delete(vs.intentKeys, key)
 	e.released.Fire()
 }
 
@@ -221,7 +368,11 @@ func (vs *VersionStore) GC(watermark Timestamp) int64 {
 				e.history = nil
 			}
 		}
-		if e.writer == nil && len(e.history) == 0 && e.released.Waiting() == 0 {
+		// Entries whose last commit is above the watermark must survive even
+		// with an empty history: ChangedSince relies on lastCommit to spot
+		// writes newer than an active snapshot (e.g. a record mover's).
+		if e.writer == nil && len(e.history) == 0 && e.released.Waiting() == 0 &&
+			e.lastCommit <= watermark {
 			delete(vs.entries, key)
 		}
 	}

@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"wattdb/internal/table"
+)
+
+// TestChaosSeedsPass runs a short chaos scenario for each repartitioning
+// scheme and requires every invariant to hold.
+func TestChaosSeedsPass(t *testing.T) {
+	for _, scheme := range []table.Scheme{table.Physical, table.Logical, table.Physiological} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			rep, err := Run(Config{Seed: 7, Scheme: scheme, Duration: 40 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			logReport(t, rep)
+			if !rep.Passed() {
+				t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+			}
+			if rep.Commits == 0 {
+				t.Fatal("no transactions committed under chaos")
+			}
+			if rep.Crashes == 0 || rep.Restarts == 0 {
+				t.Fatalf("plan injected no crash/restart (crashes=%d restarts=%d)", rep.Crashes, rep.Restarts)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic reruns one seed and requires the identical fault
+// schedule and final state hash — the property that makes any chaos failure
+// a one-line repro.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, Scheme: table.Physiological, Duration: 30 * time.Second}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateHash != r2.StateHash {
+		t.Errorf("state hash differs: %s vs %s", r1.StateHash, r2.StateHash)
+	}
+	if fmt.Sprint(r1.Faults) != fmt.Sprint(r2.Faults) {
+		t.Errorf("fault schedules differ:\nrun1: %v\nrun2: %v", r1.Faults, r2.Faults)
+	}
+	if r1.Commits != r2.Commits || r1.Aborts != r2.Aborts || r1.SimTime != r2.SimTime {
+		t.Errorf("run outcome differs: (%d,%d,%v) vs (%d,%d,%v)",
+			r1.Commits, r1.Aborts, r1.SimTime, r2.Commits, r2.Aborts, r2.SimTime)
+	}
+}
+
+func logReport(t *testing.T, rep *Report) {
+	t.Helper()
+	t.Logf("seed=%d scheme=%s hash=%s commits=%d aborts=%d failedOps=%d reads=%d scans=%d crashes=%d restarts=%d",
+		rep.Seed, rep.Scheme, rep.StateHash, rep.Commits, rep.Aborts, rep.FailedOps,
+		rep.Reads, rep.Scans, rep.Crashes, rep.Restarts)
+	for _, f := range rep.Faults {
+		t.Logf("  %s", f)
+	}
+}

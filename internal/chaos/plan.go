@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"wattdb/internal/cluster"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+)
+
+// faultKind enumerates injectable faults.
+type faultKind int
+
+const (
+	faultCrash     faultKind = iota // power-fail a node, restart it later
+	faultDiskStall                  // extra per-request latency on a disk
+	faultNetSpike                   // extra one-way latency on every link
+	faultMigrate                    // rebalance a key range onto a target
+)
+
+// faultEvent is one scheduled fault.
+type faultEvent struct {
+	at       time.Duration
+	kind     faultKind
+	node     int           // crash/stall target
+	disk     int           // stall: disk index on the node
+	extra    time.Duration // stall/spike magnitude
+	dur      time.Duration // stall/spike duration, crash down-time
+	loK, hiK int64         // migrate: key range [loK, hiK)
+	target   int           // migrate: destination node
+}
+
+// buildPlan derives the fault schedule from the seed alone — never from
+// workload state — so the schedule is identical across reruns. Every plan
+// contains a migration with a crash of the migration target landing shortly
+// after it starts (the hardest window for each repartitioning protocol),
+// plus cfg.Faults additional random events.
+func buildPlan(cfg Config) []faultEvent {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed_c8a0_5eed_c8a0))
+	window := cfg.Duration
+	var plan []faultEvent
+
+	// The guaranteed crash-mid-migration sequence: move the third quarter
+	// of the key space to the first spare node, then power-fail that target
+	// while the move is in flight.
+	migAt := window/3 + time.Duration(rng.Int63n(int64(window/6)))
+	target := 2 // first node without initial data
+	plan = append(plan, faultEvent{
+		at:     migAt,
+		kind:   faultMigrate,
+		loK:    int64(cfg.Keys / 2),
+		hiK:    int64(3 * cfg.Keys / 4),
+		target: target,
+	})
+	plan = append(plan, faultEvent{
+		at:   migAt + 30*time.Millisecond + time.Duration(rng.Int63n(int64(120*time.Millisecond))),
+		kind: faultCrash,
+		node: target,
+		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+	})
+
+	for i := 0; i < cfg.Faults; i++ {
+		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
+		switch rng.Intn(4) {
+		case 0:
+			plan = append(plan, faultEvent{
+				at:   at,
+				kind: faultCrash,
+				node: rng.Intn(cfg.Nodes),
+				dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+			})
+		case 1:
+			plan = append(plan, faultEvent{
+				at:    at,
+				kind:  faultDiskStall,
+				node:  rng.Intn(cfg.Nodes),
+				disk:  rng.Intn(3),
+				extra: time.Duration(2+rng.Intn(8)) * time.Millisecond,
+				dur:   time.Duration(3+rng.Intn(5)) * time.Second,
+			})
+		case 2:
+			plan = append(plan, faultEvent{
+				at:    at,
+				kind:  faultNetSpike,
+				extra: time.Duration(1+rng.Intn(4)) * time.Millisecond,
+				dur:   time.Duration(2+rng.Intn(4)) * time.Second,
+			})
+		case 3:
+			// A second migration over the first quarter, to the last node.
+			plan = append(plan, faultEvent{
+				at:     at,
+				kind:   faultMigrate,
+				loK:    0,
+				hiK:    int64(cfg.Keys / 4),
+				target: cfg.Nodes - 1,
+			})
+		}
+	}
+	// Stable order: by time, with insertion order breaking ties (stability
+	// matters — equal-timestamp events must execute in generation order or
+	// the schedule would depend on the sort implementation).
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
+	return plan
+}
+
+// spawnExecutor runs the plan on the simulator clock. Generation counters
+// make overlapping faults well-behaved: each injection bumps the device's
+// generation, and an expiry timer clears the fault only if no later fault
+// has re-armed that device meanwhile.
+func (h *harness) spawnExecutor(plan []faultEvent) {
+	migrating := false
+	stallGen := make(map[*hw.Disk]int)
+	netGen := 0
+	h.env.Spawn("chaos-executor", func(p *sim.Proc) {
+		for _, ev := range plan {
+			if wait := ev.at - p.Now(); wait > 0 {
+				p.Sleep(wait)
+			}
+			switch ev.kind {
+			case faultCrash:
+				h.execCrash(ev)
+			case faultDiskStall:
+				n := h.c.Nodes[ev.node]
+				d := n.HW.Disks[ev.disk]
+				h.logFault("disk stall: node %d disk %d +%v for %v", ev.node, ev.disk, ev.extra, ev.dur)
+				d.SetStall(ev.extra)
+				stallGen[d]++
+				mine := stallGen[d]
+				h.env.After(ev.dur, func() {
+					if stallGen[d] == mine {
+						d.SetStall(0)
+					}
+				})
+			case faultNetSpike:
+				h.logFault("net delay spike: +%v for %v", ev.extra, ev.dur)
+				h.c.Net.SetExtraDelay(ev.extra)
+				netGen++
+				mine := netGen
+				h.env.After(ev.dur, func() {
+					if netGen == mine {
+						h.c.Net.SetExtraDelay(0)
+					}
+				})
+			case faultMigrate:
+				if migrating {
+					h.logFault("migration [%d,%d) -> node %d skipped (another in flight)", ev.loK, ev.hiK, ev.target)
+					continue
+				}
+				migrating = true
+				ev := ev
+				h.env.Spawn("chaos-migrate", func(mp *sim.Proc) {
+					h.logFault("migration [%d,%d) -> node %d starting", ev.loK, ev.hiK, ev.target)
+					err := h.master.MigrateRange(mp, "kv", kvKey(ev.loK), kvKey(ev.hiK), h.c.Nodes[ev.target])
+					if err != nil {
+						h.logFault("migration [%d,%d) -> node %d aborted: %v", ev.loK, ev.hiK, ev.target, err)
+					} else {
+						h.logFault("migration [%d,%d) -> node %d complete", ev.loK, ev.hiK, ev.target)
+					}
+					migrating = false
+				})
+			}
+		}
+	})
+}
+
+// execCrash power-fails a node and schedules its restart. The crash may be
+// deferred past an in-flight commit installation (see cluster.CrashNode);
+// the restart waits for the failure to actually land.
+func (h *harness) execCrash(ev faultEvent) {
+	n := h.c.Nodes[ev.node]
+	if n.Down() || n.CrashPending() {
+		// Already down, or a deferred crash is about to land: a second
+		// crash+restart pair for the same outage would double-count and
+		// race the first restart.
+		h.logFault("crash node %d skipped (already down)", ev.node)
+		return
+	}
+	h.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
+	h.c.CrashNode(n)
+	h.rep.Crashes++
+	node := n
+	dur := ev.dur
+	h.env.Spawn(fmt.Sprintf("chaos-restart-%d", ev.node), func(p *sim.Proc) {
+		for !node.Down() { // deferred past a commit critical section
+			p.Sleep(10 * time.Millisecond)
+		}
+		p.Sleep(dur)
+		redone, undone, err := h.c.RestartNode(p, node)
+		if err != nil {
+			h.violate(fmt.Sprintf("restart of node %d failed: %v", node.ID, err))
+			return
+		}
+		h.rep.Restarts++
+		h.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)
+		h.postRestartSweep(p, node)
+	})
+}
+
+// postRestartSweep reads every key the oracle knows right after a restart;
+// the observations flow into the same end-of-run validation as workload
+// reads, so "every acknowledged commit readable after restart" is checked
+// at the restart boundary itself, not only at the end.
+func (h *harness) postRestartSweep(p *sim.Proc, restarted *cluster.DataNode) {
+	s := h.master.Begin(p, ccSnapshot, restarted)
+	keys := make([]int64, 0, len(h.oracle.hist))
+	for k := range h.oracle.hist {
+		keys = append(keys, k)
+	}
+	sortInt64s(keys)
+	for _, k := range keys {
+		v, ok, err := s.Get(p, "kv", kvKey(k))
+		if err != nil {
+			// Another fault window may overlap the sweep; skip silently.
+			h.rep.FailedOps++
+			continue
+		}
+		obs := readObs{at: p.Now(), snap: s.Txn.Begin, key: k, ok: ok}
+		if ok {
+			row, derr := h.schema.DecodeRow(v)
+			if derr != nil {
+				h.violate(fmt.Sprintf("post-restart sweep: key %d undecodable: %v", k, derr))
+				continue
+			}
+			obs.val = row[1].(string)
+		}
+		h.reads = append(h.reads, obs)
+	}
+	s.Abort(p)
+}

@@ -128,6 +128,13 @@ type DataNode struct {
 
 	// helper wiring (Fig. 8): non-nil while log shipping is active.
 	shippedFrom wal.Device
+
+	// Crash/restart bookkeeping (see crash.go).
+	crashed      bool                        // power-failed, not yet restarted
+	pendingCrash bool                        // crash deferred past in-flight commit installs
+	commitGuard  int                         // sessions inside their commit critical section
+	lostParts    []*table.Partition          // partitions to rebuild on restart, in ID order
+	bases        map[table.PartID][]basePair // recovery bases (bulk-load and adopted images)
 }
 
 func newDataNode(c *Cluster, id int) *DataNode {
@@ -137,6 +144,7 @@ func newDataNode(c *Cluster, id int) *DataNode {
 		Locks:   cc.NewLockManager(c.Env),
 		cluster: c,
 		Parts:   make(map[table.PartID]*table.Partition),
+		bases:   make(map[table.PartID][]basePair),
 	}
 	n.Pool = buffer.NewPool(c.Env, (*nodeBackend)(n), c.Cal.PageSize, c.Cal.BufferFrames)
 	n.Log = wal.NewLog(c.Env, wal.DiskDevice{Disk: n.HW.LogDisk()})

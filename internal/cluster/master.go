@@ -76,14 +76,24 @@ func (m *Master) BulkLoadReplicated(p *sim.Proc, tableName string, stream func()
 	if tm.replicas == nil {
 		return fmt.Errorf("cluster: table %s is not replicated", tableName)
 	}
-	for _, pt := range tm.replicas {
+	// Deterministic node order: loading allocates segment IDs.
+	nodes := make([]*DataNode, 0, len(tm.replicas))
+	for n := range tm.replicas {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		pt := tm.replicas[n]
+		owner := n
 		next := stream()
 		err := pt.BulkLoad(p, 0.7, func() ([]byte, []byte, bool) {
 			k, v, ok := next()
 			if !ok {
 				return nil, nil, false
 			}
-			return k, table.EncodeLoadValue(1, v), true
+			lv := table.EncodeLoadValue(1, v)
+			owner.addBase(pt.ID, k, lv)
+			return k, lv, true
 		})
 		if err != nil {
 			return err
@@ -191,12 +201,20 @@ func (tm *TableMeta) route(key []byte) (*RangeEntry, error) {
 }
 
 // replaceEntry substitutes old with news (splitting a range during
-// migration), keeping order.
+// migration), keeping order. The slice is rebuilt copy-on-write: sessions
+// parked mid-scan hold the old slice header, and splicing the backing
+// array in place would shift entries under them — duplicating or skipping
+// ranges when they resume. Their stale snapshot stays internally
+// consistent (the replaced entry keeps serving reads at their older
+// timestamps through ghosts and dual pointers).
 func (tm *TableMeta) replaceEntry(old *RangeEntry, news ...*RangeEntry) {
 	for i, e := range tm.entries {
 		if e == old {
-			tail := append([]*RangeEntry{}, tm.entries[i+1:]...)
-			tm.entries = append(append(tm.entries[:i], news...), tail...)
+			out := make([]*RangeEntry, 0, len(tm.entries)+len(news)-1)
+			out = append(out, tm.entries[:i]...)
+			out = append(out, news...)
+			out = append(out, tm.entries[i+1:]...)
+			tm.entries = out
 			return
 		}
 	}
@@ -237,7 +255,12 @@ func (m *Master) BulkLoad(p *sim.Proc, tableName string, next func() (key, paylo
 				pendingK, pendingV = k, v // belongs to a later range
 				return nil, nil, false
 			}
-			return k, table.EncodeLoadValue(1, v), true
+			lv := table.EncodeLoadValue(1, v)
+			// The loaded image doubles as the partition's recovery base:
+			// bulk loading bypasses the WAL, so a restart cannot re-derive
+			// these records from log replay alone.
+			e.Owner.addBase(e.Part.ID, k, lv)
+			return k, lv, true
 		})
 		if err != nil {
 			return err
@@ -288,4 +311,25 @@ func (m *Master) RecordCount(p *sim.Proc, tableName string) (int, error) {
 func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) {
 	lsn := node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
 	node.Log.Flush(p, lsn)
+}
+
+// rebind re-points every catalog reference at a restarted node's recovered
+// partitions (keyed by the dead partition objects they replace). Pure
+// pointer swaps: no simulation time passes, so routing flips atomically.
+func (m *Master) rebind(replaced map[*table.Partition]*table.Partition) {
+	for _, tm := range m.tables {
+		for _, e := range tm.entries {
+			if np, ok := replaced[e.Part]; ok {
+				e.Part = np
+			}
+			if np, ok := replaced[e.OldPart]; ok {
+				e.OldPart = np
+			}
+		}
+		for node, pt := range tm.replicas {
+			if np, ok := replaced[pt]; ok {
+				tm.replicas[node] = np
+			}
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"wattdb/internal/cc"
 	"wattdb/internal/sim"
+	"wattdb/internal/storage"
 	"wattdb/internal/table"
 	"wattdb/internal/wal"
 )
@@ -77,6 +78,9 @@ func (m *Master) migratePhysical(p *sim.Proc, tm *TableMeta, lo, hi []byte, frac
 		if e.Owner == dst {
 			continue
 		}
+		if err := migrationAlive(e.Owner, dst); err != nil {
+			return err
+		}
 		segs := e.Part.Segments()
 		k := int(float64(len(segs))*frac + 0.5)
 		if k > len(segs) {
@@ -92,6 +96,9 @@ func (m *Master) migratePhysical(p *sim.Proc, tm *TableMeta, lo, hi []byte, frac
 }
 
 // relocateSegment moves one segment's durable bytes between nodes' disks.
+// A power failure of any involved node aborts the relocation cleanly: the
+// durable bytes stay at the source (the pointer swap is the last step) and
+// blocked flushers are released.
 func (m *Master) relocateSegment(p *sim.Proc, owner *DataNode, h *table.SegHandle, dst *DataNode) error {
 	home, err := m.cluster.home(h.Seg.ID)
 	if err != nil {
@@ -100,25 +107,50 @@ func (m *Master) relocateSegment(p *sim.Proc, owner *DataNode, h *table.SegHandl
 	if home.node == dst {
 		return nil
 	}
+	if err := migrationAlive(owner, home.node, dst); err != nil {
+		return err
+	}
 	// Make the durable image current, then freeze flushes for the copy.
 	if err := owner.Pool.FlushSegment(p, h.Seg.ID); err != nil {
 		return err
 	}
 	home.moving = true
+	abort := func() error {
+		home.moving = false
+		home.moved.Fire() // release flushers queued behind the move
+		return migrationAlive(owner, home.node, dst)
+	}
 	// Sequential read at the source disk, wire transfer, sequential write
 	// at the destination: segment movement "copies data almost at raw disk
 	// speed".
 	bytes := h.Seg.Bytes()
 	home.disk.ReadSeq(p, bytes)
+	if migrationAlive(owner, home.node, dst) != nil {
+		return abort()
+	}
 	m.cluster.Net.Transfer(p, home.node.ID, dst.ID, bytes)
 	disks := dst.HW.DataDisks()
 	newDisk := disks[dst.diskRR%len(disks)]
 	dst.diskRR++
 	newDisk.WriteSeq(p, bytes)
+	if migrationAlive(owner, home.node, dst) != nil {
+		return abort()
+	}
 	home.node = dst
 	home.disk = newDisk
 	home.moving = false
 	home.moved.Fire()
+	return nil
+}
+
+// migrationAlive fails with ErrNodeDown if any node involved in a move has
+// power-failed; the movement protocols check it at every step boundary.
+func migrationAlive(nodes ...*DataNode) error {
+	for _, n := range nodes {
+		if n.Down() {
+			return ErrNodeDown{n.ID}
+		}
+	}
 	return nil
 }
 
@@ -135,6 +167,9 @@ func (m *Master) migrateLogical(p *sim.Proc, tm *TableMeta, lo, hi []byte, dst *
 	for _, e := range tm.overlapping(lo, hi) {
 		if e.Owner == dst {
 			continue
+		}
+		if err := migrationAlive(e.Owner, dst); err != nil {
+			return err
 		}
 		clampLo := maxBytes(lo, e.Low)
 		clampHi := minBytes(hi, e.High)
@@ -178,7 +213,15 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 	// rows); successes grow it back.
 	cursor := lo
 	batchSize := logicalBatch
+	recovering := false // re-covering a window after a failed batch commit
 	for {
+		// A power failure of either side suspends the move: the advancing
+		// boundary and the dual pointers stay in place, so routing remains
+		// correct (moved keys at the destination, the rest at the source)
+		// whether or not the move is ever resumed.
+		if err := migrationAlive(srcOwner, dst); err != nil {
+			return err
+		}
 		type rec struct{ k, v []byte }
 		var batch []rec
 		sess := m.BeginSystem(p, m.MoveMode, srcOwner)
@@ -191,6 +234,15 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 			return err
 		}
 		if len(batch) == 0 {
+			if src.ChangedSince(sess.Txn, cursor, hi) {
+				// A write invisible to this scan is in flight or freshly
+				// committed in the remaining window: declaring the move
+				// complete now would strand it at the source — the same
+				// hazard the per-batch boundary advance guards against.
+				sess.Abort(p)
+				p.Sleep(2 * time.Millisecond)
+				continue
+			}
 			sess.Abort(p)
 			break
 		}
@@ -206,6 +258,18 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 				break
 			}
 			sess.touched[src] = srcOwner
+			// When re-covering a window after a failed batch commit, the
+			// destination may already hold a version — live or tombstone —
+			// from a writer routed there while the boundary was advanced.
+			// That version is newer than the source copy by construction:
+			// keep it and only retire the stale source record. (Outside
+			// recovery the destination provably has nothing above the
+			// boundary, so the lookup is skipped.)
+			if recovering {
+				if _, state, err := dstPart.Lookup(p, sess.Txn, r.k); err == nil && state != table.LookupAbsent {
+					continue
+				}
+			}
 			// Ship the record and insert at the destination.
 			m.cluster.Net.Transfer(p, srcOwner.ID, dst.ID, int64(len(r.k)+len(r.v))+16)
 			if err := dstPart.Put(p, sess.Txn, r.k, r.v); err != nil {
@@ -226,12 +290,41 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 			continue // retry the same cursor window with a smaller batch
 		}
 		last := batch[len(batch)-1].k
+		boundary := nextKey(last)
+		// A key of this window may carry a write the scan could not see: a
+		// still-staged foreign intent, or a commit newer than the scan's
+		// snapshot (e.g. a tombstoned record re-inserted concurrently).
+		// Advancing the boundary would strand that record at the source
+		// while routing points at the destination — so back off and redo
+		// the window with a fresh snapshot. The check and the advance are
+		// both non-blocking, so no writer can slip between them (later
+		// writers route by the advanced boundary).
+		if src.ChangedSince(sess.Txn, cursor, boundary) {
+			sess.Abort(p)
+			p.Sleep(2 * time.Millisecond)
+			continue
+		}
 		// Advance the routing boundary before committing: writers that
 		// lose a conflict against this batch must retry at the new
-		// location, never resurrect the record at the source.
-		moved.MovedBelow = nextKey(last)
+		// location, never resurrect the record at the source. The advance
+		// is monotonic — a smaller batch re-covering a window after a
+		// failed commit must not regress the boundary below keys already
+		// routed (and possibly written and acknowledged) at the
+		// destination.
+		if moved.MovedBelow == nil || bytes.Compare(boundary, moved.MovedBelow) > 0 {
+			moved.MovedBelow = boundary
+		}
 		if err := sess.Commit(p); err != nil {
-			moved.MovedBelow = cursor // batch failed: boundary rolls back
+			// The batch failed (a participant power-failed mid-commit), but
+			// the boundary must NOT roll back: a concurrent writer may have
+			// committed — and been acknowledged — at the destination while
+			// the window pointed there, and re-routing to the source would
+			// shadow that write. The cursor does not advance either: on a
+			// retryable failure the same window is re-covered (the
+			// destination-version check above keeps re-moving idempotent),
+			// and on a node failure the caller aborts the migration with
+			// the un-moved records still served through the old-location
+			// fallback of the dual pointers.
 			sess.Abort(p)
 			if err2 := retryConflict(p, err); err2 != nil {
 				return err2
@@ -239,9 +332,11 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 			if batchSize > 1 {
 				batchSize /= 2
 			}
+			recovering = true
 			continue
 		}
-		cursor = nextKey(last)
+		cursor = boundary
+		recovering = false
 		if batchSize < logicalBatch {
 			batchSize *= 2
 		}
@@ -249,7 +344,7 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 	// All records moved: the old pointer stays until old snapshots drain,
 	// then the source's tombstoned range is vacuumed.
 	moved.MovedBelow = nil
-	m.scheduleOldPointerCleanup(moved, src, srcOwner)
+	m.scheduleOldPointerCleanup(moved)
 	return nil
 }
 
@@ -266,19 +361,22 @@ func retryConflict(p *sim.Proc, err error) error {
 
 // scheduleOldPointerCleanup drops the dual pointer and vacuums the source
 // once every snapshot that could see the old copies has finished.
-func (m *Master) scheduleOldPointerCleanup(e *RangeEntry, src *table.Partition, srcOwner *DataNode) {
-	fence := m.Oracle.Watermark()
+func (m *Master) scheduleOldPointerCleanup(e *RangeEntry) {
 	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
 	m.Oracle.Abort(horizon) // only needed its timestamp
 	m.cluster.Env.Spawn("old-pointer-cleanup", func(p *sim.Proc) {
 		for m.Oracle.Watermark() <= horizon.Begin {
 			p.Sleep(time.Second)
 		}
+		// Read the source through the entry at fire time: a source-node
+		// restart rebinds e.OldPart to the recovered partition, and the
+		// dead object must not be the one vacuumed.
+		src := e.OldPart
 		e.OldPart = nil
 		e.OldOwner = nil
-		src.Vacuum(p, m.Oracle.Watermark())
-		_ = fence
-		_ = srcOwner
+		if src != nil {
+			src.Vacuum(p, m.Oracle.Watermark())
+		}
 	})
 }
 
@@ -290,6 +388,9 @@ func (m *Master) migratePhysiological(p *sim.Proc, tm *TableMeta, lo, hi []byte,
 	for _, e := range tm.overlapping(lo, hi) {
 		if e.Owner == dst {
 			continue
+		}
+		if err := migrationAlive(e.Owner, dst); err != nil {
+			return err
 		}
 		srcPart := e.Part
 		// Segments straddling the migration boundary are split at the
@@ -321,6 +422,9 @@ func (m *Master) migratePhysiological(p *sim.Proc, tm *TableMeta, lo, hi []byte,
 		dstPart.AdoptOnly = true
 		dst.Parts[dstPart.ID] = dstPart
 		for {
+			if err := migrationAlive(e.Owner, dst); err != nil {
+				return err
+			}
 			// Pick the next mini-partition fully inside [lo, hi).
 			var target *table.SegHandle
 			for _, h := range srcPart.Segments() {
@@ -378,13 +482,33 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 	tm.replaceEntry(e, news...)
 	e = moved
 
+	// abortMove unwinds a failed move before the target took over: the
+	// master entry reverts to the source (which still holds the records),
+	// the movement lock is released, and any half-shipped clone is dropped.
+	// After a source power failure the entry still reverts to the source:
+	// its restart rebuilds the records there.
+	abortMove := func(mover *Session, clone *storage.Segment, cause error) error {
+		moved.Part = src
+		moved.Owner = srcOwner
+		moved.OldPart = nil
+		moved.OldOwner = nil
+		if clone != nil {
+			m.cluster.dropSegment(clone.ID)
+		}
+		srcOwner.Locks.ReleaseAll(mover.Txn)
+		mover.Abort(p)
+		return cause
+	}
+
 	// (2) Read lock on the mini-partition: waits for in-flight writers and
 	// holds off new ones (they queue, then get redirected on retry).
 	mover := m.BeginSystem(p, m.MoveMode, srcOwner)
 	lockName := src.MovementLockName()
 	if err := srcOwner.Locks.Lock(p, mover.Txn, lockName, cc.LockR, 30*time.Second); err != nil {
-		mover.Abort(p)
-		return err
+		return abortMove(mover, nil, err)
+	}
+	if err := migrationAlive(srcOwner, dst); err != nil {
+		return abortMove(mover, nil, err)
 	}
 
 	// (3) Movement acts as a checkpoint: commit records are durable and
@@ -393,37 +517,54 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 	srcOwner.Log.Checkpoint(p)
 	srcOwner.Log.Append(wal.Record{Txn: mover.Txn.ID, Type: wal.RecSegMove, Part: uint64(src.ID)})
 	if err := srcOwner.Pool.FlushSegment(p, h.Seg.ID); err != nil {
-		mover.Abort(p)
-		return err
+		return abortMove(mover, nil, err)
+	}
+	if err := migrationAlive(srcOwner, dst); err != nil {
+		return abortMove(mover, nil, err)
 	}
 
 	// (4) Ship the segment: sequential read, wire, sequential write.
 	home, err := m.cluster.home(h.Seg.ID)
 	if err != nil {
-		mover.Abort(p)
-		return err
+		return abortMove(mover, nil, err)
 	}
 	size := h.Seg.Bytes()
 	home.disk.ReadSeq(p, size)
 	m.cluster.Net.Transfer(p, srcOwner.ID, dst.ID, size)
+	if err := migrationAlive(srcOwner, dst); err != nil {
+		return abortMove(mover, nil, err)
+	}
 	clone := h.Seg.Clone(m.cluster.NextSegID())
 	dst.AdoptShippedSegment(clone)
 	destHome, _ := m.cluster.home(clone.ID)
 	destHome.disk.WriteSeq(p, size)
-
-	// (5) Target adopts the mini-partition; the master entry already
-	// points at it, so new transactions route there now.
-	if _, err := dstPart.AdoptSegment(clone); err != nil {
-		mover.Abort(p)
-		return err
+	if err := migrationAlive(srcOwner, dst); err != nil {
+		return abortMove(mover, clone, err)
 	}
 
+	// (5) Target adopts the mini-partition; the master entry already
+	// points at it, so new transactions route there now. The adopted image
+	// becomes part of the target's recovery base (the flush in step 3 made
+	// it consistent), mirroring the checkpoint role movement plays for
+	// logging. Adoption, base capture, and the source-side detach below are
+	// free of blocking calls, so no failure can interleave with them.
+	if _, err := dstPart.AdoptSegment(clone); err != nil {
+		return abortMove(mover, clone, err)
+	}
+	captureAdoptedBase(p, dst, dstPart.ID, clone)
+
 	// (6) Source detaches the segment but keeps it as a ghost for old
-	// readers; unlock so queued writers retry (and get redirected).
+	// readers; unlock so queued writers retry (and get redirected). The
+	// adoption above was the point of no return: on a detach failure the
+	// move rolls FORWARD — routing stays at the destination (which holds
+	// the records and has them in its recovery base), the source keeps its
+	// now-shadowed copy behind the old pointer, and the error surfaces
+	// without reverting the entry.
 	moveTS := m.Oracle.Watermark() // snapshots begun before now may still read the ghost
 	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
 	m.Oracle.Abort(horizon)
 	if err := src.DetachSegment(h, horizon.Begin); err != nil {
+		srcOwner.Locks.ReleaseAll(mover.Txn)
 		mover.Abort(p)
 		return err
 	}

@@ -109,23 +109,28 @@ func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, 
 	if err != nil {
 		return nil, false, err
 	}
-	cands := e.candidatesFor(key)
-	for i, c := range cands {
+	for _, c := range e.candidatesFor(key) {
 		if s.Txn.Mode == cc.Locking {
 			s.lockNodes[c.owner] = true
 		}
 		s.rpc(p, c.owner, 32, 64)
-		v, ok, err := c.part.Get(p, s.Txn, key)
+		v, state, err := c.part.Lookup(p, s.Txn, key)
 		if _, notOwned := err.(table.ErrNotOwned); notOwned {
 			continue
 		}
 		if err != nil {
 			return nil, false, err
 		}
-		if !ok && i+1 < len(cands) {
-			continue // not visible here: visit the old location too
+		switch state {
+		case table.LookupLive:
+			return v, true, nil
+		case table.LookupDeleted:
+			// A committed tombstone here is authoritative: falling through
+			// to the other location would resurrect its stale copy.
+			return nil, false, nil
 		}
-		return v, ok, nil
+		// Absent: this location knows nothing of the key — the other
+		// location of an in-flight migration may still hold it.
 	}
 	return nil, false, nil
 }
@@ -242,28 +247,46 @@ func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key
 }
 
 // mergedScan visits both locations of a migrating range and merges results
-// in key order.
+// in key order. The new location is authoritative for every key it has a
+// committed version for — including tombstones — so the old location only
+// contributes keys the new one does not know (not yet moved, or never
+// rewritten there). This keeps interrupted migrations sound: a record
+// deleted or rewritten at the new location can never resurface from a
+// stale copy left at the source.
 func (s *Session) mergedScan(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn func(k, v []byte) bool) error {
 	type rec struct{ k, v []byte }
 	var all []rec
-	for _, c := range e.candidates() {
-		s.rpc(p, c.owner, 64, 256)
-		err := c.part.Scan(p, s.Txn, lo, hi, func(k, v []byte) bool {
+	newSeen := map[string]bool{}
+	// Snapshot the entry's pointers before the first blocking call: the
+	// old-pointer/ghost cleanup processes null them asynchronously once old
+	// snapshots drain, and this scan may be parked in I/O when they fire.
+	newPart, newOwner := e.Part, e.Owner
+	oldPart, oldOwner := e.OldPart, e.OldOwner
+	s.rpc(p, newOwner, 64, 256)
+	err := newPart.ScanWithTombstones(p, s.Txn, lo, hi, func(k, v []byte, deleted bool) bool {
+		newSeen[string(k)] = true
+		if !deleted {
 			all = append(all, rec{bytes.Clone(k), bytes.Clone(v)})
+		}
+		return true
+	})
+	if _, notOwned := err.(table.ErrNotOwned); err != nil && !notOwned {
+		return err
+	}
+	if oldPart != nil {
+		s.rpc(p, oldOwner, 64, 256)
+		err = oldPart.Scan(p, s.Txn, lo, hi, func(k, v []byte) bool {
+			if !newSeen[string(k)] {
+				all = append(all, rec{bytes.Clone(k), bytes.Clone(v)})
+			}
 			return true
 		})
-		if _, notOwned := err.(table.ErrNotOwned); notOwned {
-			continue
-		}
-		if err != nil {
+		if _, notOwned := err.(table.ErrNotOwned); err != nil && !notOwned {
 			return err
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].k, all[j].k) < 0 })
-	for i, r := range all {
-		if i > 0 && bytes.Equal(all[i-1].k, r.k) {
-			continue // same record visible twice is impossible per snapshot, but be safe
-		}
+	for _, r := range all {
 		if !fn(r.k, r.v) {
 			return nil
 		}
@@ -273,9 +296,31 @@ func (s *Session) mergedScan(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn func(
 
 // Commit finishes the transaction: single-node fast path, or two-phase
 // commit when multiple nodes hold writes (the master acts as coordinator).
+// A participant that power-failed before the commit point fails the commit
+// (the caller aborts); once the commit timestamp is assigned, participant
+// power failures are deferred until the commit records are durable (see
+// crash.go).
 func (s *Session) Commit(p *sim.Proc) error {
 	if !s.Txn.Active() {
 		return cc.ErrTxnNotActive
+	}
+	// A touched partition that power-failed loses the staged writes with
+	// its node's DRAM — including the pending bookkeeping, which would
+	// otherwise make this transaction look read-only and produce a false
+	// acknowledgment. Fail the commit instead (ordered check for
+	// deterministic error selection).
+	touched := make([]*table.Partition, 0, len(s.touched))
+	for pt := range s.touched {
+		touched = append(touched, pt)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i].ID < touched[j].ID })
+	for _, pt := range touched {
+		if pt.Failed() {
+			return table.ErrPartitionDown{Part: pt.ID}
+		}
+		if s.touched[pt].Down() {
+			return ErrNodeDown{s.touched[pt].ID}
+		}
 	}
 	nodes := map[*DataNode][]*table.Partition{}
 	for pt, owner := range s.touched {
@@ -283,14 +328,46 @@ func (s *Session) Commit(p *sim.Proc) error {
 			nodes[owner] = append(nodes[owner], pt)
 		}
 	}
-	cal := s.m.cluster.Cal
+	// Deterministic participant and install order: both phases perform
+	// network and log I/O, so map-iteration order would perturb the
+	// virtual clock between otherwise identical runs.
+	ordered := make([]*DataNode, 0, len(nodes))
+	for node := range nodes {
+		ordered = append(ordered, node)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, node := range ordered {
+		parts := nodes[node]
+		sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+	}
 
-	if len(nodes) > 1 {
-		// Phase 1: prepare every participant (force its log).
-		for node := range nodes {
+	if len(ordered) > 1 {
+		// Phase 1 (node order): prepare every participant (force its log).
+		for _, node := range ordered {
+			if node.Down() {
+				return ErrNodeDown{node.ID}
+			}
 			s.rpc(p, node, 32, 32)
 			lsn := node.Log.Append(wal.Record{Txn: s.Txn.ID, Type: wal.RecPrepare})
 			node.Log.Flush(p, lsn)
+			if node.Down() { // power-failed during the prepare force
+				return ErrNodeDown{node.ID}
+			}
+		}
+	}
+	// Enter the commit critical section on every participant, then verify
+	// all of them are still powered: from here until the commit records are
+	// durable, a participant power failure is deferred (crash.go), so the
+	// installs below cannot be torn apart mid-flight.
+	for _, node := range ordered {
+		node.beginCommitGuard()
+	}
+	for _, node := range ordered {
+		if node.Down() {
+			for _, g := range ordered {
+				g.endCommitGuard()
+			}
+			return ErrNodeDown{node.ID}
 		}
 	}
 	// Commit point: timestamp from the master's oracle.
@@ -304,12 +381,8 @@ func (s *Session) Commit(p *sim.Proc) error {
 	// deterministic node order. After the commit point every branch MUST
 	// install — a failure here is an engine invariant violation (the
 	// movement protocols are responsible for never detaching a range with
-	// in-flight writers), so it fails loudly rather than losing updates.
-	ordered := make([]*DataNode, 0, len(nodes))
-	for node := range nodes {
-		ordered = append(ordered, node)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	// in-flight writers, and power failures are deferred by the guard), so
+	// it fails loudly rather than losing updates.
 	for _, node := range ordered {
 		s.rpc(p, node, 32, 32)
 		for _, pt := range nodes[node] {
@@ -320,37 +393,66 @@ func (s *Session) Commit(p *sim.Proc) error {
 		}
 		appendCommitRecord(p, node, s.Txn)
 	}
-	if len(nodes) == 0 {
-		// Read-only: nothing to force.
-		_ = cal
+	for _, node := range ordered {
+		node.endCommitGuard() // may fire a deferred power failure
 	}
 	s.releaseLocks()
 	s.Txn.DropUndo()
 	return nil
 }
 
-// Abort rolls the transaction back everywhere it touched.
+// Abort rolls the transaction back everywhere it touched. Partitions and
+// logs lost to a power failure are skipped (their staged state died with
+// the node).
 func (s *Session) Abort(p *sim.Proc) {
 	if s.Txn.State == cc.TxnAborted {
 		return
 	}
+	// Deterministic order: aborting staged writes fires intent-release
+	// signals, which reschedules waiting processes.
+	parts := make([]*table.Partition, 0, len(s.touched))
 	for pt := range s.touched {
+		parts = append(parts, pt)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+	for _, pt := range parts {
 		pt.Abort(p, s.Txn)
 	}
 	s.Txn.RunUndo(p)
-	for node := range s.lockNodes {
+	lockNodes := s.lockNodeList()
+	for _, node := range lockNodes {
 		node.Log.Append(wal.Record{Txn: s.Txn.ID, Type: wal.RecAbort})
 	}
 	s.m.Oracle.Abort(s.Txn)
-	s.releaseLocks()
+	for _, node := range lockNodes {
+		node.Locks.ReleaseAll(s.Txn)
+	}
 }
 
-func (s *Session) releaseLocks() {
+// lockNodeList returns the nodes holding lock state for this transaction in
+// ID order (lock release wakes waiters, so the order must be deterministic).
+func (s *Session) lockNodeList() []*DataNode {
+	seen := make(map[*DataNode]bool, len(s.lockNodes)+len(s.touched))
+	out := make([]*DataNode, 0, len(s.lockNodes)+len(s.touched))
 	for node := range s.lockNodes {
-		node.Locks.ReleaseAll(s.Txn)
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
 	}
 	// MVCC writers also took segment IX locks on owners.
 	for _, owner := range s.touched {
-		owner.Locks.ReleaseAll(s.Txn)
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *Session) releaseLocks() {
+	for _, node := range s.lockNodeList() {
+		node.Locks.ReleaseAll(s.Txn)
 	}
 }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wattdb/internal/table"
+)
+
+// tiny returns a preset small enough for unit tests: a sub-minute observed
+// window over a few hundred records.
+func tiny() Preset {
+	return Preset{
+		Name:                 "tiny",
+		Warehouses:           2,
+		DistrictsPerW:        2,
+		CustomersPerDistrict: 20,
+		Items:                50,
+		InitialOrdersPerDist: 20,
+		Clients:              8,
+		Interval:             100 * time.Millisecond,
+		Warmup:               10 * time.Second,
+		Observe:              60 * time.Second,
+		BinSize:              10 * time.Second,
+		BufferFrames:         512,
+		Seed:                 1,
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// TestFig1Smoke runs the operator micro-benchmark at a tiny scale: all five
+// configurations produce positive throughput, and the local scan beats the
+// single-record remote plan (the paper's headline collapse).
+func TestFig1Smoke(t *testing.T) {
+	res, err := Fig1(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("fig1 produced %d rows, want 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Config == "" || !finite(row.RecordsPerSec) || row.RecordsPerSec <= 0 {
+			t.Fatalf("fig1 row malformed: %+v", row)
+		}
+	}
+	local, remoteSingle := res.Rows[0].RecordsPerSec, res.Rows[2].RecordsPerSec
+	if local <= remoteSingle {
+		t.Fatalf("fig1 shape wrong: local scan %.0f <= single-record remote %.0f", local, remoteSingle)
+	}
+}
+
+// TestFig3Smoke runs the MVCC-vs-locking study at a tiny scale: both modes
+// commit work and report sane storage percentages.
+func TestFig3Smoke(t *testing.T) {
+	res, err := Fig3(150, []int{0, 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("fig3 produced %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MVCCPerMin <= 0 || row.LockingPerMin <= 0 {
+			t.Fatalf("fig3 throughput not positive: %+v", row)
+		}
+		if !finite(row.MVCCStorage) || !finite(row.LockingStorage) ||
+			row.MVCCStorage < 100 || row.LockingStorage < 100 {
+			t.Fatalf("fig3 storage percentages malformed: %+v", row)
+		}
+	}
+}
+
+// TestFig6Smoke runs the rebalancing timeline for every scheme at a tiny
+// scale: each timeline commits transactions, finishes its migration, and
+// produces non-empty, finite series.
+func TestFig6Smoke(t *testing.T) {
+	res, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range []struct {
+		name string
+		r    TimelineResult
+	}{
+		{"physical", res.Physical},
+		{"logical", res.Logical},
+		{"physiological", res.Physiological},
+	} {
+		if tl.r.Commits == 0 {
+			t.Errorf("%s: no commits", tl.name)
+		}
+		if tl.r.MigrationTook <= 0 {
+			t.Errorf("%s: migration took %v", tl.name, tl.r.MigrationTook)
+		}
+		if len(tl.r.QPS) == 0 || len(tl.r.Watts) == 0 {
+			t.Errorf("%s: empty series (qps=%d watts=%d)", tl.name, len(tl.r.QPS), len(tl.r.Watts))
+		}
+		for _, b := range tl.r.Watts {
+			if !finite(b.Mean) || b.Mean <= 0 {
+				t.Errorf("%s: non-positive power sample %+v", tl.name, b)
+			}
+		}
+		for _, b := range tl.r.QPS {
+			if !finite(b.Mean) || b.Mean < 0 {
+				t.Errorf("%s: malformed qps bin %+v", tl.name, b)
+			}
+		}
+	}
+	_ = table.Physical
+}

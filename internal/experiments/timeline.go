@@ -39,6 +39,11 @@ type TimelineResult struct {
 	Commits       int
 	Aborts        int
 
+	// KernelStats snapshots the simulation kernel's event counters at the
+	// end of the run: two same-seed runs must agree exactly (the
+	// determinism guard asserts this).
+	KernelStats sim.Stats
+
 	// Mean per-transaction time per category before and during the
 	// rebalance (Fig. 7 bars).
 	BreakdownNormal map[sim.Category]time.Duration
@@ -220,6 +225,7 @@ func RunTimeline(o TimelineOpts) (TimelineResult, error) {
 	if migErr != nil {
 		return res, migErr
 	}
+	res.KernelStats = env.Stats()
 	for _, cl := range clients {
 		cl.Stop()
 	}

@@ -31,6 +31,11 @@ type Disk struct {
 	bandwidth float64
 	arm       *sim.Resource
 
+	// stall is an injected extra service time added to every request while
+	// set (fault injection: a degraded device, firmware GC pause, cable
+	// fault). Zero means healthy.
+	stall time.Duration
+
 	// Stats.
 	reads, writes int64
 	bytesRead     int64
@@ -52,10 +57,22 @@ func (d *Disk) xferTime(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / d.bandwidth * float64(time.Second))
 }
 
+// SetStall injects an extra per-request service time (0 clears the fault).
+// Used by the chaos harness to model write stalls and degraded devices.
+func (d *Disk) SetStall(extra time.Duration) {
+	if extra < 0 {
+		extra = 0
+	}
+	d.stall = extra
+}
+
+// Stall returns the currently injected per-request stall.
+func (d *Disk) Stall() time.Duration { return d.stall }
+
 // Read performs one random read of the given size, waiting for the device.
 func (d *Disk) Read(p *sim.Proc, bytes int64) {
 	defer p.Meter(sim.CatDiskIO)()
-	d.arm.Use(p, 1, func() { p.Sleep(d.latency + d.xferTime(bytes)) })
+	d.arm.Use(p, 1, func() { p.Sleep(d.stall + d.latency + d.xferTime(bytes)) })
 	d.reads++
 	d.bytesRead += bytes
 }
@@ -63,7 +80,7 @@ func (d *Disk) Read(p *sim.Proc, bytes int64) {
 // Write performs one random write of the given size.
 func (d *Disk) Write(p *sim.Proc, bytes int64) {
 	defer p.Meter(sim.CatDiskIO)()
-	d.arm.Use(p, 1, func() { p.Sleep(d.latency + d.xferTime(bytes)) })
+	d.arm.Use(p, 1, func() { p.Sleep(d.stall + d.latency + d.xferTime(bytes)) })
 	d.writes++
 	d.bytesWritten += bytes
 }
@@ -72,7 +89,7 @@ func (d *Disk) Write(p *sim.Proc, bytes int64) {
 // a streaming transfer. Used for whole-segment shipping.
 func (d *Disk) ReadSeq(p *sim.Proc, bytes int64) {
 	defer p.Meter(sim.CatDiskIO)()
-	d.arm.Use(p, 1, func() { p.Sleep(d.latency + d.xferTime(bytes)) })
+	d.arm.Use(p, 1, func() { p.Sleep(d.stall + d.latency + d.xferTime(bytes)) })
 	d.reads++
 	d.bytesRead += bytes
 }
@@ -80,7 +97,7 @@ func (d *Disk) ReadSeq(p *sim.Proc, bytes int64) {
 // WriteSeq performs a sequential write.
 func (d *Disk) WriteSeq(p *sim.Proc, bytes int64) {
 	defer p.Meter(sim.CatDiskIO)()
-	d.arm.Use(p, 1, func() { p.Sleep(d.latency + d.xferTime(bytes)) })
+	d.arm.Use(p, 1, func() { p.Sleep(d.stall + d.latency + d.xferTime(bytes)) })
 	d.writes++
 	d.bytesWritten += bytes
 }
@@ -90,7 +107,7 @@ func (d *Disk) WriteSeq(p *sim.Proc, bytes int64) {
 func (d *Disk) AppendLog(p *sim.Proc, bytes int64) {
 	defer p.Meter(sim.CatLogging)()
 	lat := d.latency / 4
-	d.arm.Use(p, 1, func() { p.Sleep(lat + d.xferTime(bytes)) })
+	d.arm.Use(p, 1, func() { p.Sleep(d.stall + lat + d.xferTime(bytes)) })
 	d.writes++
 	d.bytesWritten += bytes
 }

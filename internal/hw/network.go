@@ -15,6 +15,10 @@ type Network struct {
 	env *sim.Env
 	cal Calibration
 
+	// extraDelay is an injected additional one-way latency applied to every
+	// transfer while set (fault injection: congestion spike, flaky switch).
+	extraDelay time.Duration
+
 	links map[int]*link
 }
 
@@ -61,8 +65,20 @@ func (n *Network) Transfer(p *sim.Proc, from, to int, bytes int64) {
 	l.tx.Use(p, 1, func() { p.Sleep(wire) })
 	l.bytesSent += bytes
 	l.messages++
-	p.Sleep(n.cal.NetLatency)
+	p.Sleep(n.cal.NetLatency + n.extraDelay)
 }
+
+// SetExtraDelay injects an additional one-way latency on every transfer
+// (0 clears the fault). Used by the chaos harness for delay spikes.
+func (n *Network) SetExtraDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.extraDelay = d
+}
+
+// ExtraDelay returns the currently injected latency spike.
+func (n *Network) ExtraDelay() time.Duration { return n.extraDelay }
 
 // BytesSent returns the cumulative bytes sent by the node's uplink.
 func (n *Network) BytesSent(nodeID int) int64 {

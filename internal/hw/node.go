@@ -131,6 +131,14 @@ func (n *Node) ForceActive() {
 	n.stateChanged = n.env.Now()
 }
 
+// ForceOff models an abrupt power failure: the node drops to standby
+// instantly, with no orderly shutdown sequence. Volatile state loss is the
+// caller's responsibility (see cluster.CrashNode).
+func (n *Node) ForceOff() {
+	n.state = PowerOff
+	n.stateChanged = n.env.Now()
+}
+
 // CPUUtilization returns the fraction of core capacity used since the last
 // call (a sampling window). The first call measures from node creation.
 func (n *Node) CPUUtilization() float64 {

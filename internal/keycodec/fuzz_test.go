@@ -1,0 +1,103 @@
+package keycodec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// encodeTuple encodes the composite key (a int64, s string, u uint32).
+func encodeTuple(a int64, s string, u uint32) []byte {
+	return AppendUint32(AppendString(AppendInt64(nil, a), s), u)
+}
+
+// compareTuple compares two tuples field by field, the order the encoding
+// must preserve bytewise.
+func compareTuple(a1 int64, s1 string, u1 uint32, a2 int64, s2 string, u2 uint32) int {
+	switch {
+	case a1 < a2:
+		return -1
+	case a1 > a2:
+		return 1
+	}
+	if c := strings.Compare(s1, s2); c != 0 {
+		return c
+	}
+	switch {
+	case u1 < u2:
+		return -1
+	case u1 > u2:
+		return 1
+	}
+	return 0
+}
+
+// FuzzEncodedOrderMatchesDecoded checks the codec's core contract: two
+// composite keys compare the same way encoded (bytes.Compare) as decoded
+// (field-by-field), and the encoding round-trips exactly. The B*-tree
+// relies on this to replace per-field comparisons with single memcmps.
+func FuzzEncodedOrderMatchesDecoded(f *testing.F) {
+	f.Add(int64(0), "", uint32(0), int64(0), "", uint32(0))
+	f.Add(int64(-1), "a", uint32(1), int64(1), "a", uint32(1))
+	f.Add(int64(7), "ab", uint32(2), int64(7), "ab\x00", uint32(2))
+	f.Add(int64(7), "ab\x00cd", uint32(9), int64(7), "ab\x00ce", uint32(9))
+	f.Add(int64(math.MinInt64), "\x00\xff", uint32(0), int64(math.MaxInt64), "\xff\x00", uint32(math.MaxUint32))
+	f.Add(int64(42), "prefix", uint32(5), int64(42), "prefixextension", uint32(5))
+	f.Fuzz(func(t *testing.T, a1 int64, s1 string, u1 uint32, a2 int64, s2 string, u2 uint32) {
+		e1 := encodeTuple(a1, s1, u1)
+		e2 := encodeTuple(a2, s2, u2)
+		want := compareTuple(a1, s1, u1, a2, s2, u2)
+		if got := sign(bytes.Compare(e1, e2)); got != want {
+			t.Fatalf("order mismatch: (%d,%q,%d) vs (%d,%q,%d): encoded %d, decoded %d",
+				a1, s1, u1, a2, s2, u2, got, want)
+		}
+		// Round trip.
+		da, rest, err := DecodeInt64(e1)
+		if err != nil || da != a1 {
+			t.Fatalf("int64 round trip: got %d err %v, want %d", da, err, a1)
+		}
+		ds, rest, err := DecodeString(rest)
+		if err != nil || ds != s1 {
+			t.Fatalf("string round trip: got %q err %v, want %q", ds, err, s1)
+		}
+		du, rest, err := DecodeUint32(rest)
+		if err != nil || du != u1 {
+			t.Fatalf("uint32 round trip: got %d err %v, want %d", du, err, u1)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes after decode", len(rest))
+		}
+	})
+}
+
+// FuzzFloatOrder checks AppendFloat64's total-order property for non-NaN
+// values (NaN encodings sort after +Inf by payload, with no decoded-order
+// counterpart to compare against).
+func FuzzFloatOrder(f *testing.F) {
+	f.Add(0.0, -0.0)
+	f.Add(-1.5, 1.5)
+	f.Add(math.Inf(-1), math.Inf(1))
+	f.Add(math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64)
+	f.Fuzz(func(t *testing.T, v1, v2 float64) {
+		if math.IsNaN(v1) || math.IsNaN(v2) {
+			t.Skip("NaN order is payload-defined")
+		}
+		e1 := AppendFloat64(nil, v1)
+		e2 := AppendFloat64(nil, v2)
+		want := 0
+		switch {
+		case v1 < v2:
+			want = -1
+		case v1 > v2:
+			want = 1
+		case math.Signbit(v1) && !math.Signbit(v2): // -0.0 < +0.0 in total order
+			want = -1
+		case !math.Signbit(v1) && math.Signbit(v2):
+			want = 1
+		}
+		if got := sign(bytes.Compare(e1, e2)); got != want {
+			t.Fatalf("float order mismatch: %v vs %v: encoded %d, want %d", v1, v2, got, want)
+		}
+	})
+}

@@ -8,45 +8,75 @@ import (
 	"wattdb/internal/sim"
 )
 
+// LookupState classifies a Lookup result.
+type LookupState int
+
+const (
+	// LookupAbsent: no version of the key is visible at the snapshot.
+	LookupAbsent LookupState = iota
+	// LookupLive: a visible value exists.
+	LookupLive
+	// LookupDeleted: the newest visible version is a tombstone.
+	LookupDeleted
+)
+
 // Get returns the row payload of key visible to txn.
 func (pt *Partition) Get(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, bool, error) {
+	v, state, err := pt.Lookup(p, txn, key)
+	return v, state == LookupLive, err
+}
+
+// Lookup is Get distinguishing an absent key from a visible tombstone.
+// Migration routing needs the distinction: a committed tombstone at a
+// range's new location is authoritative and must not fall back to (and
+// resurrect) the old location's copy.
+func (pt *Partition) Lookup(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, LookupState, error) {
+	if err := pt.down(); err != nil {
+		return nil, LookupAbsent, err
+	}
 	pt.stats.Reads++
 	pt.deps.compute(p, pt.deps.CPUPerOp)
 	if txn.Mode == cc.Locking {
-		return pt.getLocking(p, txn, key)
+		return pt.lookupLocking(p, txn, key)
 	}
 	tr, err := pt.readTree(txn, key)
 	if err != nil {
-		return nil, false, err
+		return nil, LookupAbsent, err
 	}
 	leaf, err := readLeaf(p, tr, key)
 	if err != nil {
-		return nil, false, err
+		return nil, LookupAbsent, err
 	}
-	v, ok := pt.Store.ReadVisible(txn, string(key), leaf)
-	if !ok {
-		return nil, false, nil
+	v, exists := pt.Store.VisibleVersion(txn, string(key), leaf)
+	switch {
+	case !exists:
+		return nil, LookupAbsent, nil
+	case v.Deleted:
+		return nil, LookupDeleted, nil
 	}
-	return v.Val, true, nil
+	return v.Val, LookupLive, nil
 }
 
-func (pt *Partition) getLocking(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, bool, error) {
+func (pt *Partition) lookupLocking(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, LookupState, error) {
 	lm, to := pt.deps.Locks, pt.deps.LockTimeout
 	if err := lm.Lock(p, txn, pt.lockName(), cc.LockIR, to); err != nil {
-		return nil, false, err
+		return nil, LookupAbsent, err
 	}
 	if err := lm.Lock(p, txn, pt.keyLockName(key), cc.LockR, to); err != nil {
-		return nil, false, err
+		return nil, LookupAbsent, err
 	}
 	tr, err := pt.readTree(txn, key)
 	if err != nil {
-		return nil, false, err
+		return nil, LookupAbsent, err
 	}
 	leaf, err := readLeaf(p, tr, key)
-	if err != nil || leaf == nil || leaf.Deleted {
-		return nil, false, err
+	switch {
+	case err != nil || leaf == nil:
+		return nil, LookupAbsent, err
+	case leaf.Deleted:
+		return nil, LookupDeleted, nil
 	}
-	return leaf.Val, true, nil
+	return leaf.Val, LookupLive, nil
 }
 
 // Put inserts or updates key with payload under txn.
@@ -60,6 +90,9 @@ func (pt *Partition) Delete(p *sim.Proc, txn *cc.Txn, key []byte) error {
 }
 
 func (pt *Partition) write(p *sim.Proc, txn *cc.Txn, key, payload []byte, deleted bool) error {
+	if err := pt.down(); err != nil {
+		return err
+	}
 	if !txn.Active() {
 		return cc.ErrTxnNotActive
 	}
@@ -165,12 +198,85 @@ func cloneVersion(v *cc.Version) *cc.Version {
 // IR lock on the partition and R locks on every record it emits (held to
 // end of transaction, as MGL-RX prescribes).
 func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, payload []byte) bool) error {
+	return pt.scan(p, txn, lo, hi, func(k, v []byte, deleted bool) bool {
+		if deleted {
+			return true
+		}
+		return fn(k, v)
+	})
+}
+
+// ScanWithTombstones is Scan also delivering visible tombstones (with
+// deleted=true and a nil payload). Migration routing uses it so a range's
+// new location can suppress stale copies at the old one: a key the new
+// location has any committed version for — live or deleted — must not be
+// served from the old copy.
+func (pt *Partition) ScanWithTombstones(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, payload []byte, deleted bool) bool) error {
+	return pt.scan(p, txn, lo, hi, fn)
+}
+
+func (pt *Partition) scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, payload []byte, deleted bool) bool) error {
+	if err := pt.down(); err != nil {
+		return err
+	}
 	if txn.Mode == cc.Locking {
 		if err := pt.deps.Locks.Lock(p, txn, pt.lockName(), cc.LockIR, pt.deps.LockTimeout); err != nil {
 			return err
 		}
 	}
-	emit := func(k, raw []byte) (bool, error) {
+	// Committed writes whose tree install is still in flight have no leaf
+	// for the tree walk to find (fresh inserts on a migration target, for
+	// example); merge them into the stream in key order so the scan cannot
+	// miss records its snapshot covers. Any such write's commit timestamp
+	// predates the reader's snapshot — and hence this scan's start — so the
+	// set captured here is complete for the whole walk.
+	var pend []cc.PendingRead
+	if txn.Mode != cc.Locking {
+		pend = pt.Store.CommittedPending(txn, lo, hi)
+	}
+	pi := 0
+	consumerStop := false
+	send := func(k, v []byte, deleted bool) bool {
+		if !fn(k, v, deleted) {
+			consumerStop = true
+			return false
+		}
+		return true
+	}
+	deliver := func(k, v []byte, deleted bool) bool {
+		for pi < len(pend) {
+			c := bytes.Compare([]byte(pend[pi].Key), k)
+			if c > 0 {
+				break
+			}
+			pv := pend[pi]
+			pi++
+			if c == 0 {
+				// The install landed mid-scan and the tree emitted it; the
+				// tree path already resolved the same version.
+				break
+			}
+			if !send([]byte(pv.Key), pv.Ver.Val, pv.Ver.Deleted) {
+				return false
+			}
+		}
+		return send(k, v, deleted)
+	}
+	// flushPending delivers the pending-committed writes beyond the last
+	// tree record once the walk completes (never after a consumer stop).
+	flushPending := func() {
+		for !consumerStop && pi < len(pend) {
+			pv := pend[pi]
+			pi++
+			send([]byte(pv.Key), pv.Ver.Val, pv.Ver.Deleted)
+		}
+	}
+	emit := func(tr *btree.Tree, k, raw []byte) (bool, error) {
+		if err := pt.down(); err != nil {
+			// The node power-failed at a blocking point mid-scan; the
+			// version chains are gone, so continuing could skip records.
+			return false, err
+		}
 		pt.stats.ScannedTuples++
 		pt.deps.compute(p, pt.deps.CPUPerTuple)
 		leaf, err := DecodeValue(raw)
@@ -179,24 +285,39 @@ func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 		}
 		if txn.Mode == cc.Locking {
 			if leaf.Deleted {
-				return true, nil
+				return fn(k, nil, true), nil
 			}
 			if err := pt.deps.Locks.Lock(p, txn, pt.keyLockName(k), cc.LockR, pt.deps.LockTimeout); err != nil {
 				return false, err
 			}
-			return fn(k, leaf.Val), nil
+			return fn(k, leaf.Val, false), nil
 		}
-		v, ok := pt.Store.ReadVisible(txn, string(k), &leaf)
-		if !ok {
+		ks := string(k)
+		leafV := &leaf
+		if pt.Store.StaleLeaf(ks, leaf.TS) {
+			// The batched cursor copied this leaf before a later install
+			// landed: re-read the record's current tree version (the
+			// snapshot's answer then resolves via the leaf or the history
+			// versions the newer installs pushed).
+			leafV, err = readLeaf(p, tr, k)
+			if err != nil {
+				return false, err
+			}
+		}
+		v, exists := pt.Store.VisibleVersion(txn, ks, leafV)
+		if !exists {
 			return true, nil
 		}
-		return fn(k, v.Val), nil
+		if v.Deleted {
+			return deliver(k, nil, true), nil
+		}
+		return deliver(k, v.Val, false), nil
 	}
 
 	if pt.Scheme != Physiological {
 		var scanErr error
 		err := pt.span.Scan(p, lo, hi, func(k, raw []byte) bool {
-			cont, err := emit(k, raw)
+			cont, err := emit(pt.span, k, raw)
 			if err != nil {
 				scanErr = err
 				return false
@@ -205,6 +326,9 @@ func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 		})
 		if err == nil {
 			err = scanErr
+		}
+		if err == nil {
+			flushPending()
 		}
 		return err
 	}
@@ -216,16 +340,24 @@ func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 	// the right, and a detached handle stays readable as a ghost for
 	// snapshots predating the move.
 	cur := lo
+	// lastSeen tracks the largest key this walk has processed. The backing
+	// array keeps typical keys off the heap: scans run per executor batch
+	// and must not allocate in steady state (longer keys fall back to a
+	// heap append).
+	var lastArr [64]byte
+	lastSeen := lastArr[:0]
 	for {
 		h := pt.nextSegFor(txn, cur)
 		if h == nil || (hi != nil && bytes.Compare(h.Low, hi) >= 0) {
+			flushPending()
 			return nil
 		}
 		slo, shi := maxKey(cur, h.Low), minKey(hi, h.High)
 		stopped := false
 		var scanErr error
 		err := h.Tree.Scan(p, slo, shi, func(k, raw []byte) bool {
-			cont, err := emit(k, raw)
+			lastSeen = append(lastSeen[:0], k...)
+			cont, err := emit(h.Tree, k, raw)
 			if err != nil {
 				scanErr = err
 				return false
@@ -242,9 +374,17 @@ func (pt *Partition) Scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 			return err
 		}
 		if h.High == nil { // note: re-read after the scan (splits narrow it)
+			flushPending()
 			return nil
 		}
 		cur = h.High
+		if len(lastSeen) > 0 && bytes.Compare(lastSeen, cur) >= 0 {
+			// A concurrent split narrowed the handle below keys the batched
+			// cursor had already delivered from the pre-split leaves; the
+			// records above the new boundary moved to the right-hand
+			// segment, and re-entering it at h.High would emit them twice.
+			cur = append(bytes.Clone(lastSeen), 0)
+		}
 	}
 }
 

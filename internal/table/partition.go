@@ -118,6 +118,17 @@ func (e ErrNotOwned) Error() string {
 	return fmt.Sprintf("table: partition %d does not own key %x", e.Part, e.Key)
 }
 
+// ErrPartitionDown is returned when the partition's node has power-failed:
+// every access fails until the node restarts and the partition is rebuilt
+// from its recovery base and the write-ahead log.
+type ErrPartitionDown struct {
+	Part PartID
+}
+
+func (e ErrPartitionDown) Error() string {
+	return fmt.Sprintf("table: partition %d is down (node power-failed)", e.Part)
+}
+
 // Partition is one horizontal slice of a table, living on a single node.
 type Partition struct {
 	ID     PartID
@@ -148,6 +159,11 @@ type Partition struct {
 	// mini-partition, so they retry at the old location until the shipped
 	// segment arrives.
 	AdoptOnly bool
+
+	// failed marks the partition's volatile state lost to a node power
+	// failure: all operations return ErrPartitionDown until the node
+	// restarts and swaps in a recovered replacement partition.
+	failed bool
 }
 
 // NewPartition creates an empty partition.
@@ -172,6 +188,26 @@ func NewPartition(id PartID, schema *Schema, scheme Scheme, low, high []byte, de
 
 // Deps returns the partition's dependency bundle.
 func (pt *Partition) Deps() *Deps { return &pt.deps }
+
+// Fail marks the partition dead after its node power-failed, wiping the
+// volatile transaction state (staged writes; version chains and the buffer
+// contents die with the node's DRAM). The partition object stays routable so
+// in-flight work gets a clean ErrPartitionDown instead of corrupt reads.
+func (pt *Partition) Fail() {
+	pt.failed = true
+	pt.pending = make(map[cc.TxnID][]string)
+}
+
+// Failed reports whether the partition was lost to a node power failure.
+func (pt *Partition) Failed() bool { return pt.failed }
+
+// down returns the failure error if the partition is dead.
+func (pt *Partition) down() error {
+	if pt.failed {
+		return ErrPartitionDown{pt.ID}
+	}
+	return nil
+}
 
 // Stats returns a snapshot of activity counters.
 func (pt *Partition) Stats() Stats { return pt.stats }

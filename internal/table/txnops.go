@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"wattdb/internal/btree"
 	"wattdb/internal/cc"
@@ -31,6 +32,13 @@ func (pt *Partition) Empty() bool {
 // drain and exclude writers of this partition during the move.
 func (pt *Partition) MovementLockName() string { return pt.lockName() }
 
+// ChangedSince reports whether a key of [lo, hi) in this partition has a
+// foreign write in flight or committed past txn's snapshot (see
+// cc.VersionStore.ChangedSince).
+func (pt *Partition) ChangedSince(txn *cc.Txn, lo, hi []byte) bool {
+	return pt.Store.ChangedSince(txn, lo, hi, len(pt.pending[txn.ID]))
+}
+
 // HasPending reports whether txn staged writes in this partition.
 func (pt *Partition) HasPending(txn *cc.Txn) bool {
 	return len(pt.pending[txn.ID]) > 0
@@ -42,6 +50,9 @@ func (pt *Partition) HasPending(txn *cc.Txn) bool {
 // share a single group-commit flush). Locking-mode transactions have
 // nothing to install (writes applied eagerly); their pending list is empty.
 func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) error {
+	if err := pt.down(); err != nil {
+		return err
+	}
 	keys := pt.pending[txn.ID]
 	delete(pt.pending, txn.ID)
 	for _, ks := range keys {
@@ -54,12 +65,17 @@ func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) err
 		if err != nil {
 			return err
 		}
-		v := pt.Store.CommitKey(txn, ks, old, commitTS)
+		// Install first, release the write intent after: while the tree
+		// install blocks on I/O, readers whose snapshot covers commitTS are
+		// served the committed value through the version store's
+		// committed-writer path instead of the stale leaf.
+		v := pt.Store.BeginCommitKey(txn, ks, commitTS)
 		rec := pt.logRecord(txn, key, old, v)
 		lsn := pt.deps.Log.Append(rec)
 		if _, err := pt.treePut(p, key, EncodeValue(v), lsn); err != nil {
 			return err
 		}
+		pt.Store.FinishCommitKey(txn, ks, old, commitTS)
 		if v.Deleted {
 			pt.tombs[ks] = struct{}{}
 		}
@@ -69,7 +85,12 @@ func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) err
 }
 
 // Abort discards txn's staged writes (MVCC) and runs undo (locking mode).
+// Aborting against a power-failed partition is a no-op: the staged state is
+// already gone.
 func (pt *Partition) Abort(p *sim.Proc, txn *cc.Txn) {
+	if pt.failed {
+		return
+	}
 	for _, ks := range pt.pending[txn.ID] {
 		pt.Store.AbortKey(txn, ks)
 	}
@@ -237,8 +258,22 @@ func (pt *Partition) splitSeg(p *sim.Proc, h *SegHandle, key []byte) error {
 // Vacuum removal is not logged: redoing an old delete just reinstalls a
 // tombstone, which a later vacuum removes again.
 func (pt *Partition) Vacuum(p *sim.Proc, watermark cc.Timestamp) (int, error) {
+	if err := pt.down(); err != nil {
+		return 0, err
+	}
 	removed := 0
+	// Tombstones are visited in key order: each removal performs simulated
+	// tree I/O, so map-iteration order would leak into the virtual clock and
+	// break run-to-run determinism.
+	ordered := make([]string, 0, len(pt.tombs))
 	for ks := range pt.tombs {
+		ordered = append(ordered, ks)
+	}
+	sort.Strings(ordered)
+	for _, ks := range ordered {
+		if err := pt.down(); err != nil { // node crashed mid-vacuum
+			return removed, err
+		}
 		key := []byte(ks)
 		tr, _, err := pt.writeTree(p, key)
 		if err != nil {
@@ -340,6 +375,20 @@ func (pt *Partition) DropGhost(p *sim.Proc, segID storage.SegID) error {
 
 // Ghosts returns the number of ghost segments awaiting reader drain.
 func (pt *Partition) Ghosts() int { return len(pt.ghosts) }
+
+// SegIDs lists every segment the partition references — live handles and
+// ghosts — so a dead partition's storage can be released when a restarted
+// node swaps in its recovered replacement.
+func (pt *Partition) SegIDs() []storage.SegID {
+	out := make([]storage.SegID, 0, len(pt.segs)+len(pt.ghosts))
+	for _, h := range pt.segs {
+		out = append(out, h.Seg.ID)
+	}
+	for _, g := range pt.ghosts {
+		out = append(out, g.handle.Seg.ID)
+	}
+	return out
+}
 
 // CommitTxn drives the full commit of txn across the given co-located
 // partitions: install writes, write the commit record, group-commit flush,

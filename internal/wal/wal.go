@@ -87,6 +87,13 @@ type Log struct {
 	flushing     bool
 	flushedSig   *sim.Signal
 
+	// down marks the owning node power-failed: appends are dropped and
+	// flushes return immediately (there is no device to write to). epoch
+	// increments on every crash so an in-flight flush that resumes after the
+	// failure knows its device write never completed.
+	down  bool
+	epoch uint64
+
 	// Stats.
 	Flushes      int64
 	BytesFlushed int64
@@ -102,8 +109,13 @@ func NewLog(env *sim.Env, device Device) *Log {
 func (l *Log) SetDevice(d Device) { l.device = d }
 
 // Append adds rec to the log tail and returns its LSN. The record is not
-// durable until a Flush covers it.
+// durable until a Flush covers it. Appends against a crashed node's log are
+// dropped (the node has no power; whoever issued them is a process that was
+// already in flight when the failure hit).
 func (l *Log) Append(rec Record) uint64 {
+	if l.down {
+		return l.flushedLSN
+	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, rec)
@@ -124,7 +136,7 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 	if upTo >= l.nextLSN {
 		upTo = l.nextLSN - 1
 	}
-	for l.flushedLSN < upTo {
+	for !l.down && l.flushedLSN < upTo {
 		if l.flushing {
 			stop := p.Meter(sim.CatLogging)
 			l.flushedSig.Wait(p)
@@ -132,10 +144,17 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 			continue
 		}
 		l.flushing = true
+		epoch := l.epoch
 		target := l.nextLSN - 1
 		bytes := l.pendingBytes
 		l.pendingBytes = 0
 		l.device.Append(p, bytes) // metered as CatLogging by the device
+		if l.epoch != epoch {
+			// The node power-failed while this write was in flight: the
+			// records never reached the platter. Crash() already discarded
+			// them and reset the flusher state.
+			return
+		}
 		l.flushing = false
 		l.flushedLSN = target
 		l.Flushes++
@@ -147,6 +166,34 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 // Records returns the retained log records (recovery input). The slice is
 // owned by the log.
 func (l *Log) Records() []Record { return l.records }
+
+// Crash models the owning node's power failure: the volatile log buffer —
+// every record beyond the flushed LSN — is lost, in-flight flushes are
+// fenced off, and the log stops accepting work until Restart. It returns
+// the number of records discarded.
+func (l *Log) Crash() int {
+	l.epoch++
+	l.down = true
+	l.flushing = false
+	cut := len(l.records)
+	for cut > 0 && l.records[cut-1].LSN > l.flushedLSN {
+		cut--
+	}
+	lost := len(l.records) - cut
+	l.records = l.records[:cut:cut]
+	l.pendingBytes = 0
+	// The durable tail is now the log tail: future LSNs continue above it.
+	l.nextLSN = l.flushedLSN + 1
+	l.flushedSig.Fire() // waiters re-check and see the log is down
+	return lost
+}
+
+// Restart brings a crashed log back into service (the durable records
+// survive; only the volatile tail was lost).
+func (l *Log) Restart() { l.down = false }
+
+// Down reports whether the log's node is power-failed.
+func (l *Log) Down() bool { return l.down }
 
 // Checkpoint appends a checkpoint record and flushes through it. It returns
 // the checkpoint LSN.
@@ -187,15 +234,24 @@ type Target interface {
 // reverse order using before images. Both passes are idempotent, matching
 // the paper's requirement that "the log file is needed to reconstruct
 // partitions and to perform appropriate UNDO and REDO operations".
+// A record for a partition absent from targets is an error.
 func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone int, err error) {
+	redone, undone, _, err = replay(p, recs, targets, false)
+	return redone, undone, err
+}
+
+// RecoverPartial is Recover for a node restart where some logged partitions
+// no longer exist (fully migrated away, dropped replicas): their records are
+// skipped instead of failing recovery, and the skip count is reported.
+func RecoverPartial(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone, skipped int, err error) {
+	return replay(p, recs, targets, true)
+}
+
+func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown bool) (redone, undone, skipped int, err error) {
 	committed := make(map[cc.TxnID]bool)
-	aborted := make(map[cc.TxnID]bool)
 	for i := range recs {
-		switch recs[i].Type {
-		case RecCommit:
+		if recs[i].Type == RecCommit {
 			committed[recs[i].Txn] = true
-		case RecAbort:
-			aborted[recs[i].Txn] = true
 		}
 	}
 	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
@@ -208,7 +264,11 @@ func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, und
 		}
 		tgt, ok := targets[r.Part]
 		if !ok {
-			return redone, undone, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+			if skipUnknown {
+				skipped++
+				continue
+			}
+			return redone, undone, skipped, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
 		}
 		if r.After != nil {
 			err = tgt.RecoveryPut(p, r.Key, r.After)
@@ -216,7 +276,7 @@ func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, und
 			err = tgt.RecoveryDelete(p, r.Key)
 		}
 		if err != nil {
-			return redone, undone, err
+			return redone, undone, skipped, err
 		}
 		redone++
 	}
@@ -229,7 +289,11 @@ func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, und
 		}
 		tgt, ok := targets[r.Part]
 		if !ok {
-			return redone, undone, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+			if skipUnknown {
+				skipped++
+				continue
+			}
+			return redone, undone, skipped, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
 		}
 		if r.Before != nil {
 			err = tgt.RecoveryPut(p, r.Key, r.Before)
@@ -237,10 +301,9 @@ func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, und
 			err = tgt.RecoveryDelete(p, r.Key)
 		}
 		if err != nil {
-			return redone, undone, err
+			return redone, undone, skipped, err
 		}
 		undone++
 	}
-	_ = aborted
-	return redone, undone, nil
+	return redone, undone, skipped, nil
 }
