@@ -1,15 +1,15 @@
 GO ?= go
 
 # Micro-benchmarks compared by bench-baseline / bench-compare.
-BENCH_PATTERN  ?= BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkScanPipeline|BenchmarkTableScanBatch
+BENCH_PATTERN  ?= BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkScanPipeline|BenchmarkTableScanBatch|BenchmarkChangedSince
 BENCH_COUNT    ?= 10
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
 
-# Chaos harness: number of seeds swept by `make chaos`.
+# Chaos harness: number of seeds swept by `make chaos` / `make chaos-tpcc`.
 SEEDS ?= 25
 
-.PHONY: all build test test-race vet chaos bench-quick bench-micro bench-baseline bench-compare check
+.PHONY: all build test test-race vet chaos chaos-tpcc chaos-quick bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -34,8 +34,19 @@ vet:
 chaos:
 	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS)
 
-## check: tier-1 verification in one command (build + vet + race-enabled tests)
-check: build vet test-race
+## chaos-tpcc: the same sweep over the TPC-C workload with the
+## warehouse-invariant oracle (W_YTD/D_YTD, order atomicity, stock sums)
+chaos-tpcc:
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS)
+
+## chaos-quick: a short crash-anywhere sweep of both workloads (CI gate)
+chaos-quick:
+	$(GO) run ./cmd/wattdb-chaos -seeds 6 -duration 25s
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 3 -duration 20s
+
+## check: tier-1 verification in one command (build + vet + race-enabled
+## tests + a short crash-anywhere chaos sweep of both workloads)
+check: build vet test-race chaos-quick
 
 ## bench-quick: regenerate every paper figure once at CI scale
 bench-quick:

@@ -238,6 +238,58 @@ func BenchmarkScanPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkChangedSince measures the record mover's pre-advance change check
+// against a store with many quiescent entries and one commit newer than the
+// mover's snapshot — the case that previously fell back to an O(entries)
+// walk and is now bounded by the watermark-pruned recent-commit set.
+func BenchmarkChangedSince(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	oracle := cc.NewOracle()
+	vs := cc.NewVersionStore(env)
+	const entries = 50_000
+	env.Spawn("setup", func(p *sim.Proc) {
+		for i := 0; i < entries; i++ {
+			txn := oracle.Begin(cc.SnapshotIsolation)
+			key := string(keycodec.Int64Key(int64(i)))
+			if err := vs.AcquireWriteIntent(p, txn, key, 0, time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+			vs.StagePending(txn, key, false, []byte("v"))
+			vs.CommitKey(txn, key, nil, oracle.CommitTS(txn))
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	// Vacuum: the historical bulk drops out of the recent-commit set.
+	vs.GC(oracle.Watermark())
+	// The mover's snapshot, then one newer commit to defeat the fast path.
+	mover := oracle.Begin(cc.SnapshotIsolation)
+	env.Spawn("fresh-commit", func(p *sim.Proc) {
+		txn := oracle.Begin(cc.SnapshotIsolation)
+		key := string(keycodec.Int64Key(int64(entries)))
+		if err := vs.AcquireWriteIntent(p, txn, key, 0, time.Second); err != nil {
+			b.Error(err)
+			return
+		}
+		vs.StagePending(txn, key, false, []byte("v"))
+		vs.CommitKey(txn, key, nil, oracle.CommitTS(txn))
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := keycodec.Int64Key(0), keycodec.Int64Key(int64(entries/2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs.ChangedSince(mover, lo, hi, 0) {
+			b.Fatal("fresh commit is outside [lo, hi); ChangedSince must be false")
+		}
+	}
+	b.ReportMetric(float64(vs.RecentCommits()), "recent-set")
+}
+
 // BenchmarkTableScanBatch measures the full operator stack — TableScan over
 // partition, MVCC visibility, batched B*-tree cursor, columnar decode —
 // draining a 5k-row partition with vector size 64 (ns/op is per drained

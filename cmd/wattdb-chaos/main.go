@@ -3,6 +3,7 @@
 //
 //	wattdb-chaos -seeds 25          # seeds 1..25, schemes rotating per seed
 //	wattdb-chaos -seed 7 -scheme logical -v   # reproduce one run exactly
+//	wattdb-chaos -tpcc -seeds 10    # TPC-C workload + warehouse-invariant oracle
 //
 // Every run prints its seed, scheme, and final state hash; a failing seed
 // reproduces bit-for-bit with the same flags.
@@ -26,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", 0, "workload processes (default 4)")
 	duration := flag.Duration("duration", 0, "simulated workload window (default 45s)")
 	faults := flag.Int("faults", 0, "extra random fault events (default 4)")
+	tpccMode := flag.Bool("tpcc", false, "run the TPC-C workload with the warehouse-invariant oracle (ignores -keys)")
 	verbose := flag.Bool("v", false, "print the fault schedule of every run")
 	flag.Parse()
 
@@ -61,14 +63,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		rep, err := chaos.Run(chaos.Config{
+		cfg := chaos.Config{
 			Seed:     s,
 			Scheme:   scheme,
 			Keys:     *keys,
 			Workers:  *workers,
 			Duration: *duration,
 			Faults:   *faults,
-		})
+		}
+		run := chaos.Run
+		if *tpccMode {
+			run = chaos.RunTPCC
+		}
+		rep, err := run(cfg)
 		if err != nil {
 			fmt.Printf("seed=%-4d scheme=%-13s ERROR: %v\n", s, scheme, err)
 			failures++
@@ -92,6 +99,9 @@ func main() {
 				fmt.Printf("    VIOLATION: %s\n", v)
 			}
 			repro := fmt.Sprintf("go run ./cmd/wattdb-chaos -seed %d -scheme %s", s, scheme)
+			if *tpccMode {
+				repro += " -tpcc"
+			}
 			// Non-default knobs change the fault plan; the repro must carry
 			// them or the failing schedule will not regenerate.
 			if *keys != 0 {

@@ -437,3 +437,60 @@ func TestTxnUndoRunsInReverse(t *testing.T) {
 		t.Fatalf("undo order = %v", order)
 	}
 }
+
+// TestChangedSinceRecentCommitSet checks the watermark-pruned recent-commit
+// set that bounds ChangedSince's fallback walk: a commit past a snapshot is
+// detected inside its key range only, stays detected after unrelated GC, and
+// is pruned — with the answer unchanged for live snapshots — once the
+// watermark passes it.
+func TestChangedSinceRecentCommitSet(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	o := NewOracle()
+	vs := NewVersionStore(env)
+	commit := func(key string) {
+		env.Spawn("w", func(p *sim.Proc) {
+			txn := o.Begin(SnapshotIsolation)
+			if err := vs.AcquireWriteIntent(p, txn, key, 0, time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+			vs.StagePending(txn, key, false, []byte("v"))
+			vs.CommitKey(txn, key, nil, o.CommitTS(txn))
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit("a")
+	mover := o.Begin(SnapshotIsolation)
+	commit("m")
+
+	if !vs.ChangedSince(mover, []byte("l"), []byte("n"), 0) {
+		t.Fatal("commit past the snapshot inside [l, n) not detected")
+	}
+	if vs.ChangedSince(mover, []byte("b"), []byte("c"), 0) {
+		t.Fatal("false positive outside the commit's key range")
+	}
+	// GC at the current watermark (mover still active): "a" predates every
+	// snapshot and is pruned; "m" must survive and still be detected.
+	vs.GC(o.Watermark())
+	if vs.RecentCommits() != 1 {
+		t.Fatalf("recent-commit set = %d after GC, want 1 (only the post-snapshot commit)", vs.RecentCommits())
+	}
+	if !vs.ChangedSince(mover, nil, nil, 0) {
+		t.Fatal("post-snapshot commit lost by GC pruning")
+	}
+	// Once the mover finishes, the watermark passes "m": the set empties and
+	// a fresh snapshot sees no change.
+	o.Abort(mover)
+	vs.GC(o.Watermark())
+	if vs.RecentCommits() != 0 {
+		t.Fatalf("recent-commit set = %d after full drain, want 0", vs.RecentCommits())
+	}
+	fresh := o.Begin(SnapshotIsolation)
+	if vs.ChangedSince(fresh, nil, nil, 0) {
+		t.Fatal("fresh snapshot sees a change after all commits predate it")
+	}
+	o.Abort(fresh)
+}

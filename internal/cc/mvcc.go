@@ -47,6 +47,13 @@ type VersionStore struct {
 	// number of in-flight writers rather than the number of entries.
 	intentKeys map[string]struct{}
 	maxCommit  Timestamp
+
+	// recent maps keys to their last commit timestamp for commits newer
+	// than the GC watermark. It bounds ChangedSince's commit check by the
+	// number of commits since the last vacuum instead of the number of
+	// entries: any key pruned from the set committed at or below the
+	// watermark, which no active snapshot (every mover included) predates.
+	recent map[string]Timestamp
 }
 
 // NewVersionStore returns an empty store.
@@ -55,6 +62,7 @@ func NewVersionStore(env *sim.Env) *VersionStore {
 		env:        env,
 		entries:    make(map[string]*mvccEntry),
 		intentKeys: make(map[string]struct{}),
+		recent:     make(map[string]Timestamp),
 	}
 }
 
@@ -195,16 +203,22 @@ func (vs *VersionStore) ChangedSince(txn *Txn, lo, hi []byte, ownIntents int) bo
 	if vs.maxCommit <= txn.Begin {
 		return false
 	}
-	for k, e := range vs.entries {
+	// Commit check over the watermark-pruned recent-commit set: every key
+	// whose last commit could postdate txn's snapshot is in it (txn is
+	// active, so the GC watermark is at or below txn.Begin and cannot have
+	// pruned a relevant commit). The walk is bounded by commits since the
+	// last vacuum, not by the store's entry count.
+	for k, ts := range vs.recent {
+		if ts <= txn.Begin {
+			continue
+		}
 		if lo != nil && k < string(lo) {
 			continue
 		}
 		if hi != nil && k >= string(hi) {
 			continue
 		}
-		if e.lastCommit > txn.Begin {
-			return true
-		}
+		return true
 	}
 	return false
 }
@@ -317,6 +331,7 @@ func (vs *VersionStore) FinishCommitKey(txn *Txn, key string, oldLeaf *Version, 
 	if commitTS > vs.maxCommit {
 		vs.maxCommit = commitTS
 	}
+	vs.recent[key] = commitTS
 	e.released.Fire()
 }
 
@@ -376,9 +391,33 @@ func (vs *VersionStore) GC(watermark Timestamp) int64 {
 			delete(vs.entries, key)
 		}
 	}
+	// Prune the recent-commit set: a commit at or below the watermark
+	// predates every active snapshot, so no ChangedSince caller can care.
+	// The survivors move to a fresh map — deleting in place would leave the
+	// old map's bucket array at its high-water size, and ChangedSince's walk
+	// would stay proportional to the busiest interval ever seen instead of
+	// the commits since this vacuum.
+	if len(vs.recent) > 0 {
+		kept := make(map[string]Timestamp)
+		for key, ts := range vs.recent {
+			if ts > watermark {
+				kept[key] = ts
+			}
+		}
+		vs.recent = kept
+	}
+	// intentKeys empties as writers finish but its buckets do not; rebuild
+	// it when quiescent so scans' CommittedPending walks stay small too.
+	if len(vs.intentKeys) == 0 {
+		vs.intentKeys = make(map[string]struct{})
+	}
 	vs.versionBytes -= freed
 	return freed
 }
+
+// RecentCommits reports the size of the watermark-pruned recent-commit set
+// (diagnostics and benchmarks).
+func (vs *VersionStore) RecentCommits() int { return len(vs.recent) }
 
 // VersionBytes returns retained old-version bytes.
 func (vs *VersionStore) VersionBytes() int64 { return vs.versionBytes }

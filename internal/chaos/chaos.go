@@ -217,8 +217,7 @@ func Run(cfg Config) (*Report, error) {
 		h.spawnWorker(w)
 	}
 	h.spawnPowerSampler()
-	plan := buildPlan(cfg)
-	h.spawnExecutor(plan)
+	h.runner().spawnExecutor(buildPlan(cfg))
 
 	if err := env.RunUntil(cfg.Duration); err != nil {
 		return h.rep, err
@@ -231,8 +230,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for _, n := range c.Nodes {
 		if n.Down() {
-			// A deferred or late crash left the node down past the drain:
-			// bring it back for the final verification.
+			// A late crash left the node down past the drain: bring it
+			// back for the final verification.
 			node := n
 			env.Spawn("chaos-final-restart", func(p *sim.Proc) {
 				if _, _, err := c.RestartNode(p, node); err != nil {

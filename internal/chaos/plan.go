@@ -106,97 +106,125 @@ func buildPlan(cfg Config) []faultEvent {
 	return plan
 }
 
-// spawnExecutor runs the plan on the simulator clock. Generation counters
-// make overlapping faults well-behaved: each injection bumps the device's
+// faultRunner is the workload-agnostic fault executor shared by the KV and
+// TPC-C harnesses: it walks the plan on the simulator clock, executing
+// crashes (power-fail anywhere, including mid-commit, with a scheduled
+// restart), disk stalls, and net spikes itself, and delegating migrations
+// to the workload (which knows its tables). Generation counters make
+// overlapping faults well-behaved: each injection bumps the device's
 // generation, and an expiry timer clears the fault only if no later fault
 // has re-armed that device meanwhile.
-func (h *harness) spawnExecutor(plan []faultEvent) {
+type faultRunner struct {
+	env      *sim.Env
+	c        *cluster.Cluster
+	rep      *Report
+	logFault func(format string, args ...interface{})
+	violate  func(string)
+	// migrate runs the workload's range migration for ev in its own
+	// process and calls done when finished (only one runs at a time).
+	migrate func(ev faultEvent, done func())
+	// postRestart, when non-nil, runs after every successful node restart.
+	postRestart func(p *sim.Proc, n *cluster.DataNode)
+}
+
+func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 	migrating := false
 	stallGen := make(map[*hw.Disk]int)
 	netGen := 0
-	h.env.Spawn("chaos-executor", func(p *sim.Proc) {
+	fr.env.Spawn("chaos-executor", func(p *sim.Proc) {
 		for _, ev := range plan {
 			if wait := ev.at - p.Now(); wait > 0 {
 				p.Sleep(wait)
 			}
 			switch ev.kind {
 			case faultCrash:
-				h.execCrash(ev)
+				fr.execCrash(ev)
 			case faultDiskStall:
-				n := h.c.Nodes[ev.node]
+				n := fr.c.Nodes[ev.node]
 				d := n.HW.Disks[ev.disk]
-				h.logFault("disk stall: node %d disk %d +%v for %v", ev.node, ev.disk, ev.extra, ev.dur)
+				fr.logFault("disk stall: node %d disk %d +%v for %v", ev.node, ev.disk, ev.extra, ev.dur)
 				d.SetStall(ev.extra)
 				stallGen[d]++
 				mine := stallGen[d]
-				h.env.After(ev.dur, func() {
+				fr.env.After(ev.dur, func() {
 					if stallGen[d] == mine {
 						d.SetStall(0)
 					}
 				})
 			case faultNetSpike:
-				h.logFault("net delay spike: +%v for %v", ev.extra, ev.dur)
-				h.c.Net.SetExtraDelay(ev.extra)
+				fr.logFault("net delay spike: +%v for %v", ev.extra, ev.dur)
+				fr.c.Net.SetExtraDelay(ev.extra)
 				netGen++
 				mine := netGen
-				h.env.After(ev.dur, func() {
+				fr.env.After(ev.dur, func() {
 					if netGen == mine {
-						h.c.Net.SetExtraDelay(0)
+						fr.c.Net.SetExtraDelay(0)
 					}
 				})
 			case faultMigrate:
 				if migrating {
-					h.logFault("migration [%d,%d) -> node %d skipped (another in flight)", ev.loK, ev.hiK, ev.target)
+					fr.logFault("migration [%d,%d) -> node %d skipped (another in flight)", ev.loK, ev.hiK, ev.target)
 					continue
 				}
 				migrating = true
-				ev := ev
-				h.env.Spawn("chaos-migrate", func(mp *sim.Proc) {
-					h.logFault("migration [%d,%d) -> node %d starting", ev.loK, ev.hiK, ev.target)
-					err := h.master.MigrateRange(mp, "kv", kvKey(ev.loK), kvKey(ev.hiK), h.c.Nodes[ev.target])
-					if err != nil {
-						h.logFault("migration [%d,%d) -> node %d aborted: %v", ev.loK, ev.hiK, ev.target, err)
-					} else {
-						h.logFault("migration [%d,%d) -> node %d complete", ev.loK, ev.hiK, ev.target)
-					}
-					migrating = false
-				})
+				fr.migrate(ev, func() { migrating = false })
 			}
 		}
 	})
 }
 
-// execCrash power-fails a node and schedules its restart. The crash may be
-// deferred past an in-flight commit installation (see cluster.CrashNode);
-// the restart waits for the failure to actually land.
-func (h *harness) execCrash(ev faultEvent) {
-	n := h.c.Nodes[ev.node]
-	if n.Down() || n.CrashPending() {
-		// Already down, or a deferred crash is about to land: a second
-		// crash+restart pair for the same outage would double-count and
-		// race the first restart.
-		h.logFault("crash node %d skipped (already down)", ev.node)
+// execCrash power-fails a node — at any instant, including mid-commit —
+// and schedules its restart.
+func (fr *faultRunner) execCrash(ev faultEvent) {
+	n := fr.c.Nodes[ev.node]
+	if n.Down() {
+		// Already down: a second crash+restart pair for the same outage
+		// would double-count and race the first restart.
+		fr.logFault("crash node %d skipped (already down)", ev.node)
 		return
 	}
-	h.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
-	h.c.CrashNode(n)
-	h.rep.Crashes++
+	fr.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
+	fr.c.CrashNode(n)
+	fr.rep.Crashes++
 	node := n
 	dur := ev.dur
-	h.env.Spawn(fmt.Sprintf("chaos-restart-%d", ev.node), func(p *sim.Proc) {
-		for !node.Down() { // deferred past a commit critical section
-			p.Sleep(10 * time.Millisecond)
-		}
+	fr.env.Spawn(fmt.Sprintf("chaos-restart-%d", ev.node), func(p *sim.Proc) {
 		p.Sleep(dur)
-		redone, undone, err := h.c.RestartNode(p, node)
+		redone, undone, err := fr.c.RestartNode(p, node)
 		if err != nil {
-			h.violate(fmt.Sprintf("restart of node %d failed: %v", node.ID, err))
+			fr.violate(fmt.Sprintf("restart of node %d failed: %v", node.ID, err))
 			return
 		}
-		h.rep.Restarts++
-		h.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)
-		h.postRestartSweep(p, node)
+		fr.rep.Restarts++
+		fr.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)
+		if fr.postRestart != nil {
+			fr.postRestart(p, node)
+		}
 	})
+}
+
+// runner wires the KV harness into the shared fault executor.
+func (h *harness) runner() *faultRunner {
+	return &faultRunner{
+		env:         h.env,
+		c:           h.c,
+		rep:         h.rep,
+		logFault:    h.logFault,
+		violate:     h.violate,
+		postRestart: h.postRestartSweep,
+		migrate: func(ev faultEvent, done func()) {
+			h.env.Spawn("chaos-migrate", func(mp *sim.Proc) {
+				h.logFault("migration [%d,%d) -> node %d starting", ev.loK, ev.hiK, ev.target)
+				err := h.master.MigrateRange(mp, "kv", kvKey(ev.loK), kvKey(ev.hiK), h.c.Nodes[ev.target])
+				if err != nil {
+					h.logFault("migration [%d,%d) -> node %d aborted: %v", ev.loK, ev.hiK, ev.target, err)
+				} else {
+					h.logFault("migration [%d,%d) -> node %d complete", ev.loK, ev.hiK, ev.target)
+				}
+				done()
+			})
+		},
+	}
 }
 
 // postRestartSweep reads every key the oracle knows right after a restart;

@@ -130,11 +130,9 @@ type DataNode struct {
 	shippedFrom wal.Device
 
 	// Crash/restart bookkeeping (see crash.go).
-	crashed      bool                        // power-failed, not yet restarted
-	pendingCrash bool                        // crash deferred past in-flight commit installs
-	commitGuard  int                         // sessions inside their commit critical section
-	lostParts    []*table.Partition          // partitions to rebuild on restart, in ID order
-	bases        map[table.PartID][]basePair // recovery bases (bulk-load and adopted images)
+	crashed   bool                        // power-failed, not yet restarted
+	lostParts []*table.Partition          // partitions to rebuild on restart, in ID order
+	bases     map[table.PartID][]basePair // recovery bases (bulk-load and adopted images)
 }
 
 func newDataNode(c *Cluster, id int) *DataNode {

@@ -31,13 +31,16 @@ import (
 // stable metadata service and survive failures of the node hosting them,
 // matching the scope of the paper's recovery discussion.
 //
-// Commit atomicity. A failure is deferred while any transaction involving
-// the node sits between its commit point (timestamp assignment) and the
-// durable commit record: that window is sub-flush-sized in a real system,
-// and modeling it would require in-doubt 2PC resolution, which is out of
-// scope. The deferral is deterministic — the crash fires the instant the
-// last in-flight commit leaves its critical section — so a run remains
-// exactly reproducible from its seed.
+// Commit atomicity. A failure may land at ANY instant of a commit — there
+// is no critical-section deferral. Distributed transactions survive because
+// every branch is fully durable before the coordinator decides: prepare
+// logs the branch's redo images with its vote (one force), the coordinator
+// forces a decision record before any participant installs, and RestartNode
+// resolves prepared-but-undecided branches against the coordinator —
+// rolling forward from the prepare-time log at the decided timestamp, or
+// rolling back under presumed abort when no decision exists. Single-node
+// transactions need no vote: the commit record is the decision, and a crash
+// inside the window rolls them back (the caller never saw an ack).
 
 // ErrNodeDown reports that an operation needed a power-failed node.
 type ErrNodeDown struct{ Node int }
@@ -53,40 +56,17 @@ type basePair struct{ key, val []byte }
 // Down reports whether the node is power-failed.
 func (n *DataNode) Down() bool { return n.crashed }
 
-// CrashPending reports whether a power failure was requested but is being
-// deferred past an in-flight commit critical section.
-func (n *DataNode) CrashPending() bool { return n.pendingCrash }
-
 // addBase appends a record image to a partition's recovery base.
 func (n *DataNode) addBase(id table.PartID, key, val []byte) {
 	n.bases[id] = append(n.bases[id], basePair{bytes.Clone(key), bytes.Clone(val)})
 }
 
-// beginCommitGuard marks a session entering its commit critical section on
-// this node (commit point through durable commit record).
-func (n *DataNode) beginCommitGuard() { n.commitGuard++ }
-
-// endCommitGuard leaves the critical section; a power failure requested
-// meanwhile fires now.
-func (n *DataNode) endCommitGuard() {
-	n.commitGuard--
-	if n.commitGuard == 0 && n.pendingCrash {
-		n.pendingCrash = false
-		n.cluster.doCrash(n)
-	}
-}
-
-// CrashNode power-fails a node instantly (no orderly shutdown). It is safe
-// to call from any simulation process or scheduler callback: it never
-// blocks. Crashing a node that is already down is a no-op. If a commit is
-// mid-installation on the node the failure is deferred until the commit
-// record is durable (see the package comment above).
+// CrashNode power-fails a node instantly (no orderly shutdown) — including
+// in the middle of a commit installation. It is safe to call from any
+// simulation process or scheduler callback: it never blocks. Crashing a
+// node that is already down is a no-op.
 func (c *Cluster) CrashNode(n *DataNode) {
-	if n.crashed || n.pendingCrash {
-		return
-	}
-	if n.commitGuard > 0 {
-		n.pendingCrash = true
+	if n.crashed {
 		return
 	}
 	c.doCrash(n)
@@ -123,9 +103,11 @@ func (c *Cluster) doCrash(n *DataNode) {
 }
 
 // RestartNode boots a crashed node and recovers its partitions: pay the
-// boot time, rebuild every lost partition from its recovery base, replay
-// the durable WAL (REDO committed work, UNDO losers), then atomically swap
-// the rebuilt partitions into the master's partition table and the node's
+// boot time, rebuild every lost partition from its recovery base, resolve
+// prepared-but-undecided transactions against the coordinator (roll forward
+// from the prepare-time log or roll back under presumed abort), replay the
+// durable WAL (REDO committed work, UNDO losers), then atomically swap the
+// rebuilt partitions into the master's partition table and the node's
 // registry. It returns the replay counts.
 func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err error) {
 	if !n.crashed {
@@ -152,12 +134,20 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 			}
 		}
 	}
+	// In-doubt resolution: a transaction with a durable prepare vote but no
+	// local commit or abort record was cut down between its vote and its
+	// commit record. Query the coordinator for each (ascending transaction
+	// ID for determinism): a known decision rolls the branch forward at the
+	// decided timestamp; an unknown transaction is presumed aborted.
+	recs := n.Log.Records()
+	inDoubt, decisions := c.resolveInDoubt(p, n, recs)
 	// Records for partitions that no longer exist (fully migrated away,
 	// dropped replicas) are skipped: their data lives elsewhere now.
-	redone, undone, _, err = wal.RecoverPartial(p, n.Log.Records(), targets)
+	redone, undone, _, err = wal.RecoverPartial(p, recs, targets, decisions)
 	if err != nil {
 		return redone, undone, err
 	}
+	c.closeInDoubt(p, n, recs, targets, inDoubt, decisions)
 
 	// Swap-in. No blocking calls below: routing flips from the dead
 	// partitions to the recovered ones in one simulation instant.
@@ -174,6 +164,92 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	n.lostParts = nil
 	n.crashed = false
 	return redone, undone, nil
+}
+
+// resolveInDoubt scans the durable log for prepared transactions lacking a
+// local commit or abort record and queries the coordinator for each
+// (ascending transaction ID so the network charges are deterministic). The
+// returned decision map feeds the WAL replay; the in-doubt list feeds
+// closeInDoubt after the replay succeeded.
+func (c *Cluster) resolveInDoubt(p *sim.Proc, n *DataNode, recs []wal.Record) ([]cc.TxnID, map[cc.TxnID]wal.Decision) {
+	type txState struct{ prepared, decided bool }
+	states := make(map[cc.TxnID]*txState)
+	state := func(id cc.TxnID) *txState {
+		st, ok := states[id]
+		if !ok {
+			st = &txState{}
+			states[id] = st
+		}
+		return st
+	}
+	for i := range recs {
+		switch recs[i].Type {
+		case wal.RecPrepare:
+			state(recs[i].Txn).prepared = true
+		case wal.RecCommit, wal.RecAbort:
+			state(recs[i].Txn).decided = true
+		}
+	}
+	var inDoubt []cc.TxnID
+	for id, st := range states {
+		if st.prepared && !st.decided {
+			inDoubt = append(inDoubt, id)
+		}
+	}
+	sort.Slice(inDoubt, func(i, j int) bool { return inDoubt[i] < inDoubt[j] })
+	decisions := make(map[cc.TxnID]wal.Decision, len(inDoubt))
+	for _, id := range inDoubt {
+		if n != c.Master.Node {
+			// The coordinator query is a metadata round trip to the master.
+			c.Net.Transfer(p, n.ID, c.Master.Node.ID, 32)
+			c.Net.Transfer(p, c.Master.Node.ID, n.ID, 32)
+		}
+		if ts, ok := c.Master.InDoubtDecision(id); ok {
+			decisions[id] = wal.Decision{TS: ts}
+		}
+	}
+	return inDoubt, decisions
+}
+
+// closeInDoubt makes the in-doubt resolution locally durable, so a later
+// crash replays it without the coordinator (whose presumed-abort state may
+// have been forgotten by then): a rolled-forward branch re-logs its prepare
+// images as ordinary committed DML under its commit record, a rolled-back
+// branch logs an abort record, and one force covers everything. Only then
+// is the coordinator acked, letting it forget the decision.
+func (c *Cluster) closeInDoubt(p *sim.Proc, n *DataNode, recs []wal.Record, targets map[uint64]wal.Target, inDoubt []cc.TxnID, decisions map[cc.TxnID]wal.Decision) {
+	var maxLSN uint64
+	for _, id := range inDoubt {
+		d, committed := decisions[id]
+		if !committed {
+			maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecAbort})
+			continue
+		}
+		for i := range recs {
+			r := &recs[i]
+			if r.Txn != id {
+				continue
+			}
+			if _, known := targets[r.Part]; !known {
+				continue // partition migrated away; its data lives elsewhere
+			}
+			switch r.Type {
+			case wal.RecPrepDML:
+				maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecUpdate, Part: r.Part,
+					Key: bytes.Clone(r.Key), After: table.EncodeValue(cc.Version{TS: d.TS, Val: r.After})})
+			case wal.RecPrepDel:
+				maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecDelete, Part: r.Part,
+					Key: bytes.Clone(r.Key), After: table.EncodeValue(cc.Version{TS: d.TS, Deleted: true})})
+			}
+		}
+		maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecCommit})
+	}
+	if maxLSN > 0 {
+		n.Log.Flush(p, maxLSN)
+	}
+	for _, id := range inDoubt {
+		c.Master.AckInDoubt(id, n.ID)
+	}
 }
 
 // captureAdoptedBase records the image of a freshly adopted segment as part

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// indoubtWorld is one commit-window crash scenario: a three-node cluster
+// (node 0 hosts the master and no data) with a kv table split between node 1
+// and node 2, and one distributed transaction updating a key on each.
+type indoubtWorld struct {
+	env    *sim.Env
+	c      *Cluster
+	n1, n2 *DataNode
+}
+
+const (
+	idKeys   = 100
+	idLeft   = int64(10) // key on node 1's half
+	idRight  = int64(90) // key on node 2's half
+	idOldVal = "val-%06d"
+)
+
+func newIndoubtWorld(t *testing.T) *indoubtWorld {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := New(env, cfg)
+	for _, node := range c.Nodes[1:] {
+		node.HW.ForceActive()
+	}
+	mid := ik(int64(idKeys / 2))
+	_, err := c.Master.CreateTable(kvSchema(), table.Physiological, []RangeSpec{
+		{Low: nil, High: mid, Owner: c.Nodes[1]},
+		{Low: mid, High: nil, Owner: c.Nodes[2]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("load", func(p *sim.Proc) {
+		i := 0
+		err := c.Master.BulkLoad(p, "kv", func() ([]byte, []byte, bool) {
+			if i >= idKeys {
+				return nil, nil, false
+			}
+			row := table.Row{int64(i), fmt.Sprintf(idOldVal, i)}
+			key, _ := kvSchema().Key(row)
+			payload, _ := kvSchema().EncodeRow(row)
+			i++
+			return key, payload, true
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return &indoubtWorld{env: env, c: c, n1: c.Nodes[1], n2: c.Nodes[2]}
+}
+
+// runCommit executes the distributed update (both keys -> "new") starting at
+// a fixed virtual time and returns whether it was acknowledged.
+func (w *indoubtWorld) runCommit(t *testing.T) (acked bool) {
+	t.Helper()
+	w.env.Spawn("commit", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // fixed start so crash times align across runs
+		s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.n1)
+		p1, _ := kvSchema().EncodeRow(table.Row{idLeft, "new"})
+		p2, _ := kvSchema().EncodeRow(table.Row{idRight, "new"})
+		if err := s.Put(p, "kv", ik(idLeft), p1); err != nil {
+			t.Errorf("put left: %v", err)
+			return
+		}
+		if err := s.Put(p, "kv", ik(idRight), p2); err != nil {
+			t.Errorf("put right: %v", err)
+			return
+		}
+		if err := s.Commit(p); err != nil {
+			s.Abort(p)
+			return
+		}
+		acked = true
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return acked
+}
+
+// commitWindow measures the virtual-time span of the distributed commit
+// (from the last Put returning to Commit returning) on an undisturbed run.
+// The simulation is deterministic, so the same span holds for every
+// identically prepared cluster.
+func commitWindow(t *testing.T) (start, end time.Duration) {
+	t.Helper()
+	w := newIndoubtWorld(t)
+	defer w.env.Close()
+	w.env.Spawn("measure", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.n1)
+		p1, _ := kvSchema().EncodeRow(table.Row{idLeft, "new"})
+		p2, _ := kvSchema().EncodeRow(table.Row{idRight, "new"})
+		if err := s.Put(p, "kv", ik(idLeft), p1); err != nil {
+			t.Errorf("put left: %v", err)
+			return
+		}
+		if err := s.Put(p, "kv", ik(idRight), p2); err != nil {
+			t.Errorf("put right: %v", err)
+			return
+		}
+		start = p.Now()
+		if err := s.Commit(p); err != nil {
+			t.Errorf("undisturbed commit failed: %v", err)
+		}
+		end = p.Now()
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end <= start {
+		t.Fatalf("degenerate commit window [%v, %v]", start, end)
+	}
+	return start, end
+}
+
+// hasInDoubtTrace reports whether the node's durable log holds a prepare
+// vote for some transaction with no commit or abort record — the state the
+// restart must resolve against the coordinator.
+func hasInDoubtTrace(n *DataNode) bool {
+	prepared := map[cc.TxnID]bool{}
+	decided := map[cc.TxnID]bool{}
+	for _, r := range n.Log.Records() {
+		switch r.Type {
+		case wal.RecPrepare:
+			prepared[r.Txn] = true
+		case wal.RecCommit, wal.RecAbort:
+			decided[r.Txn] = true
+		}
+	}
+	for id := range prepared {
+		if !decided[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCommitCrashAnywhere sweeps a power failure of each participant across
+// the entire distributed-commit window — prepare forces, decision, installs,
+// commit-record forces — and checks the outcome of every landing point:
+// an acknowledged commit is fully durable on both nodes after restart, an
+// unacknowledged one leaves no trace. The sweep must observe an in-doubt
+// branch resolved in both directions (roll-forward of a decided commit and
+// presumed-abort rollback of an undecided prepare).
+func TestCommitCrashAnywhere(t *testing.T) {
+	start, end := commitWindow(t)
+	span := end - start
+	const steps = 30
+	rollForward, rollBack, ackedRuns, abortedRuns := 0, 0, 0, 0
+
+	for _, victim := range []int{1, 2} {
+		for i := 0; i <= steps; i++ {
+			crashAt := start + span*time.Duration(i)/steps
+			w := newIndoubtWorld(t)
+			target := w.c.Nodes[victim]
+			other := w.n2
+			if victim == 2 {
+				other = w.n1
+			}
+			w.env.After(crashAt, func() { w.c.CrashNode(target) })
+			acked := w.runCommit(t)
+
+			if acked {
+				ackedRuns++
+				if target.Down() {
+					rollForward++ // branch left in doubt, must roll forward
+				}
+			} else {
+				abortedRuns++
+				// Kill the surviving participant before its abort record is
+				// forced: its durable log then holds a prepare vote with no
+				// local decision — the presumed-abort direction.
+				if !other.Down() {
+					w.c.CrashNode(other)
+				}
+				if hasInDoubtTrace(other) {
+					rollBack++
+				}
+			}
+			// Restart everything and verify the end state.
+			w.env.Spawn("restart", func(p *sim.Proc) {
+				p.Sleep(100 * time.Millisecond)
+				for _, n := range w.c.Nodes {
+					if n.Down() {
+						if _, _, err := w.c.RestartNode(p, n); err != nil {
+							t.Errorf("crashAt=%v victim=%d: restart node %d: %v", crashAt, victim, n.ID, err)
+						}
+					}
+				}
+				s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.c.Nodes[0])
+				for _, k := range []int64{idLeft, idRight} {
+					v, ok, err := s.Get(p, "kv", ik(k))
+					if err != nil || !ok {
+						t.Errorf("crashAt=%v victim=%d: key %d unreadable after restart: %v %v", crashAt, victim, k, ok, err)
+						continue
+					}
+					row, _ := kvSchema().DecodeRow(v)
+					want := fmt.Sprintf(idOldVal, k)
+					if acked {
+						want = "new"
+					}
+					if row[1].(string) != want {
+						t.Errorf("crashAt=%v victim=%d acked=%v: key %d = %q, want %q",
+							crashAt, victim, acked, k, row[1], want)
+					}
+				}
+				s.Abort(p)
+			})
+			if err := w.env.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if n := w.c.Master.InDoubtDecisionCount(); n != 0 {
+				t.Errorf("crashAt=%v victim=%d: %d unresolved coordinator decisions after restarts", crashAt, victim, n)
+			}
+			w.env.Close()
+		}
+	}
+	t.Logf("sweep: %d acked, %d aborted, %d in-doubt roll-forward, %d in-doubt roll-back",
+		ackedRuns, abortedRuns, rollForward, rollBack)
+	if ackedRuns == 0 || abortedRuns == 0 {
+		t.Fatalf("sweep did not cover both outcomes (acked=%d aborted=%d)", ackedRuns, abortedRuns)
+	}
+	if rollForward == 0 {
+		t.Fatal("no crash landed between decision and commit record (in-doubt roll-forward unexercised)")
+	}
+	if rollBack == 0 {
+		t.Fatal("no prepared-but-undecided branch observed (presumed-abort rollback unexercised)")
+	}
+}
+
+// TestInDoubtRollForward pins the roll-forward direction: a participant
+// power-fails after the coordinator's decision is durable but before its own
+// commit record is, the commit is acknowledged, and the restart installs the
+// branch from its prepare-time log at the decided timestamp.
+func TestInDoubtRollForward(t *testing.T) {
+	start, end := commitWindow(t)
+	// Land just before the end of the window: past the decision, inside the
+	// installs / commit-record force of the second participant.
+	crashAt := end - (end-start)/20
+	w := newIndoubtWorld(t)
+	defer w.env.Close()
+	w.env.After(crashAt, func() { w.c.CrashNode(w.n2) })
+	acked := w.runCommit(t)
+	if !acked {
+		t.Fatalf("commit at crashAt=%v not acknowledged (window [%v, %v])", crashAt, start, end)
+	}
+	if !w.n2.Down() {
+		t.Skip("crash landed after the participant finished (window shifted); sweep test covers this")
+	}
+	// The branch is in doubt on durable storage and decided at the master.
+	if !hasInDoubtTrace(w.n2) {
+		t.Fatal("crashed participant has no prepared-but-undecided trace in its durable log")
+	}
+	if w.c.Master.InDoubtDecisionCount() == 0 {
+		t.Fatal("coordinator forgot the decision while a branch is still in doubt")
+	}
+	w.env.Spawn("restart", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		if _, _, err := w.c.RestartNode(p, w.n2); err != nil {
+			t.Errorf("restart: %v", err)
+			return
+		}
+		// Both halves must hold the committed values; old snapshots must not.
+		old := w.c.Master.Oracle.Begin(cc.SnapshotIsolation) // begun after commit: sees it
+		s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.c.Nodes[0])
+		for _, k := range []int64{idLeft, idRight} {
+			v, ok, err := s.Get(p, "kv", ik(k))
+			if err != nil || !ok {
+				t.Errorf("key %d after roll-forward: %v %v", k, ok, err)
+				continue
+			}
+			row, _ := kvSchema().DecodeRow(v)
+			if row[1].(string) != "new" {
+				t.Errorf("key %d = %q after roll-forward, want %q", k, row[1], "new")
+			}
+		}
+		s.Abort(p)
+		w.c.Master.Oracle.Abort(old)
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.c.Master.InDoubtDecisionCount(); n != 0 {
+		t.Fatalf("%d coordinator decisions outstanding after resolution", n)
+	}
+}
+
+// TestInDoubtRollbackPresumedAbort pins the rollback direction: a
+// participant holds a durable prepare vote for a transaction the coordinator
+// never decided (a later participant failed prepare, so the commit was
+// refused), crashes, and its restart must roll the branch back — and close
+// it locally so a second restart needs no coordinator either.
+func TestInDoubtRollbackPresumedAbort(t *testing.T) {
+	start, end := commitWindow(t)
+	// Land early in the window: inside the second participant's prepare
+	// force, after the first participant's vote is durable.
+	crashAt := start + (end-start)/4
+	w := newIndoubtWorld(t)
+	defer w.env.Close()
+	w.env.After(crashAt, func() { w.c.CrashNode(w.n2) })
+	acked := w.runCommit(t)
+	if acked {
+		t.Skip("crash landed after the decision (window shifted); sweep test covers this")
+	}
+	// node1 voted; its abort record is still volatile. Power-fail it.
+	if w.n1.Down() {
+		t.Fatal("unexpected: home participant already down")
+	}
+	w.c.CrashNode(w.n1)
+	if !hasInDoubtTrace(w.n1) {
+		t.Skip("first participant's vote was not durable yet; sweep test covers this")
+	}
+	w.env.Spawn("restart", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		for _, n := range []*DataNode{w.n1, w.n2} {
+			if n.Down() {
+				if _, _, err := w.c.RestartNode(p, n); err != nil {
+					t.Errorf("restart node %d: %v", n.ID, err)
+				}
+			}
+		}
+		s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.c.Nodes[0])
+		for _, k := range []int64{idLeft, idRight} {
+			v, ok, err := s.Get(p, "kv", ik(k))
+			if err != nil || !ok {
+				t.Errorf("key %d after rollback: %v %v", k, ok, err)
+				continue
+			}
+			row, _ := kvSchema().DecodeRow(v)
+			if want := fmt.Sprintf(idOldVal, k); row[1].(string) != want {
+				t.Errorf("key %d = %q after presumed abort, want %q", k, row[1], want)
+			}
+		}
+		s.Abort(p)
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The resolution was logged locally: the branch is no longer in doubt.
+	if hasInDoubtTrace(w.n1) {
+		t.Fatal("rollback not closed in the durable log (second restart would query the coordinator again)")
+	}
+}

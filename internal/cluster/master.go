@@ -23,9 +23,25 @@ type Master struct {
 	tables     map[string]*TableMeta
 	nextPartID table.PartID
 
+	// decisions holds the coordinator's commit verdicts for distributed
+	// transactions whose participants may still be in doubt (presumed
+	// abort: only commit decisions are recorded; an unknown transaction is
+	// aborted). An entry is forgotten once every participant has a durable
+	// commit record or has resolved its branch after a restart. Like the
+	// catalog and the oracle, the map is modeled as stable metadata — the
+	// decision record appended to the master's log prices the force.
+	decisions map[cc.TxnID]*txnDecision
+
 	// MoveMode is the concurrency control mode used by record-movement
 	// system transactions (Fig. 3 compares both).
 	MoveMode cc.Mode
+}
+
+// txnDecision is one remembered commit verdict: the commit timestamp and
+// the participants whose commit records are not yet known durable.
+type txnDecision struct {
+	ts          cc.Timestamp
+	outstanding map[int]bool // node IDs still owing a durable commit record
 }
 
 // TableMeta is the master's view of one table.
@@ -128,12 +144,63 @@ func (e *RangeEntry) contains(key []byte) bool {
 
 func newMaster(c *Cluster) *Master {
 	return &Master{
-		cluster: c,
-		Node:    c.Nodes[0],
-		Oracle:  cc.NewOracle(),
-		tables:  make(map[string]*TableMeta),
+		cluster:   c,
+		Node:      c.Nodes[0],
+		Oracle:    cc.NewOracle(),
+		tables:    make(map[string]*TableMeta),
+		decisions: make(map[cc.TxnID]*txnDecision),
 	}
 }
+
+// recordDecision durably records the coordinator's commit verdict for a
+// distributed transaction before any participant installs: a decision
+// record is forced to the master's log and the verdict is remembered for
+// in-doubt resolution. From this moment the transaction commits everywhere
+// — a participant crash leaves a branch that RestartNode rolls forward.
+func (m *Master) recordDecision(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp, participants []*DataNode) {
+	lsn := m.Node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecDecision, TS: commitTS})
+	m.Node.Log.Flush(p, lsn)
+	out := make(map[int]bool, len(participants))
+	for _, n := range participants {
+		out[n.ID] = true
+	}
+	m.decisions[txn.ID] = &txnDecision{ts: commitTS, outstanding: out}
+}
+
+// ackDecision notes that node holds a durable commit record (or has rolled
+// its branch forward after a restart) for the decided transaction; once no
+// participant is outstanding the verdict is forgotten (presumed abort lets
+// the coordinator drop resolved transactions).
+func (m *Master) ackDecision(id cc.TxnID, node int) {
+	d, ok := m.decisions[id]
+	if !ok {
+		return
+	}
+	delete(d.outstanding, node)
+	if len(d.outstanding) == 0 {
+		delete(m.decisions, id)
+	}
+}
+
+// InDoubtDecision answers a restarting participant's query for a prepared
+// but locally undecided transaction: ok=true with the commit timestamp when
+// the coordinator decided commit, ok=false otherwise — the participant must
+// presume abort. The caller acknowledges resolution via AckInDoubt once its
+// branch is durably closed.
+func (m *Master) InDoubtDecision(id cc.TxnID) (cc.Timestamp, bool) {
+	if d, ok := m.decisions[id]; ok {
+		return d.ts, true
+	}
+	return 0, false
+}
+
+// AckInDoubt closes a restarting participant's branch of a decided
+// transaction (see ackDecision).
+func (m *Master) AckInDoubt(id cc.TxnID, node int) { m.ackDecision(id, node) }
+
+// InDoubtDecisionCount reports the number of remembered commit verdicts
+// (diagnostics and tests).
+func (m *Master) InDoubtDecisionCount() int { return len(m.decisions) }
 
 // RangeSpec declares one initial partition of a table.
 type RangeSpec struct {
@@ -307,10 +374,13 @@ func (m *Master) RecordCount(p *sim.Proc, tableName string) (int, error) {
 	return total, nil
 }
 
-// appendCommitRecord writes and flushes a commit record on node's log.
-func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) {
+// appendCommitRecord writes and flushes a commit record on node's log. It
+// reports whether the record is actually durable — a power failure during
+// the force leaves the node's branch in doubt (prepared, undecided locally).
+func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) bool {
 	lsn := node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
 	node.Log.Flush(p, lsn)
+	return !node.Down() && node.Log.FlushedLSN() >= lsn
 }
 
 // rebind re-points every catalog reference at a restarted node's recovered

@@ -365,7 +365,11 @@ func (m *Master) scheduleOldPointerCleanup(e *RangeEntry) {
 	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
 	m.Oracle.Abort(horizon) // only needed its timestamp
 	m.cluster.Env.Spawn("old-pointer-cleanup", func(p *sim.Proc) {
-		for m.Oracle.Watermark() <= horizon.Begin {
+		// With no transaction active the watermark equals the oracle's
+		// clock, which can sit exactly at the horizon forever on a
+		// quiesced cluster — and any future snapshot begins above it, so
+		// the old copies are unreachable either way.
+		for m.Oracle.ActiveCount() > 0 && m.Oracle.Watermark() <= horizon.Begin {
 			p.Sleep(time.Second)
 		}
 		// Read the source through the entry at fire time: a source-node
@@ -577,7 +581,9 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 	// checkpoint already taken.
 	segID := h.Seg.ID
 	m.cluster.Env.Spawn("ghost-drop", func(gp *sim.Proc) {
-		for m.Oracle.Watermark() <= horizon.Begin {
+		// See old-pointer-cleanup: an idle oracle pins the watermark at the
+		// horizon, and no future snapshot can need the ghost.
+		for m.Oracle.ActiveCount() > 0 && m.Oracle.Watermark() <= horizon.Begin {
 			gp.Sleep(time.Second)
 		}
 		e.OldPart = nil

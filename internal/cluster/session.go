@@ -296,10 +296,20 @@ func (s *Session) mergedScan(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn func(
 
 // Commit finishes the transaction: single-node fast path, or two-phase
 // commit when multiple nodes hold writes (the master acts as coordinator).
-// A participant that power-failed before the commit point fails the commit
-// (the caller aborts); once the commit timestamp is assigned, participant
-// power failures are deferred until the commit records are durable (see
-// crash.go).
+// A power failure may land at any instant of the commit window:
+//
+//   - Before the coordinator's decision is durable, the transaction aborts
+//     (presumed abort): the caller gets an error, no acknowledgment is
+//     given, and any branch left prepared on a durable log rolls back on
+//     restart because the coordinator has no decision for it.
+//   - After the decision is durable, the commit is acknowledged even if
+//     participants crash mid-install: each crashed branch is fully durable
+//     (prepare-time DML images forced with its vote), and RestartNode rolls
+//     it forward from the log at the decided timestamp.
+//   - A single-node transaction needs no vote: its commit record is the
+//     decision, so a crash inside the window simply loses the unflushed
+//     tail and the restart rolls the transaction back — the caller saw an
+//     error and never acknowledged.
 func (s *Session) Commit(p *sim.Proc) error {
 	if !s.Txn.Active() {
 		return cc.ErrTxnNotActive
@@ -341,33 +351,26 @@ func (s *Session) Commit(p *sim.Proc) error {
 		sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
 	}
 
-	if len(ordered) > 1 {
-		// Phase 1 (node order): prepare every participant (force its log).
+	distributed := len(ordered) > 1
+	if distributed {
+		// Phase 1 (node order): prepare every participant. The redo images
+		// of the branch's staged writes are logged first, then the prepare
+		// vote — one force covers both, so a prepared branch is fully
+		// durable before the coordinator may decide. A participant that
+		// power-fails before its vote is durable aborts the transaction.
 		for _, node := range ordered {
 			if node.Down() {
 				return ErrNodeDown{node.ID}
 			}
 			s.rpc(p, node, 32, 32)
+			for _, pt := range nodes[node] {
+				pt.LogPrepare(s.Txn)
+			}
 			lsn := node.Log.Append(wal.Record{Txn: s.Txn.ID, Type: wal.RecPrepare})
 			node.Log.Flush(p, lsn)
 			if node.Down() { // power-failed during the prepare force
 				return ErrNodeDown{node.ID}
 			}
-		}
-	}
-	// Enter the commit critical section on every participant, then verify
-	// all of them are still powered: from here until the commit records are
-	// durable, a participant power failure is deferred (crash.go), so the
-	// installs below cannot be torn apart mid-flight.
-	for _, node := range ordered {
-		node.beginCommitGuard()
-	}
-	for _, node := range ordered {
-		if node.Down() {
-			for _, g := range ordered {
-				g.endCommitGuard()
-			}
-			return ErrNodeDown{node.ID}
 		}
 	}
 	// Commit point: timestamp from the master's oracle.
@@ -376,29 +379,73 @@ func (s *Session) Commit(p *sim.Proc) error {
 		s.m.cluster.Net.Transfer(p, s.m.Node.ID, s.Home.ID, 32)
 	}
 	commitTS := s.m.Oracle.CommitTS(s.Txn)
+	if distributed {
+		// The coordinator forces its decision record before any participant
+		// installs: from here the transaction commits everywhere, no matter
+		// which nodes fail when.
+		s.m.recordDecision(p, s.Txn, commitTS, ordered)
+	}
 
 	// Phase 2 / fast path: install writes and force commit records, in
-	// deterministic node order. After the commit point every branch MUST
-	// install — a failure here is an engine invariant violation (the
-	// movement protocols are responsible for never detaching a range with
-	// in-flight writers, and power failures are deferred by the guard), so
+	// deterministic node order. A participant power failure anywhere in
+	// here leaves that branch in doubt; its restart queries the coordinator
+	// and rolls forward from the prepare-time log. Any other install
+	// failure is an engine invariant violation (the movement protocols are
+	// responsible for never detaching a range with in-flight writers), so
 	// it fails loudly rather than losing updates.
 	for _, node := range ordered {
+		if node.Down() {
+			if distributed {
+				continue // in-doubt branch: resolved on restart
+			}
+			return ErrNodeDown{node.ID}
+		}
 		s.rpc(p, node, 32, 32)
+		var nodeErr error
 		for _, pt := range nodes[node] {
 			if err := pt.Commit(p, s.Txn, commitTS); err != nil {
-				panic(fmt.Sprintf("cluster: commit installation failed after commit point: txn %d partition %d: %v",
-					s.Txn.ID, pt.ID, err))
+				nodeErr = err
+				break
 			}
 		}
-		appendCommitRecord(p, node, s.Txn)
-	}
-	for _, node := range ordered {
-		node.endCommitGuard() // may fire a deferred power failure
+		if nodeErr != nil {
+			if !isPowerFailure(nodeErr) {
+				panic(fmt.Sprintf("cluster: commit installation failed after commit point: txn %d node %d: %v",
+					s.Txn.ID, node.ID, nodeErr))
+			}
+			if distributed {
+				continue // the branch died mid-install; roll forward on restart
+			}
+			// Single node: nothing is durable (the commit record never made
+			// it), so the restart rolls the transaction back. Withhold the
+			// acknowledgment.
+			return nodeErr
+		}
+		if durable := appendCommitRecord(p, node, s.Txn); !durable {
+			// The node power-failed during the commit-record force.
+			if !distributed {
+				return ErrNodeDown{node.ID}
+			}
+			continue // in-doubt: the decision record drives roll-forward
+		}
+		if distributed {
+			s.m.ackDecision(s.Txn.ID, node.ID)
+		}
 	}
 	s.releaseLocks()
 	s.Txn.DropUndo()
 	return nil
+}
+
+// isPowerFailure reports whether err is a node/partition power-failure
+// error — the only legitimate way a commit installation can fail after the
+// commit point.
+func isPowerFailure(err error) bool {
+	switch err.(type) {
+	case table.ErrPartitionDown, ErrNodeDown:
+		return true
+	}
+	return false
 }
 
 // Abort rolls the transaction back everywhere it touched. Partitions and

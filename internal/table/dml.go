@@ -165,7 +165,7 @@ func (pt *Partition) applyWrite(p *sim.Proc, txn *cc.Txn, tr *btree.Tree, key []
 	lsn := pt.deps.Log.Append(rec)
 	keyCopy := bytes.Clone(key)
 	if deleted {
-		if _, err := tr.Delete(p, keyCopy, lsn); err != nil {
+		if _, err := pt.treeDelete(p, keyCopy, lsn); err != nil {
 			return err
 		}
 	} else {
@@ -174,11 +174,13 @@ func (pt *Partition) applyWrite(p *sim.Proc, txn *cc.Txn, tr *btree.Tree, key []
 		}
 	}
 	oldCopy := cloneVersion(old)
+	// Compensations route through the partition, not the captured tree: a
+	// segment split may re-home the record between do and undo.
 	txn.PushUndo(func(up *sim.Proc) {
 		if oldCopy == nil {
-			tr.Delete(up, keyCopy, 0)
+			pt.treeDelete(up, keyCopy, 0)
 		} else {
-			tr.Put(up, keyCopy, EncodeValue(*oldCopy), 0)
+			pt.treePut(up, keyCopy, EncodeValue(*oldCopy), 0)
 		}
 	})
 	return nil
@@ -229,11 +231,13 @@ func (pt *Partition) scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 	// example); merge them into the stream in key order so the scan cannot
 	// miss records its snapshot covers. Any such write's commit timestamp
 	// predates the reader's snapshot — and hence this scan's start — so the
-	// set captured here is complete for the whole walk.
-	var pend []cc.PendingRead
-	if txn.Mode != cc.Locking {
-		pend = pt.Store.CommittedPending(txn, lo, hi)
-	}
+	// set captured here is complete for the whole walk. Locking-mode scans
+	// need the same merge: an MVCC writer takes no key locks, so its
+	// committed-but-installing insert is equally invisible to the tree walk
+	// of an MGL reader. (Merged records are emitted without per-key R locks:
+	// there is no leaf to lock yet, and the committed writer holds no lock
+	// the reader could conflict with.)
+	pend := pt.Store.CommittedPending(txn, lo, hi)
 	pi := 0
 	consumerStop := false
 	send := func(k, v []byte, deleted bool) bool {
@@ -283,26 +287,30 @@ func (pt *Partition) scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, 
 		if err != nil {
 			return false, err
 		}
-		if txn.Mode == cc.Locking {
-			if leaf.Deleted {
-				return fn(k, nil, true), nil
-			}
-			if err := pt.deps.Locks.Lock(p, txn, pt.keyLockName(k), cc.LockR, pt.deps.LockTimeout); err != nil {
-				return false, err
-			}
-			return fn(k, leaf.Val, false), nil
-		}
 		ks := string(k)
 		leafV := &leaf
 		if pt.Store.StaleLeaf(ks, leaf.TS) {
 			// The batched cursor copied this leaf before a later install
-			// landed: re-read the record's current tree version (the
-			// snapshot's answer then resolves via the leaf or the history
-			// versions the newer installs pushed).
+			// landed: re-read the record's current tree version. A snapshot
+			// reader then resolves via the leaf or the history versions the
+			// newer installs pushed; a locking reader must serve the current
+			// committed state, which only the fresh leaf holds.
 			leafV, err = readLeaf(p, tr, k)
 			if err != nil {
 				return false, err
 			}
+		}
+		if txn.Mode == cc.Locking {
+			if leafV == nil {
+				return true, nil // vacuumed between the copy and the re-read
+			}
+			if leafV.Deleted {
+				return deliver(k, nil, true), nil
+			}
+			if err := pt.deps.Locks.Lock(p, txn, pt.keyLockName(k), cc.LockR, pt.deps.LockTimeout); err != nil {
+				return false, err
+			}
+			return deliver(k, leafV.Val, false), nil
 		}
 		v, exists := pt.Store.VisibleVersion(txn, ks, leafV)
 		if !exists {

@@ -44,11 +44,40 @@ func (pt *Partition) HasPending(txn *cc.Txn) bool {
 	return len(pt.pending[txn.ID]) > 0
 }
 
+// LogPrepare appends redo images of txn's staged writes to the node's log
+// (prepare-time DML logging): each pending key becomes a RecPrepDML or
+// RecPrepDel record carrying the raw staged payload. The commit timestamp is
+// unknown until the coordinator decides, so recovery stamps it when rolling
+// an in-doubt branch forward. The caller forces the log through the
+// follow-up prepare record, making the whole branch durable before the
+// coordinator's commit point. Locking-mode transactions have nothing to
+// image: their eager writes were logged (and only need the force).
+func (pt *Partition) LogPrepare(txn *cc.Txn) {
+	for _, ks := range pt.pending[txn.ID] {
+		v, ok := pt.Store.HasIntent(txn, ks)
+		if !ok {
+			continue
+		}
+		rec := wal.Record{Txn: txn.ID, Part: uint64(pt.ID), Key: []byte(ks)}
+		if v.Deleted {
+			rec.Type = wal.RecPrepDel
+		} else {
+			rec.Type = wal.RecPrepDML
+			rec.After = bytes.Clone(v.Val)
+		}
+		pt.deps.Log.Append(rec)
+	}
+}
+
 // Commit installs txn's staged MVCC writes into the trees at commitTS,
 // logging each with before/after images. The caller is responsible for the
 // commit record and log flush (so multi-partition transactions on one node
 // share a single group-commit flush). Locking-mode transactions have
 // nothing to install (writes applied eagerly); their pending list is empty.
+// A power failure at any blocking point inside the install loop surfaces as
+// ErrPartitionDown: the remaining writes died with the node's DRAM and are
+// re-derived on restart (from the prepare-time log for decided distributed
+// branches, or rolled back for everything else).
 func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) error {
 	if err := pt.down(); err != nil {
 		return err
@@ -56,6 +85,9 @@ func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) err
 	keys := pt.pending[txn.ID]
 	delete(pt.pending, txn.ID)
 	for _, ks := range keys {
+		if err := pt.down(); err != nil { // node power-failed mid-install
+			return err
+		}
 		key := []byte(ks)
 		tr, _, err := pt.writeTree(p, key)
 		if err != nil {
@@ -73,6 +105,9 @@ func (pt *Partition) Commit(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp) err
 		rec := pt.logRecord(txn, key, old, v)
 		lsn := pt.deps.Log.Append(rec)
 		if _, err := pt.treePut(p, key, EncodeValue(v), lsn); err != nil {
+			if derr := pt.down(); derr != nil {
+				return derr // the install blocked across the power failure
+			}
 			return err
 		}
 		pt.Store.FinishCommitKey(txn, ks, old, commitTS)
@@ -122,7 +157,12 @@ var ErrSplitRaced = errors.New("table: segment split raced with a concurrent cha
 
 // treePut writes an encoded value, splitting the target mini-partition and
 // retrying when its segment fills up (physiological growth path). Split
-// races with concurrent writers are retried with fresh routing.
+// races with concurrent writers are retried with fresh routing, and a put
+// that parked behind a concurrent split re-homes its record: the split may
+// have narrowed the target mini-partition below the key while the put
+// waited for the tree's writer lock, in which case the record would land in
+// a tree whose range no longer covers it — invisible to every read, which
+// routes by handle ranges.
 func (pt *Partition) treePut(p *sim.Proc, key, val []byte, lsn uint64) (bool, error) {
 	for attempt := 0; ; attempt++ {
 		tr, _, err := pt.writeTree(p, key)
@@ -130,18 +170,55 @@ func (pt *Partition) treePut(p *sim.Proc, key, val []byte, lsn uint64) (bool, er
 			return false, err
 		}
 		replaced, err := tr.Put(p, key, val, lsn)
-		if err != btree.ErrSegmentFull {
-			return replaced, err
+		if err == btree.ErrSegmentFull {
+			if pt.Scheme != Physiological || attempt >= 8 {
+				return false, err
+			}
+			h, rerr := pt.routeWrite(p, key)
+			if rerr != nil {
+				return false, rerr
+			}
+			if serr := pt.SplitSegment(p, h); serr != nil && serr != ErrSplitRaced {
+				return false, serr
+			}
+			continue
 		}
-		if pt.Scheme != Physiological || attempt >= 8 {
+		if err != nil {
 			return false, err
 		}
-		h, rerr := pt.routeWrite(p, key)
-		if rerr != nil {
-			return false, rerr
+		if pt.Scheme != Physiological {
+			return replaced, nil
 		}
-		if serr := pt.SplitSegment(p, h); serr != nil && serr != ErrSplitRaced {
-			return false, serr
+		// No blocking call separates Put returning from this ownership
+		// check, so the answer is stable: either the record is in the tree
+		// reads route to, or a split stranded it and it must move.
+		if h := pt.SegmentContaining(key); h != nil && h.Tree == tr {
+			return replaced, nil
+		}
+		if _, derr := tr.Delete(p, key, lsn); derr != nil {
+			return false, derr
+		}
+	}
+}
+
+// treeDelete removes key from the tree that currently owns it, re-issuing
+// the delete if a concurrent split moved the record to a new mini-partition
+// while the call was parked (the mirror of treePut's re-homing).
+func (pt *Partition) treeDelete(p *sim.Proc, key []byte, lsn uint64) (bool, error) {
+	for {
+		tr, _, err := pt.writeTree(p, key)
+		if err != nil {
+			return false, err
+		}
+		existed, err := tr.Delete(p, key, lsn)
+		if err != nil {
+			return false, err
+		}
+		if pt.Scheme != Physiological {
+			return existed, nil
+		}
+		if h := pt.SegmentContaining(key); h == nil || h.Tree == tr {
+			return existed, nil
 		}
 	}
 }
@@ -292,7 +369,7 @@ func (pt *Partition) Vacuum(p *sim.Proc, watermark cc.Timestamp) (int, error) {
 		if !leaf.Deleted || leaf.TS >= watermark {
 			continue
 		}
-		if _, err := tr.Delete(p, key, 0); err != nil {
+		if _, err := pt.treeDelete(p, key, 0); err != nil {
 			return removed, err
 		}
 		delete(pt.tombs, ks)
@@ -310,12 +387,22 @@ func (pt *Partition) RecoveryPut(p *sim.Proc, key, val []byte) error {
 
 // RecoveryDelete implements wal.Target.
 func (pt *Partition) RecoveryDelete(p *sim.Proc, key []byte) error {
-	tr, _, err := pt.writeTree(p, key)
-	if err != nil {
+	_, err := pt.treeDelete(p, key, 0)
+	return err
+}
+
+// RecoveryInstall implements wal.Target: roll forward a prepare-time redo
+// image at the coordinator-decided commit timestamp. Deletes install as
+// tombstones (registered for vacuum), exactly as a live commit would.
+func (pt *Partition) RecoveryInstall(p *sim.Proc, key, val []byte, ts cc.Timestamp, deleted bool) error {
+	v := cc.Version{TS: ts, Deleted: deleted, Val: bytes.Clone(val)}
+	if _, err := pt.treePut(p, key, EncodeValue(v), 0); err != nil {
 		return err
 	}
-	_, err = tr.Delete(p, key, 0)
-	return err
+	if deleted {
+		pt.tombs[string(key)] = struct{}{}
+	}
+	return nil
 }
 
 // DetachSegment removes mini-partition h from live service, keeping it as a

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wattdb/internal/cc"
 	"wattdb/internal/cluster"
 	"wattdb/internal/keycodec"
 	"wattdb/internal/sim"
@@ -40,6 +41,12 @@ type Deployment struct {
 	Cfg     Config
 	Schemas map[string]*table.Schema
 	Master  *cluster.Master
+
+	// RecordEffects makes Exec summarize each transaction's state changes
+	// (keyed by transaction ID) so a workload oracle can model exactly what
+	// an acknowledged commit installed; pop summaries with TakeEffect.
+	RecordEffects bool
+	effects       map[cc.TxnID]*Effect
 
 	// scratch pools per-transaction decode/encode workspaces (txnScratch).
 	scratch []*txnScratch

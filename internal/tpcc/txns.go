@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wattdb/internal/cc"
 	"wattdb/internal/cluster"
 	"wattdb/internal/sim"
 	"wattdb/internal/table"
@@ -41,6 +42,60 @@ func PickTxn(rng *rand.Rand) TxnType {
 	default:
 		return TxnStockLevel
 	}
+}
+
+// Effect summarizes the state changes of one executed transaction, recorded
+// when Deployment.RecordEffects is set. A workload oracle applies the effect
+// to its model the instant the commit is acknowledged — the summary carries
+// everything the model needs (order ids read under the transaction's own
+// snapshot, random amounts, chosen items), none of which it could re-derive.
+type Effect struct {
+	Type TxnType
+	W, D int64
+
+	// NewOrder: the order id taken from D_NEXT_O_ID and its lines.
+	OID   int64
+	OlCnt int64
+	Lines []EffectLine
+
+	// Payment: the amount credited to the home warehouse/district YTD.
+	Amount float64
+
+	// Delivery: the orders removed from NEW_ORDER, one per district served.
+	Delivered []DeliveredOrder
+}
+
+// EffectLine is one NewOrder line's stock impact.
+type EffectLine struct {
+	Item    int64
+	SupplyW int64
+	Qty     int64
+}
+
+// DeliveredOrder names one order a Delivery transaction processed.
+type DeliveredOrder struct {
+	D, OID int64
+}
+
+// recordEffect files eff under the session's transaction (last writer wins:
+// a retried transaction overwrites its previous attempt's summary).
+func (d *Deployment) recordEffect(s *cluster.Session, eff *Effect) {
+	if !d.RecordEffects {
+		return
+	}
+	if d.effects == nil {
+		d.effects = make(map[cc.TxnID]*Effect)
+	}
+	d.effects[s.Txn.ID] = eff
+}
+
+// TakeEffect pops the recorded effect of a transaction (nil if none — a
+// read-only or unrecorded transaction). Call it for aborted transactions
+// too, so the table does not accumulate dead entries.
+func (d *Deployment) TakeEffect(id cc.TxnID) *Effect {
+	eff := d.effects[id]
+	delete(d.effects, id)
+	return eff
 }
 
 // txnScratch is the per-transaction decode/encode workspace: one reusable
@@ -175,6 +230,7 @@ func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 	if err := d.putRow(p, s, sc, TDistrict, dist); err != nil {
 		return err
 	}
+	eff := &Effect{Type: TxnNewOrder, W: int64(w), D: int64(dd), OID: oID, OlCnt: int64(olCnt)}
 	if err := d.put(p, s, sc, TOrders, table.Row{int64(w), int64(dd), oID,
 		int64(c), oID, int64(0), int64(olCnt)}); err != nil {
 		return err
@@ -221,8 +277,12 @@ func (d *Deployment) NewOrder(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 			int64(item), int64(supplyW), qty, amount, "dist-info-xxxxxxxxxxxxxx"}); err != nil {
 			return err
 		}
+		if d.RecordEffects {
+			eff.Lines = append(eff.Lines, EffectLine{Item: int64(item), SupplyW: int64(supplyW), Qty: qty})
+		}
 	}
 	_ = total
+	d.recordEffect(s, eff)
 	return nil
 }
 
@@ -271,8 +331,12 @@ func (d *Deployment) Payment(p *sim.Proc, s *cluster.Session, w int, rng *rand.R
 		return err
 	}
 	seq := int64(s.Txn.ID) // unique per transaction
-	return d.put(p, s, sc, THistory, table.Row{int64(cw), int64(cd), int64(c), seq,
-		amount, "payment-history-data"})
+	if err := d.put(p, s, sc, THistory, table.Row{int64(cw), int64(cd), int64(c), seq,
+		amount, "payment-history-data"}); err != nil {
+		return err
+	}
+	d.recordEffect(s, &Effect{Type: TxnPayment, W: int64(w), D: int64(dd), Amount: amount})
+	return nil
 }
 
 // OrderStatus reads a customer's most recent order and its lines
@@ -343,6 +407,7 @@ func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 	carrier := int64(1 + rng.Intn(10))
 	noSchema := d.Schemas[TNewOrder]
 	olSchema := d.Schemas[TOrderLine]
+	eff := &Effect{Type: TxnDelivery, W: int64(w)}
 	for dd := 1; dd <= d.Cfg.DistrictsPerW; dd++ {
 		lo, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd))
 		hi, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd+1))
@@ -401,7 +466,11 @@ func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 		if err := d.putRow(p, s, sc, TCustomer, cust); err != nil {
 			return err
 		}
+		if d.RecordEffects {
+			eff.Delivered = append(eff.Delivered, DeliveredOrder{D: int64(dd), OID: oldest})
+		}
 	}
+	d.recordEffect(s, eff)
 	return nil
 }
 

@@ -23,30 +23,40 @@ const (
 	RecCommit
 	RecAbort
 	RecCheckpoint
-	RecSegMove // segment ownership transferred (movement checkpoint)
-	RecPrepare // two-phase commit prepare vote
+	RecSegMove  // segment ownership transferred (movement checkpoint)
+	RecPrepare  // two-phase commit prepare vote
+	RecPrepDML  // prepare-time redo image of a staged write (After = raw payload)
+	RecPrepDel  // prepare-time redo image of a staged delete
+	RecDecision // coordinator commit decision (TS = commit timestamp)
 )
 
 // String returns the type's display name.
 func (t RecType) String() string {
-	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint", "segmove", "prepare"}[t]
+	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint",
+		"segmove", "prepare", "prepdml", "prepdel", "decision"}[t]
 }
 
-// Record is one logical log record. Before and After carry fully encoded
-// tree values (opaque to the log), so redo/undo are simple Put/Delete calls.
+// Record is one logical log record. For ordinary DML, Before and After carry
+// fully encoded tree values (opaque to the log), so redo/undo are simple
+// Put/Delete calls. Prepare-time DML records (RecPrepDML/RecPrepDel) instead
+// carry the raw staged payload: the commit timestamp is unknown until the
+// coordinator decides, so recovery stamps it while rolling the branch
+// forward.
 type Record struct {
 	LSN    uint64
 	Txn    cc.TxnID
 	Type   RecType
-	Part   uint64 // partition the operation applied to
+	Part   uint64       // partition the operation applied to
+	TS     cc.Timestamp // decision records: the coordinator's commit timestamp
 	Key    []byte
 	Before []byte // nil: key did not exist
 	After  []byte // nil: key removed
 }
 
-// Size returns the record's on-disk footprint in bytes.
+// Size returns the record's on-disk footprint in bytes: exactly the length
+// EncodeRecord produces.
 func (r *Record) Size() int64 {
-	return int64(32 + len(r.Key) + len(r.Before) + len(r.After))
+	return int64(recHeaderSize + len(r.Key) + len(r.Before) + len(r.After))
 }
 
 // Device is where flushed log bytes go: the local log disk, or a helper
@@ -223,10 +233,21 @@ func (l *Log) RetainedBytes() int64 {
 }
 
 // Target is the recovery interface to a partition: raw Put/Delete of
-// encoded tree values, bypassing concurrency control.
+// encoded tree values, bypassing concurrency control. RecoveryInstall
+// additionally rolls forward a prepare-time redo image, whose raw payload
+// must be stamped with the coordinator-decided commit timestamp before it
+// becomes a tree value.
 type Target interface {
 	RecoveryPut(p *sim.Proc, key, val []byte) error
 	RecoveryDelete(p *sim.Proc, key []byte) error
+	RecoveryInstall(p *sim.Proc, key, val []byte, ts cc.Timestamp, deleted bool) error
+}
+
+// Decision is a coordinator's verdict for a prepared (in-doubt)
+// transaction: roll forward at TS, or — when no decision exists at the
+// coordinator — presumed abort (the transaction simply has no entry).
+type Decision struct {
+	TS cc.Timestamp
 }
 
 // Recover replays the log against targets (keyed by partition ID): redo all
@@ -236,39 +257,84 @@ type Target interface {
 // partitions and to perform appropriate UNDO and REDO operations".
 // A record for a partition absent from targets is an error.
 func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone int, err error) {
-	redone, undone, _, err = replay(p, recs, targets, false)
+	redone, undone, _, err = replay(p, recs, targets, false, nil)
 	return redone, undone, err
 }
 
 // RecoverPartial is Recover for a node restart where some logged partitions
 // no longer exist (fully migrated away, dropped replicas): their records are
 // skipped instead of failing recovery, and the skip count is reported.
-func RecoverPartial(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone, skipped int, err error) {
-	return replay(p, recs, targets, true)
+// decisions carries the coordinator's verdicts for this node's in-doubt
+// transactions (prepared, but with no local commit or abort record): a
+// transaction with an entry is rolled forward — its ordinary DML redone and
+// its prepare-time images installed at the decided timestamp — and one
+// without is presumed aborted and rolled back.
+func RecoverPartial(p *sim.Proc, recs []Record, targets map[uint64]Target, decisions map[cc.TxnID]Decision) (redone, undone, skipped int, err error) {
+	return replay(p, recs, targets, true, decisions)
 }
 
-func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown bool) (redone, undone, skipped int, err error) {
+func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown bool, decisions map[cc.TxnID]Decision) (redone, undone, skipped int, err error) {
 	committed := make(map[cc.TxnID]bool)
 	for i := range recs {
 		if recs[i].Type == RecCommit {
 			committed[recs[i].Txn] = true
 		}
 	}
-	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
-
-	// Redo winners forward.
-	for i := range recs {
-		r := &recs[i]
-		if !isDML(r.Type) || !committed[r.Txn] {
-			continue
+	winner := func(id cc.TxnID) bool {
+		if committed[id] {
+			return true
 		}
-		tgt, ok := targets[r.Part]
+		_, decided := decisions[id]
+		return decided
+	}
+	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
+	isPrep := func(t RecType) bool { return t == RecPrepDML || t == RecPrepDel }
+	resolve := func(part uint64) (Target, bool, error) {
+		tgt, ok := targets[part]
 		if !ok {
 			if skipUnknown {
 				skipped++
+				return nil, false, nil
+			}
+			return nil, false, fmt.Errorf("wal: recovery for unknown partition %d", part)
+		}
+		return tgt, true, nil
+	}
+
+	// Redo winners forward. A decided-commit transaction without a local
+	// commit record (a rolled-forward in-doubt branch) installs its
+	// prepare-time images at the decided timestamp; when the commit record
+	// is durable the preceding phase-two records already carry the final
+	// values, so the prepare images are redundant and skipped.
+	for i := range recs {
+		r := &recs[i]
+		if isPrep(r.Type) {
+			d, decided := decisions[r.Txn]
+			if !decided || committed[r.Txn] {
 				continue
 			}
-			return redone, undone, skipped, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+			tgt, ok, rerr := resolve(r.Part)
+			if rerr != nil {
+				return redone, undone, skipped, rerr
+			}
+			if !ok {
+				continue
+			}
+			if err = tgt.RecoveryInstall(p, r.Key, r.After, d.TS, r.Type == RecPrepDel); err != nil {
+				return redone, undone, skipped, err
+			}
+			redone++
+			continue
+		}
+		if !isDML(r.Type) || !winner(r.Txn) {
+			continue
+		}
+		tgt, ok, rerr := resolve(r.Part)
+		if rerr != nil {
+			return redone, undone, skipped, rerr
+		}
+		if !ok {
+			continue
 		}
 		if r.After != nil {
 			err = tgt.RecoveryPut(p, r.Key, r.After)
@@ -280,20 +346,21 @@ func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown b
 		}
 		redone++
 	}
-	// Undo losers backward (anything neither committed nor already
-	// compensated by an abort record's processing).
+	// Undo losers backward (anything neither committed locally nor decided
+	// committed by the coordinator). Prepare-time images are never undone:
+	// nothing was installed before the commit point, so there is nothing to
+	// compensate.
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := &recs[i]
-		if !isDML(r.Type) || committed[r.Txn] {
+		if !isDML(r.Type) || winner(r.Txn) {
 			continue
 		}
-		tgt, ok := targets[r.Part]
+		tgt, ok, rerr := resolve(r.Part)
+		if rerr != nil {
+			return redone, undone, skipped, rerr
+		}
 		if !ok {
-			if skipUnknown {
-				skipped++
-				continue
-			}
-			return redone, undone, skipped, fmt.Errorf("wal: recovery for unknown partition %d", r.Part)
+			continue
 		}
 		if r.Before != nil {
 			err = tgt.RecoveryPut(p, r.Key, r.Before)

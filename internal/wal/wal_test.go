@@ -158,6 +158,17 @@ func (tt treeTarget) RecoveryDelete(p *sim.Proc, key []byte) error {
 	return err
 }
 
+func (tt treeTarget) RecoveryInstall(p *sim.Proc, key, val []byte, ts cc.Timestamp, deleted bool) error {
+	if deleted {
+		_, err := tt.tr.Delete(p, key, 0)
+		return err
+	}
+	// Tests install the raw payload; the timestamp stamping is exercised
+	// through the partition implementation.
+	_, err := tt.tr.Put(p, key, val, 0)
+	return err
+}
+
 func TestRecoveryRedoesWinnersUndoesLosers(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
@@ -224,6 +235,60 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 		}
 		if n, _ := tr.Count(p); n != 1 {
 			t.Errorf("count = %d after double recovery", n)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverPartialInDoubtBothDirections replays a log holding two
+// prepared-but-undecided transactions: one decided committed by the
+// coordinator (rolled forward from its prepare-time images at the decided
+// timestamp), one unknown (presumed aborted: its images are ignored and its
+// partially installed phase-two record is undone).
+func TestRecoverPartialInDoubtBothDirections(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	seg := storage.NewSegment(1, 512, 64)
+	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
+	k := func(i int64) []byte { return keycodec.Int64Key(i) }
+	recs := []Record{
+		// txn 5: prepared, decided commit at the coordinator. Its branch
+		// never installed locally — only the prepare images are durable.
+		{Type: RecPrepDML, Txn: 5, Part: 1, Key: k(1), After: []byte("fwd")},
+		{Type: RecPrepDel, Txn: 5, Part: 1, Key: k(2)},
+		{Type: RecPrepare, Txn: 5},
+		// txn 6: prepared, unknown at the coordinator. One phase-two record
+		// made it to disk (page-flush coupling) before the crash.
+		{Type: RecPrepDML, Txn: 6, Part: 1, Key: k(3), After: []byte("ghost")},
+		{Type: RecPrepare, Txn: 6},
+		{Type: RecUpdate, Txn: 6, Part: 1, Key: k(4), Before: []byte("orig"), After: []byte("scribble")},
+	}
+	env.Spawn("recover", func(p *sim.Proc) {
+		// Crash-state disk image: txn 6's partial install is present.
+		tr.Put(p, k(2), []byte("doomed"), 0)
+		tr.Put(p, k(4), []byte("scribble"), 0)
+		decisions := map[cc.TxnID]Decision{5: {TS: 77}}
+		redone, undone, skipped, err := RecoverPartial(p, recs, map[uint64]Target{1: treeTarget{tr}}, decisions)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if redone != 2 || undone != 1 || skipped != 0 {
+			t.Errorf("redone=%d undone=%d skipped=%d, want 2,1,0", redone, undone, skipped)
+		}
+		if v, ok, _ := tr.Get(p, k(1)); !ok || string(v) != "fwd" {
+			t.Errorf("k1 = %q, %v (decided commit must roll forward)", v, ok)
+		}
+		if _, ok, _ := tr.Get(p, k(2)); ok {
+			t.Error("k2 survived a rolled-forward prepare-time delete")
+		}
+		if _, ok, _ := tr.Get(p, k(3)); ok {
+			t.Error("k3 installed from an undecided prepare image (presumed abort violated)")
+		}
+		if v, ok, _ := tr.Get(p, k(4)); !ok || string(v) != "orig" {
+			t.Errorf("k4 = %q, %v (presumed abort must undo the partial install)", v, ok)
 		}
 	})
 	if err := env.Run(); err != nil {
