@@ -151,6 +151,100 @@ type benchNullDevice struct{}
 
 func (benchNullDevice) Append(*sim.Proc, int64) {}
 
+// benchLogDevice models a log device with a fixed forced-write latency.
+type benchLogDevice struct {
+	writes int64
+	delay  time.Duration
+}
+
+func (d *benchLogDevice) Append(p *sim.Proc, bytes int64) {
+	d.writes++
+	p.Sleep(d.delay)
+}
+
+// BenchmarkGroupCommit measures forced log-device writes under concurrent
+// committers against the byte-encoded WAL: TPC-C-style workers each append
+// a few DML frames plus a commit record and force the log. Group commit
+// must coalesce committers parked behind the same in-flight device write,
+// so the forced-writes/commit metric stays well below 1.0 at EQUAL
+// durability (every committer still returns only after its LSN is on the
+// platter). ns/op is per committed transaction.
+func BenchmarkGroupCommit(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	dev := &benchLogDevice{delay: 150 * time.Microsecond}
+	l := wal.NewLog(env, dev)
+	const workers = 16
+	per := b.N/workers + 1
+	key := keycodec.Int64Key(42)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	commits := 0
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		w := w
+		env.Spawn("committer", func(p *sim.Proc) {
+			p.Sleep(time.Duration(w*37) * time.Microsecond) // desynchronize
+			for i := 0; i < per; i++ {
+				txn := cc.TxnID(w*per + i + 1)
+				l.Append(wal.Record{Type: wal.RecUpdate, Txn: txn, Part: 1, Key: key, After: val})
+				l.Append(wal.Record{Type: wal.RecUpdate, Txn: txn, Part: 1, Key: key, After: val})
+				lsn := l.Append(wal.Record{Type: wal.RecCommit, Txn: txn})
+				l.Flush(p, lsn)
+				if l.FlushedLSN() < lsn {
+					b.Error("commit acknowledged before its LSN was durable")
+					return
+				}
+				commits++
+				p.Sleep(time.Duration(20+w) * time.Microsecond) // think time
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(dev.writes)/float64(commits), "forced-writes/commit")
+}
+
+// BenchmarkEncodeKeyPrefix compares the variadic key-prefix encoder (whose
+// interface conversions box every int64 argument) against the typed
+// 1/2-argument fast paths used by the TPC-C range-bound hot paths. The fast
+// paths must report 0 allocs/op.
+func BenchmarkEncodeKeyPrefix(b *testing.B) {
+	schema := &table.Schema{
+		ID: 1, Name: "t", KeyCols: 2,
+		Columns: []table.Column{{Name: "w", Type: table.ColInt64}, {Name: "d", Type: table.ColInt64}},
+	}
+	buf := make([]byte, 0, 16)
+	b.Run("variadic2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = schema.AppendKeyPrefix(buf[:0], int64(i), int64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = schema.AppendKeyPrefix2(buf[:0], int64(i), int64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = schema.AppendKeyPrefix1(buf[:0], int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = buf
+}
+
 // scanWorld builds a single-node 5k-row partition for the operator-stack
 // benchmarks.
 func scanWorld(b *testing.B) (*sim.Env, *cc.Oracle, *table.Partition, *hw.Node) {

@@ -86,9 +86,9 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d restarts=%d\n",
+		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d) restarts=%d\n",
 			s, scheme, status, rep.StateHash, rep.SimTime.Seconds(),
-			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.Restarts)
+			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.Restarts)
 		if *verbose || !rep.Passed() {
 			for _, f := range rep.Faults {
 				fmt.Printf("    %s\n", f)

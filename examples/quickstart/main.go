@@ -32,7 +32,7 @@ func main() {
 			{Name: "balance", Type: table.ColFloat64},
 		},
 	}
-	mid, _ := schema.EncodeKeyPrefix(int64(500))
+	mid, _ := schema.EncodeKeyPrefix1(int64(500))
 	if _, err := c.Master.CreateTable(schema, table.Physiological, []cluster.RangeSpec{
 		{Low: nil, High: mid, Owner: c.Nodes[0]},
 		{Low: mid, High: nil, Owner: c.Nodes[1]},
@@ -63,7 +63,7 @@ func main() {
 		b := table.NewBatch(schema)
 		var payload []byte
 		move := func(id int64, delta float64) {
-			key, _ := schema.EncodeKeyPrefix(id)
+			key, _ := schema.EncodeKeyPrefix1(id)
 			raw, ok, err := xfer.Get(p, "accounts", key)
 			if err != nil || !ok {
 				log.Fatalf("account %d: %v %v", id, ok, err)

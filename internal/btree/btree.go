@@ -50,16 +50,55 @@ type Tree struct {
 	// writers interleaving mid-descent would corrupt the tree. Readers
 	// never block on it; Get retries on concurrent structural changes.
 	writers *sim.Resource
+	// surgeries counts multi-step structural mutations whose intermediate
+	// states are reachable (a split's left page reformatted before the
+	// parent adopts the separator; a freed page still referenced by its
+	// parent). gen alone cannot fence a reader that STARTS inside such a
+	// window — it adopts the post-bump gen and walks the torn structure —
+	// so new positioning (Get descents, cursor seeks) waits on readFence
+	// until the surgery completes. Writers never wait on readers, so the
+	// fence cannot deadlock.
+	surgeries int
+	surgDone  *sim.Signal
 	// curFree recycles scan cursors (with their stack/scratch/batch
 	// buffers) so repeated scans allocate nothing.
 	curFree *Cursor
 }
 
 // Serialize enables writer mutual exclusion for trees whose pager can block
-// (buffered pagers with disk I/O).
+// (buffered pagers with disk I/O), and arms the reader fence for surgery
+// windows. Trees without Serialize use non-blocking pagers, where readers
+// and writers cannot interleave.
 func (t *Tree) Serialize(env *sim.Env) {
 	if t.writers == nil {
 		t.writers = sim.NewResource(env, 1)
+		t.surgDone = sim.NewSignal(env)
+	}
+}
+
+// beginSurgery opens a torn-structure window: the gen bump sends every
+// already-positioned reader back through a re-seek, and the surgery count
+// parks those re-seeks (and fresh ones) on the fence until endSurgery.
+func (t *Tree) beginSurgery() {
+	t.gen++
+	t.surgeries++
+}
+
+// endSurgery closes a torn-structure window and releases fenced readers
+// once no surgery remains.
+func (t *Tree) endSurgery() {
+	t.surgeries--
+	if t.surgeries == 0 && t.surgDone != nil {
+		t.surgDone.Fire()
+	}
+}
+
+// readFence blocks p while a structural surgery's intermediate state is
+// reachable. Surgery completion does not depend on readers, so the wait is
+// always bounded.
+func (t *Tree) readFence(p *sim.Proc) {
+	for t.surgeries > 0 && t.surgDone != nil {
+		t.surgDone.Wait(p)
 	}
 }
 
@@ -164,9 +203,11 @@ func childSlot(pg storage.Page, key []byte) int {
 // Get returns the value stored under key. If the tree changes structurally
 // during the descent (a writer split pages while this reader waited on
 // I/O), the lookup restarts: a stale descent could otherwise miss a key
-// that moved to a new sibling.
+// that moved to a new sibling. Descents wait out in-flight surgery windows
+// (readFence) so they never walk a half-split subtree.
 func (t *Tree) Get(p *sim.Proc, key []byte) ([]byte, bool, error) {
 restart:
+	t.readFence(p)
 	if t.root == 0 {
 		return nil, false, nil
 	}
@@ -240,9 +281,12 @@ func (t *Tree) PutLocked(p *sim.Proc, key, val []byte, lsn uint64) (replaced boo
 		return false, err
 	}
 	if newChild != 0 {
-		// Root split: build a new root over the two subtrees.
+		// Root split: build a new root over the two subtrees. The root
+		// page's surgery window (opened by its split) closes once the new
+		// root makes both halves reachable.
 		no, pg, rel, err := t.pager.Alloc(p)
 		if err != nil {
+			t.endSurgery()
 			return false, err
 		}
 		pg.Init(storage.PageInner)
@@ -252,6 +296,7 @@ func (t *Tree) PutLocked(p *sim.Proc, key, val []byte, lsn uint64) (replaced boo
 		rel()
 		t.setRoot(no)
 		t.gen++
+		t.endSurgery()
 	}
 	return replaced, nil
 }
@@ -276,22 +321,30 @@ func (t *Tree) putInto(p *sim.Proc, no storage.PageNo, key, val []byte, lsn uint
 			return replaced, nil, 0, err
 		}
 		// Child split: adopt (csep, cnew). Re-pin for writing and
-		// re-search, since the recursion may have yielded.
+		// re-search, since the recursion may have yielded. The child's
+		// surgery window stays open across this write pin — readers must
+		// not walk the half-split subtree — and closes the moment its
+		// separator is reachable from this page (or from the nested split's
+		// result, whose own window the next level up closes).
 		wpg, wrel, err := t.pager.Write(p, no)
 		if err != nil {
+			t.endSurgery()
 			return replaced, nil, 0, err
 		}
 		defer wrel()
 		cell := innerCell(csep, cnew)
 		i, exact := search(wpg, csep)
 		if exact {
+			t.endSurgery()
 			return replaced, nil, 0, fmt.Errorf("btree: duplicate separator %x", csep)
 		}
 		wpg.SetLSN(lsn)
 		if wpg.InsertCellAt(i, cell) {
+			t.endSurgery()
 			return replaced, nil, 0, nil
 		}
 		sep, newRight, err = t.split(p, wpg, lsn, cell, i)
+		t.endSurgery() // the child's separator now lives in this page or its new sibling
 		return replaced, sep, newRight, err
 	}
 
@@ -320,9 +373,12 @@ func (t *Tree) putInto(p *sim.Proc, no storage.PageNo, key, val []byte, lsn uint
 }
 
 // split divides full page pg, inserting cell at logical slot i along the
-// way. It returns the separator and new right page for the parent.
+// way. It returns the separator and new right page for the parent. It opens
+// a surgery window (left page reformatted, separator not yet adopted) that
+// the CALLER must close with endSurgery once the separator is reachable —
+// directly after a successful parent insert, or after a nested split
+// absorbed the cell.
 func (t *Tree) split(p *sim.Proc, pg storage.Page, lsn uint64, cell []byte, i int) ([]byte, storage.PageNo, error) {
-	t.gen++
 	n := pg.NumSlots()
 	cells := make([][]byte, 0, n+1)
 	for j := 0; j < n; j++ {
@@ -352,7 +408,7 @@ func (t *Tree) split(p *sim.Proc, pg storage.Page, lsn uint64, cell []byte, i in
 
 	rightNo, right, rrel, err := t.pager.Alloc(p)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, err // tree untouched (segment full)
 	}
 	defer rrel()
 	right.Init(pg.Type())
@@ -362,10 +418,15 @@ func (t *Tree) split(p *sim.Proc, pg storage.Page, lsn uint64, cell []byte, i in
 			return nil, 0, fmt.Errorf("btree: split overflow on right page")
 		}
 	}
+	// The right page is filled but unreachable; reformatting the left page
+	// is the first mutation readers could observe, and from here until the
+	// parent adopts the separator the upper half is invisible.
+	t.beginSurgery()
 	pg.Init(pg.Type()) // reformat left page in place
 	pg.SetLSN(lsn)
 	for j, c := range cells[:splitAt] {
 		if !pg.InsertCellAt(j, c) {
+			t.endSurgery()
 			return nil, 0, fmt.Errorf("btree: split overflow on left page")
 		}
 	}
@@ -393,11 +454,15 @@ func (t *Tree) DeleteLocked(p *sim.Proc, key []byte, lsn uint64) (bool, error) {
 		return false, err
 	}
 	if emptied {
+		// The emptied root's surgery window (opened in deleteFrom) closes
+		// once the root pointer stops referencing the freed page.
 		if err := t.pager.Free(p, t.root); err != nil {
+			t.endSurgery()
 			return false, err
 		}
 		t.setRoot(0)
 		t.gen++
+		t.endSurgery()
 	} else if deleted {
 		if err := t.collapseRoot(p); err != nil {
 			return false, err
@@ -411,6 +476,10 @@ func (t *Tree) deleteFrom(p *sim.Proc, no storage.PageNo, key []byte, lsn uint64
 	if err != nil {
 		return false, false, err
 	}
+	// Invariant: whenever deleteFrom returns emptied=true, a surgery window
+	// is open (begun at the deepest level that emptied) and stays open until
+	// an ancestor frees the empty page — an empty inner page, or a freed
+	// page still referenced by its parent, must never be walked by readers.
 	if pg.Type() == storage.PageLeaf {
 		rel()
 		wpg, wrel, err := t.pager.Write(p, no)
@@ -424,7 +493,11 @@ func (t *Tree) deleteFrom(p *sim.Proc, no storage.PageNo, key []byte, lsn uint64
 		}
 		wpg.DeleteCellAt(i)
 		wpg.SetLSN(lsn)
-		return true, wpg.NumSlots() == 0, nil
+		emptied = wpg.NumSlots() == 0
+		if emptied {
+			t.beginSurgery()
+		}
+		return true, emptied, nil
 	}
 	slot := childSlot(pg, key)
 	child := innerCellChild(pg.Cell(slot))
@@ -433,13 +506,15 @@ func (t *Tree) deleteFrom(p *sim.Proc, no storage.PageNo, key []byte, lsn uint64
 	if err != nil || !childEmptied {
 		return deleted, false, err
 	}
-	// Child page emptied: free it and drop its cell.
+	// Child page emptied (its surgery window is open): free it and drop its
+	// cell, keeping the window open if this page empties in turn.
 	if err := t.pager.Free(p, child); err != nil {
+		t.endSurgery()
 		return deleted, false, err
 	}
-	t.gen++
 	wpg, wrel, err := t.pager.Write(p, no)
 	if err != nil {
+		t.endSurgery()
 		return deleted, false, err
 	}
 	defer wrel()
@@ -452,11 +527,16 @@ func (t *Tree) deleteFrom(p *sim.Proc, no storage.PageNo, key []byte, lsn uint64
 		}
 	}
 	if idx < 0 {
+		t.endSurgery()
 		return deleted, false, fmt.Errorf("btree: lost child %d during delete", child)
 	}
 	wpg.DeleteCellAt(idx)
 	wpg.SetLSN(lsn)
-	return deleted, wpg.NumSlots() == 0, nil
+	emptied = wpg.NumSlots() == 0
+	if !emptied {
+		t.endSurgery()
+	}
+	return deleted, emptied, nil
 }
 
 // collapseRoot replaces a single-child inner root by its child, repeatedly.
@@ -472,11 +552,16 @@ func (t *Tree) collapseRoot(p *sim.Proc) error {
 		}
 		child := innerCellChild(pg.Cell(0))
 		rel()
+		// Surgery: the root page is freed before the root pointer moves
+		// off it; readers must not descend through the recycled page.
+		t.beginSurgery()
 		if err := t.pager.Free(p, t.root); err != nil {
+			t.endSurgery()
 			return err
 		}
 		t.setRoot(child)
 		t.gen++
+		t.endSurgery()
 	}
 	return nil
 }

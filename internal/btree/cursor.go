@@ -24,6 +24,14 @@ type Cursor struct {
 	val     []byte
 	seekBuf []byte
 	valid   bool
+	// anchored: c.key holds a record this cursor actually delivered, so a
+	// structural-change recovery may step past an exact re-match. False
+	// between the start of a seek and its first load — there c.key holds the
+	// seek TARGET (inclusive), never a stale position. Without this, a
+	// pooled cursor whose seek raced a split re-anchored on the previous
+	// scan's last key and delivered records far below the new scan's lower
+	// bound (found by the TPC-C chaos oracle as a double delivery).
+	anchored bool
 
 	next  *Cursor // tree free-list link
 	batch []KV    // scratch batch for Tree.Scan
@@ -76,6 +84,16 @@ func (t *Tree) putCursor(c *Cursor) {
 }
 
 func (c *Cursor) seek(p *sim.Proc, key []byte) error {
+	// The target is the only valid recovery anchor until the first load:
+	// c.key may still hold a stale position (pool reuse, or a spot behind
+	// the new target), and advancing from it would violate the seek bound.
+	c.key = append(c.key[:0], key...)
+	c.anchored = false
+restart:
+	// Wait out in-flight structural surgery: a seek that starts inside a
+	// split's torn window would adopt the post-bump gen and walk the
+	// half-mutated structure undetected.
+	c.t.readFence(p)
 	c.stack = c.stack[:0]
 	c.valid = false
 	c.gen = c.t.gen
@@ -87,6 +105,13 @@ func (c *Cursor) seek(p *sim.Proc, key []byte) error {
 		pg, rel, err := c.t.pager.Read(p, no)
 		if err != nil {
 			return err
+		}
+		if c.gen != c.t.gen {
+			// The descent raced a structural change while the page read
+			// blocked: the stack may point into pre-split pages, so restart
+			// from the (possibly new) root.
+			rel()
+			goto restart
 		}
 		if pg.Type() == storage.PageInner {
 			slot := 0
@@ -120,6 +145,7 @@ func (c *Cursor) load(pg storage.Page, slot int) {
 	c.key = append(c.key[:0], cellKey(cell)...)
 	c.val = append(c.val[:0], leafCellValue(cell)...)
 	c.valid = true
+	c.anchored = true
 }
 
 // Valid reports whether the cursor is positioned on a record.
@@ -143,13 +169,17 @@ func (c *Cursor) Next(p *sim.Proc) error {
 }
 
 // reseekForward rebuilds the cursor position after a structural change and
-// moves to the key following the one last returned.
+// moves to the key following the one last returned. When the cursor was
+// never positioned since its seek began (anchored=false), c.key is the seek
+// target itself — re-seek it inclusively: an exact match is an undelivered
+// record, not one to step past.
 func (c *Cursor) reseekForward(p *sim.Proc) error {
 	last := bytes.Clone(c.key)
+	delivered := c.anchored
 	if err := c.seek(p, last); err != nil {
 		return err
 	}
-	if c.valid && bytes.Equal(c.key, last) {
+	if delivered && c.valid && bytes.Equal(c.key, last) {
 		return c.step(p)
 	}
 	return nil
@@ -208,7 +238,10 @@ func (c *Cursor) advance(p *sim.Proc) error {
 		}
 		if c.gen != c.t.gen {
 			rel()
-			c.valid = true // restore: c.key still holds the last-returned key
+			// c.key holds the recovery anchor: the last-returned key, or —
+			// when this advance came from a still-positioning seek — the
+			// seek target (anchored=false, re-sought inclusively).
+			c.valid = true
 			return c.reseekForward(p)
 		}
 		lvl.slot++
@@ -223,6 +256,15 @@ func (c *Cursor) advance(p *sim.Proc) error {
 			pg, rel, err := c.t.pager.Read(p, no)
 			if err != nil {
 				return err
+			}
+			if c.gen != c.t.gen {
+				// The descent raced a structural change while the read
+				// blocked: the page may have been freed and reused for a
+				// different key range. Recover from the anchor like the pop
+				// loop above.
+				rel()
+				c.valid = true
+				return c.reseekForward(p)
 			}
 			if pg.Type() == storage.PageInner {
 				c.stack = append(c.stack, cursorLevel{no, 0})

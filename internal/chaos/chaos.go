@@ -95,6 +95,11 @@ type Report struct {
 	Scans     int
 	Crashes   int
 	Restarts  int
+	// TornCrashes/BitFlips count the crashes that additionally damaged the
+	// log medium (torn final frame / bit-rotted boundary frame); both are
+	// included in Crashes.
+	TornCrashes int
+	BitFlips    int
 
 	Faults     []string // executed fault schedule, in order
 	Violations []string // invariant violations (empty = PASS)

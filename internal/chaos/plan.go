@@ -16,6 +16,8 @@ type faultKind int
 
 const (
 	faultCrash     faultKind = iota // power-fail a node, restart it later
+	faultCrashTorn                  // power-fail leaving a torn final record on the log tail
+	faultCrashFlip                  // power-fail leaving a bit-flipped frame at the flushed boundary
 	faultDiskStall                  // extra per-request latency on a disk
 	faultNetSpike                   // extra one-way latency on every link
 	faultMigrate                    // rebalance a key range onto a target
@@ -31,6 +33,8 @@ type faultEvent struct {
 	dur      time.Duration // stall/spike duration, crash down-time
 	loK, hiK int64         // migrate: key range [loK, hiK)
 	target   int           // migrate: destination node
+	tear     int           // torn/flip crash: tail bytes surviving the interrupted write
+	flip     int           // flip crash: bit flipped within the surviving tail bytes
 }
 
 // buildPlan derives the fault schedule from the seed alone — never from
@@ -61,10 +65,15 @@ func buildPlan(cfg Config) []faultEvent {
 		node: target,
 		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
 	})
+	// Every plan also damages the log medium once each way on a data node
+	// (the nodes with steady log traffic): a power failure tearing the frame
+	// the device was writing, and one leaving a bit-flipped frame at the
+	// flushed boundary. Recovery must truncate both tails cleanly.
+	plan = append(plan, tornCrashEvents(rng, window, 2)...)
 
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
-		switch rng.Intn(4) {
+		switch rng.Intn(6) {
 		case 0:
 			plan = append(plan, faultEvent{
 				at:   at,
@@ -72,6 +81,10 @@ func buildPlan(cfg Config) []faultEvent {
 				node: rng.Intn(cfg.Nodes),
 				dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
 			})
+		case 4:
+			plan = append(plan, tornCrash(rng, at, faultCrashTorn, cfg.Nodes))
+		case 5:
+			plan = append(plan, tornCrash(rng, at, faultCrashFlip, cfg.Nodes))
 		case 1:
 			plan = append(plan, faultEvent{
 				at:    at,
@@ -106,6 +119,43 @@ func buildPlan(cfg Config) []faultEvent {
 	return plan
 }
 
+// tornCrash builds one log-medium damage crash at the given time: a power
+// failure tearing the frame the log device was writing (partial final
+// record), or — for faultCrashFlip — one leaving a byte-complete but
+// bit-flipped frame at the flushed boundary. Both harnesses' plan builders
+// draw from this single definition so the damage parameter ranges cannot
+// drift apart.
+func tornCrash(rng *rand.Rand, at time.Duration, kind faultKind, nodes int) faultEvent {
+	ev := faultEvent{
+		at:   at,
+		kind: kind,
+		node: rng.Intn(nodes),
+		flip: -1,
+		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+	}
+	if kind == faultCrashFlip {
+		ev.tear = 16 + rng.Intn(256) // often beyond the frame: kept whole, corrupted by the flip
+		ev.flip = rng.Intn(1 << 11)
+	} else {
+		ev.tear = 1 + rng.Intn(96) // strictly partial final frame
+	}
+	return ev
+}
+
+// tornCrashEvents derives the log-medium damage events every plan carries:
+// one torn-tail and one bit-flip crash on a node from the first dataNodes
+// (the ones with steady log traffic), landing in the middle half of the
+// window.
+func tornCrashEvents(rng *rand.Rand, window time.Duration, dataNodes int) []faultEvent {
+	at := func() time.Duration {
+		return window/4 + time.Duration(rng.Int63n(int64(window/2)))
+	}
+	return []faultEvent{
+		tornCrash(rng, at(), faultCrashTorn, dataNodes),
+		tornCrash(rng, at(), faultCrashFlip, dataNodes),
+	}
+}
+
 // faultRunner is the workload-agnostic fault executor shared by the KV and
 // TPC-C harnesses: it walks the plan on the simulator clock, executing
 // crashes (power-fail anywhere, including mid-commit, with a scheduled
@@ -137,7 +187,7 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 				p.Sleep(wait)
 			}
 			switch ev.kind {
-			case faultCrash:
+			case faultCrash, faultCrashTorn, faultCrashFlip:
 				fr.execCrash(ev)
 			case faultDiskStall:
 				n := fr.c.Nodes[ev.node]
@@ -174,7 +224,10 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 }
 
 // execCrash power-fails a node — at any instant, including mid-commit —
-// and schedules its restart.
+// and schedules its restart. Torn/flip variants additionally damage the log
+// medium: part of the frame the device was writing survives on the platter
+// (possibly bit-flipped), and the restart must CRC-detect and truncate it
+// while every acknowledged commit below the boundary survives.
 func (fr *faultRunner) execCrash(ev faultEvent) {
 	n := fr.c.Nodes[ev.node]
 	if n.Down() {
@@ -183,8 +236,24 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 		fr.logFault("crash node %d skipped (already down)", ev.node)
 		return
 	}
-	fr.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
-	fr.c.CrashNode(n)
+	switch ev.kind {
+	case faultCrashTorn:
+		torn := fr.c.CrashNodeTorn(n, ev.tear, -1)
+		if torn > 0 { // an empty unflushed tail degrades to a plain crash
+			fr.rep.TornCrashes++
+		}
+		fr.logFault("crash node %d with torn log tail (%d bytes survive; restart after %v)", ev.node, torn, ev.dur)
+	case faultCrashFlip:
+		torn := fr.c.CrashNodeTorn(n, ev.tear, ev.flip)
+		if torn > 0 {
+			fr.rep.BitFlips++
+		}
+		fr.logFault("crash node %d with bit-flipped log tail (%d bytes survive, bit %d; restart after %v)",
+			ev.node, torn, ev.flip, ev.dur)
+	default:
+		fr.c.CrashNode(n)
+		fr.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
+	}
 	fr.rep.Crashes++
 	node := n
 	dur := ev.dur
@@ -194,6 +263,18 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 		if err != nil {
 			fr.violate(fmt.Sprintf("restart of node %d failed: %v", node.ID, err))
 			return
+		}
+		// The restart must leave a fully decodable log: a torn or corrupted
+		// (and necessarily unacknowledged) tail is truncated, never patched
+		// around or left for the next recovery to trip on.
+		it := node.Log.Iter()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		if it.Err() != nil {
+			fr.violate(fmt.Sprintf("restart of node %d left a corrupt log tail: %v", node.ID, it.Err()))
 		}
 		fr.rep.Restarts++
 		fr.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)

@@ -117,6 +117,7 @@ func RunTPCC(cfg Config) (*Report, error) {
 		return h.rep, err
 	}
 
+	h.model.settle(h.violate)
 	finalState := h.finalCheck()
 	for _, name := range tpcc.PartitionedTables() {
 		h.checkTableRanges(name)
@@ -232,12 +233,19 @@ func buildTPCCPlan(cfg Config, tcfg tpcc.Config) []faultEvent {
 		node: target,
 		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
 	})
+	// Guaranteed log-medium damage on the warehouse-hosting nodes: one torn
+	// final frame, one bit-flipped boundary frame (see tornCrashEvents).
+	plan = append(plan, tornCrashEvents(rng, window, 2)...)
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
-		switch rng.Intn(4) {
+		switch rng.Intn(6) {
 		case 0:
 			plan = append(plan, faultEvent{at: at, kind: faultCrash, node: rng.Intn(cfg.Nodes),
 				dur: 12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second)))})
+		case 4:
+			plan = append(plan, tornCrash(rng, at, faultCrashTorn, cfg.Nodes))
+		case 5:
+			plan = append(plan, tornCrash(rng, at, faultCrashFlip, cfg.Nodes))
 		case 1:
 			plan = append(plan, faultEvent{at: at, kind: faultDiskStall, node: rng.Intn(cfg.Nodes),
 				disk: rng.Intn(3), extra: time.Duration(2+rng.Intn(8)) * time.Millisecond,
@@ -345,17 +353,25 @@ type tpccModel struct {
 	orders    map[orderKey]int64 // acknowledged NewOrders -> ol count
 	newOrders map[orderKey]bool  // undelivered orders
 	stock     map[stockKey]*stockState
+	// earlyDelivered: orders an acknowledged Delivery removed before the
+	// acknowledgment of the NewOrder that created them arrived. Group commit
+	// wakes every committer of one flush batch at the same instant, so ack
+	// order can invert commit-timestamp order; the engine still serialized
+	// them (the Delivery read the committed order). Each entry must be
+	// matched by a NewOrder ack before the run ends.
+	earlyDelivered map[orderKey]bool
 }
 
 func newTPCCModel(cfg tpcc.Config) *tpccModel {
 	m := &tpccModel{
-		cfg:       cfg,
-		wYTD:      map[int64]float64{},
-		dYTD:      map[distKey]float64{},
-		nextOID:   map[distKey]int64{},
-		orders:    map[orderKey]int64{},
-		newOrders: map[orderKey]bool{},
-		stock:     map[stockKey]*stockState{},
+		cfg:            cfg,
+		wYTD:           map[int64]float64{},
+		dYTD:           map[distKey]float64{},
+		nextOID:        map[distKey]int64{},
+		orders:         map[orderKey]int64{},
+		newOrders:      map[orderKey]bool{},
+		stock:          map[stockKey]*stockState{},
+		earlyDelivered: map[orderKey]bool{},
 	}
 	O := cfg.InitialOrdersPerDist
 	newOrderStart := O - O/3 + 1 // mirror of the generator's undelivered tail
@@ -395,7 +411,13 @@ func (m *tpccModel) apply(eff *tpcc.Effect, violate func(string)) {
 			return
 		}
 		m.orders[ok] = eff.OlCnt
-		m.newOrders[ok] = true
+		if m.earlyDelivered[ok] {
+			// A Delivery of this order acked first (same flush batch); the
+			// pending entry was already consumed.
+			delete(m.earlyDelivered, ok)
+		} else {
+			m.newOrders[ok] = true
+		}
 		dk := distKey{eff.W, eff.D}
 		if next := eff.OID + 1; next > m.nextOID[dk] {
 			m.nextOID[dk] = next
@@ -415,11 +437,41 @@ func (m *tpccModel) apply(eff *tpcc.Effect, violate func(string)) {
 		for _, del := range eff.Delivered {
 			ok := orderKey{eff.W, del.D, del.OID}
 			if !m.newOrders[ok] {
+				if _, acked := m.orders[ok]; !acked && del.OID > int64(m.cfg.InitialOrdersPerDist) && !m.earlyDelivered[ok] {
+					// The creating NewOrder committed (the Delivery read it)
+					// but its ack has not landed yet — remember the debt; the
+					// NewOrder ack must settle it before the run ends.
+					m.earlyDelivered[ok] = true
+					continue
+				}
 				violate(fmt.Sprintf("oracle: order %v delivered twice or never pending", ok))
 				continue
 			}
 			delete(m.newOrders, ok)
 		}
+	}
+}
+
+// settle reports any delivery debt left at the end of the run: an order a
+// Delivery removed whose NewOrder ack never arrived means an unacknowledged
+// transaction's effects were read — an atomicity breach.
+func (m *tpccModel) settle(violate func(string)) {
+	keys := make([]orderKey, 0, len(m.earlyDelivered))
+	for ok := range m.earlyDelivered {
+		keys = append(keys, ok)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.o < b.o
+	})
+	for _, ok := range keys {
+		violate(fmt.Sprintf("oracle: order %v delivered but its NewOrder was never acknowledged", ok))
 	}
 }
 
@@ -545,8 +597,8 @@ func (h *tpccHarness) checkDistrictOrders(p *sim.Proc, s *cluster.Session,
 	m := h.model
 	O := int64(m.cfg.InitialOrdersPerDist)
 
-	lo, _ := oS.EncodeKeyPrefix(w, d)
-	hi, _ := oS.EncodeKeyPrefix(w, d+1)
+	lo, _ := oS.EncodeKeyPrefix2(w, d)
+	hi, _ := oS.EncodeKeyPrefix2(w, d+1)
 	gotOrders := map[int64]int64{} // o -> ol_cnt
 	var orderIDs []int64
 	err := s.Scan(p, tpcc.TOrders, lo, hi, func(_, payload []byte) bool {
@@ -601,8 +653,8 @@ func (h *tpccHarness) checkDistrictOrders(p *sim.Proc, s *cluster.Session,
 	}
 
 	// One ORDER_LINE scan per district: count lines per order.
-	olLo, _ := olS.EncodeKeyPrefix(w, d)
-	olHi, _ := olS.EncodeKeyPrefix(w, d+1)
+	olLo, _ := olS.EncodeKeyPrefix2(w, d)
+	olHi, _ := olS.EncodeKeyPrefix2(w, d+1)
 	lineCount := map[int64]int64{}
 	err = s.Scan(p, tpcc.TOrderLine, olLo, olHi, func(_, payload []byte) bool {
 		row, derr := olS.DecodeRow(payload)
@@ -625,8 +677,8 @@ func (h *tpccHarness) checkDistrictOrders(p *sim.Proc, s *cluster.Session,
 	}
 
 	// NEW_ORDER must hold exactly the undelivered set.
-	noLo, _ := noS.EncodeKeyPrefix(w, d)
-	noHi, _ := noS.EncodeKeyPrefix(w, d+1)
+	noLo, _ := noS.EncodeKeyPrefix2(w, d)
+	noHi, _ := noS.EncodeKeyPrefix2(w, d+1)
 	gotNO := map[int64]bool{}
 	err = s.Scan(p, tpcc.TNewOrder, noLo, noHi, func(_, payload []byte) bool {
 		row, derr := noS.DecodeRow(payload)

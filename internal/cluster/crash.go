@@ -69,13 +69,32 @@ func (c *Cluster) CrashNode(n *DataNode) {
 	if n.crashed {
 		return
 	}
-	c.doCrash(n)
+	c.doCrash(n, 0, -1)
 }
 
-func (c *Cluster) doCrash(n *DataNode) {
+// CrashNodeTorn is CrashNode with log-medium damage: up to tear bytes of
+// the record frame the log device was writing when power cut survive on the
+// platter (a torn final record), and flip >= 0 additionally flips one bit
+// within those surviving bytes. RestartNode's log scan must CRC-detect the
+// damage and truncate the tail — acknowledged commits sit below the torn
+// region and survive untouched. It returns the torn bytes left behind
+// (0 when the log had no unflushed tail, which degrades to a plain crash).
+func (c *Cluster) CrashNodeTorn(n *DataNode, tear, flip int) int {
+	if n.crashed {
+		return 0
+	}
+	return c.doCrash(n, tear, flip)
+}
+
+func (c *Cluster) doCrash(n *DataNode, tear, flip int) int {
 	n.crashed = true
 	n.HW.ForceOff()
-	n.Log.Crash()
+	torn := 0
+	if tear > 0 {
+		_, torn = n.Log.CrashTorn(tear, flip)
+	} else {
+		n.Log.Crash()
+	}
 	// Log shipping dies with the node: on restart it logs locally again.
 	if n.shippedFrom != nil {
 		n.Log.SetDevice(n.shippedFrom)
@@ -100,15 +119,18 @@ func (c *Cluster) doCrash(n *DataNode) {
 	n.Pool = buffer.NewPool(c.Env, (*nodeBackend)(n), c.Cal.PageSize, c.Cal.BufferFrames)
 	n.Pool.SetWALFlush(func(p *sim.Proc, lsn uint64) { n.Log.Flush(p, lsn) })
 	n.Locks = cc.NewLockManager(c.Env)
+	return torn
 }
 
 // RestartNode boots a crashed node and recovers its partitions: pay the
-// boot time, rebuild every lost partition from its recovery base, resolve
-// prepared-but-undecided transactions against the coordinator (roll forward
-// from the prepare-time log or roll back under presumed abort), replay the
-// durable WAL (REDO committed work, UNDO losers), then atomically swap the
-// rebuilt partitions into the master's partition table and the node's
-// registry. It returns the replay counts.
+// boot time, CRC-scan the durable log bytes (truncating any torn or
+// bit-rotted tail a power failure left mid-device-write), rebuild every
+// lost partition from its recovery base, resolve prepared-but-undecided
+// transactions against the coordinator (roll forward from the prepare-time
+// log or roll back under presumed abort), replay the durable WAL decoded
+// from its segment bytes (REDO committed work, UNDO losers), then atomically
+// swap the rebuilt partitions into the master's partition table and the
+// node's registry. It returns the replay counts.
 func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err error) {
 	if !n.crashed {
 		return 0, 0, fmt.Errorf("cluster: restart of node %d, which is not crashed", n.ID)
@@ -136,14 +158,22 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	}
 	// In-doubt resolution: a transaction with a durable prepare vote but no
 	// local commit or abort record was cut down between its vote and its
-	// commit record. Query the coordinator for each (ascending transaction
-	// ID for determinism): a known decision rolls the branch forward at the
-	// decided timestamp; an unknown transaction is presumed aborted.
-	recs := n.Log.Records()
+	// commit record. The analysis pass decodes the durable log from its
+	// segment bytes (Restart already truncated any damaged tail), then
+	// queries the coordinator for each in-doubt transaction (ascending
+	// transaction ID for determinism): a known decision rolls the branch
+	// forward at the decided timestamp; an unknown transaction is presumed
+	// aborted.
+	recs, err := n.Log.Iter().All()
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: node %d log scan: %w", n.ID, err)
+	}
 	inDoubt, decisions := c.resolveInDoubt(p, n, recs)
 	// Records for partitions that no longer exist (fully migrated away,
-	// dropped replicas) are skipped: their data lives elsewhere now.
-	redone, undone, _, err = wal.RecoverPartial(p, recs, targets, decisions)
+	// dropped replicas) are skipped: their data lives elsewhere now. The
+	// replay is its own decode pass over the bytes, like ARIES' redo pass
+	// re-reading the analysis pass's input.
+	redone, undone, _, err = wal.RecoverPartial(p, n.Log.Iter(), targets, decisions)
 	if err != nil {
 		return redone, undone, err
 	}
@@ -233,13 +263,15 @@ func (c *Cluster) closeInDoubt(p *sim.Proc, n *DataNode, recs []wal.Record, targ
 			if _, known := targets[r.Part]; !known {
 				continue // partition migrated away; its data lives elsewhere
 			}
+			// Append encodes immediately, so the decoded record's slices can
+			// be passed straight through without defensive copies.
 			switch r.Type {
 			case wal.RecPrepDML:
 				maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecUpdate, Part: r.Part,
-					Key: bytes.Clone(r.Key), After: table.EncodeValue(cc.Version{TS: d.TS, Val: r.After})})
+					Key: r.Key, After: table.EncodeValue(cc.Version{TS: d.TS, Val: r.After})})
 			case wal.RecPrepDel:
 				maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecDelete, Part: r.Part,
-					Key: bytes.Clone(r.Key), After: table.EncodeValue(cc.Version{TS: d.TS, Deleted: true})})
+					Key: r.Key, After: table.EncodeValue(cc.Version{TS: d.TS, Deleted: true})})
 			}
 		}
 		maxLSN = n.Log.Append(wal.Record{Txn: id, Type: wal.RecCommit})

@@ -133,11 +133,17 @@ func commitWindow(t *testing.T) (start, end time.Duration) {
 
 // hasInDoubtTrace reports whether the node's durable log holds a prepare
 // vote for some transaction with no commit or abort record — the state the
-// restart must resolve against the coordinator.
+// restart must resolve against the coordinator. The trace is decoded from
+// the log's physical bytes, like the restart's own analysis pass.
 func hasInDoubtTrace(n *DataNode) bool {
 	prepared := map[cc.TxnID]bool{}
 	decided := map[cc.TxnID]bool{}
-	for _, r := range n.Log.Records() {
+	it := n.Log.Iter()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
 		switch r.Type {
 		case wal.RecPrepare:
 			prepared[r.Txn] = true

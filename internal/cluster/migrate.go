@@ -168,6 +168,16 @@ func (m *Master) migrateLogical(p *sim.Proc, tm *TableMeta, lo, hi []byte, dst *
 		if e.Owner == dst {
 			continue
 		}
+		if e.OldPart != nil {
+			// The entry still carries dual pointers from an earlier move
+			// (in flight, suspended by a crash, or waiting for old snapshots
+			// to drain). replaceEntry keeps only one OldPart generation, so
+			// re-migrating now would drop the old-location fallback and
+			// strand records readers can still only find there — skip the
+			// entry until the cleanup retires the old pointer
+			// (TestRemigrateWithLiveDualPointersSkipped pins this).
+			continue
+		}
 		if err := migrationAlive(e.Owner, dst); err != nil {
 			return err
 		}
@@ -257,7 +267,7 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 				}
 				break
 			}
-			sess.touched[src] = srcOwner
+			sess.touch(src, srcOwner)
 			// When re-covering a window after a failed batch commit, the
 			// destination may already hold a version — live or tombstone —
 			// from a writer routed there while the boundary was advanced.
@@ -280,7 +290,7 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 				}
 				break
 			}
-			sess.touched[dstPart] = dst
+			sess.touch(dstPart, dst)
 		}
 		if !ok {
 			sess.Abort(p)
@@ -393,6 +403,11 @@ func (m *Master) migratePhysiological(p *sim.Proc, tm *TableMeta, lo, hi []byte,
 		if e.Owner == dst {
 			continue
 		}
+		if e.OldPart != nil {
+			// Live dual pointers from an earlier move: re-migrating would
+			// drop the old-location fallback (see migrateLogical).
+			continue
+		}
 		if err := migrationAlive(e.Owner, dst); err != nil {
 			return err
 		}
@@ -490,9 +505,17 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 	// master entry reverts to the source (which still holds the records),
 	// the movement lock is released, and any half-shipped clone is dropped.
 	// After a source power failure the entry still reverts to the source:
-	// its restart rebuilds the records there.
+	// its restart rebuilds the records there. The revert re-resolves the
+	// partition through the node's live registry — a mover parked in a long
+	// lock wait can outlive a full source crash+restart cycle, and writing
+	// the captured pre-crash object back would resurrect a dead pointer the
+	// restart's rebind already replaced.
 	abortMove := func(mover *Session, clone *storage.Segment, cause error) error {
-		moved.Part = src
+		cur := src
+		if np, ok := srcOwner.Parts[src.ID]; ok {
+			cur = np
+		}
+		moved.Part = cur
 		moved.Owner = srcOwner
 		moved.OldPart = nil
 		moved.OldOwner = nil

@@ -53,7 +53,7 @@ func TestNodeCrashRecovery(t *testing.T) {
 			recovered[uint64(id)] = np
 			fresh[id] = np
 		}
-		redone, undone, err := wal.Recover(p, node.Log.Records(), recovered)
+		redone, undone, err := wal.Recover(p, node.Log.Iter(), recovered)
 		if err != nil {
 			t.Fatal(err)
 		}

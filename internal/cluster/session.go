@@ -20,16 +20,19 @@ type Session struct {
 	Txn  *cc.Txn
 	Home *DataNode
 
-	// touched: partitions with staged writes, by owning node.
+	// touched: partitions with staged writes, by owning node. Lazily
+	// allocated by touch() — read-only transactions never pay for it.
 	touched map[*table.Partition]*DataNode
 	// lockNodes: nodes whose lock managers hold locks for this txn
-	// (locking mode also locks on reads).
+	// (locking mode also locks on reads). Lazily allocated by lockNode().
 	lockNodes map[*DataNode]bool
 }
 
 // Begin starts a transaction executing at home. The timestamp comes from
 // the master's oracle; starting from another node pays the coordination
-// round trip.
+// round trip. The session's bookkeeping maps are allocated on first write
+// or lock, keeping transaction setup map-free (TestSessionSetupAllocs pins
+// this).
 func (m *Master) Begin(p *sim.Proc, mode cc.Mode, home *DataNode) *Session {
 	if home != m.Node {
 		m.cluster.Net.Transfer(p, home.ID, m.Node.ID, 32)
@@ -37,13 +40,23 @@ func (m *Master) Begin(p *sim.Proc, mode cc.Mode, home *DataNode) *Session {
 	}
 	txn := m.Oracle.Begin(mode)
 	home.HW.Compute(p, m.cluster.Cal.CPUTxnOverhead)
-	return &Session{
-		m:         m,
-		Txn:       txn,
-		Home:      home,
-		touched:   make(map[*table.Partition]*DataNode),
-		lockNodes: make(map[*DataNode]bool),
+	return &Session{m: m, Txn: txn, Home: home}
+}
+
+// touch records a staged write's partition and owning node.
+func (s *Session) touch(pt *table.Partition, owner *DataNode) {
+	if s.touched == nil {
+		s.touched = make(map[*table.Partition]*DataNode, 4)
 	}
+	s.touched[pt] = owner
+}
+
+// lockNode records that node's lock manager holds locks for this txn.
+func (s *Session) lockNode(n *DataNode) {
+	if s.lockNodes == nil {
+		s.lockNodes = make(map[*DataNode]bool, 4)
+	}
+	s.lockNodes[n] = true
 }
 
 // BeginSystem starts a system transaction (record movement housekeeping).
@@ -111,7 +124,7 @@ func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, 
 	}
 	for _, c := range e.candidatesFor(key) {
 		if s.Txn.Mode == cc.Locking {
-			s.lockNodes[c.owner] = true
+			s.lockNode(c.owner)
 		}
 		s.rpc(p, c.owner, 32, 64)
 		v, state, err := c.part.Lookup(p, s.Txn, key)
@@ -159,7 +172,7 @@ func (s *Session) write(p *sim.Proc, tableName string, key, payload []byte, del 
 		}
 		var lastNotOwned error
 		for _, c := range e.candidatesFor(key) {
-			s.lockNodes[c.owner] = true
+			s.lockNode(c.owner)
 			s.rpc(p, c.owner, int64(len(payload))+32, 32)
 			if del {
 				err = c.part.Delete(p, s.Txn, key)
@@ -173,7 +186,7 @@ func (s *Session) write(p *sim.Proc, tableName string, key, payload []byte, del 
 			if err != nil {
 				return err
 			}
-			s.touched[c.part] = c.owner
+			s.touch(c.part, c.owner)
 			return nil
 		}
 		if lastNotOwned == nil {
@@ -210,7 +223,7 @@ func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key
 		}
 		if s.Txn.Mode == cc.Locking {
 			for _, c := range e.candidates() {
-				s.lockNodes[c.owner] = true
+				s.lockNode(c.owner)
 			}
 		}
 		// Clamp to the entry's range: a partition may back several
@@ -318,37 +331,43 @@ func (s *Session) Commit(p *sim.Proc) error {
 	// its node's DRAM — including the pending bookkeeping, which would
 	// otherwise make this transaction look read-only and produce a false
 	// acknowledgment. Fail the commit instead (ordered check for
-	// deterministic error selection).
-	touched := make([]*table.Partition, 0, len(s.touched))
-	for pt := range s.touched {
-		touched = append(touched, pt)
-	}
-	sort.Slice(touched, func(i, j int) bool { return touched[i].ID < touched[j].ID })
-	for _, pt := range touched {
-		if pt.Failed() {
-			return table.ErrPartitionDown{Part: pt.ID}
+	// deterministic error selection). Read-only transactions skip the
+	// whole participant build (no map, no sort boxing) — they still pass
+	// the commit point below for their timestamp transition.
+	var ordered []*DataNode
+	var nodes map[*DataNode][]*table.Partition
+	if len(s.touched) > 0 {
+		touched := make([]*table.Partition, 0, len(s.touched))
+		for pt := range s.touched {
+			touched = append(touched, pt)
 		}
-		if s.touched[pt].Down() {
-			return ErrNodeDown{s.touched[pt].ID}
+		sort.Slice(touched, func(i, j int) bool { return touched[i].ID < touched[j].ID })
+		for _, pt := range touched {
+			if pt.Failed() {
+				return table.ErrPartitionDown{Part: pt.ID}
+			}
+			if s.touched[pt].Down() {
+				return ErrNodeDown{s.touched[pt].ID}
+			}
 		}
-	}
-	nodes := map[*DataNode][]*table.Partition{}
-	for pt, owner := range s.touched {
-		if pt.HasPending(s.Txn) || s.Txn.Mode == cc.Locking {
-			nodes[owner] = append(nodes[owner], pt)
+		nodes = make(map[*DataNode][]*table.Partition, 4)
+		for pt, owner := range s.touched {
+			if pt.HasPending(s.Txn) || s.Txn.Mode == cc.Locking {
+				nodes[owner] = append(nodes[owner], pt)
+			}
 		}
-	}
-	// Deterministic participant and install order: both phases perform
-	// network and log I/O, so map-iteration order would perturb the
-	// virtual clock between otherwise identical runs.
-	ordered := make([]*DataNode, 0, len(nodes))
-	for node := range nodes {
-		ordered = append(ordered, node)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-	for _, node := range ordered {
-		parts := nodes[node]
-		sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+		// Deterministic participant and install order: both phases perform
+		// network and log I/O, so map-iteration order would perturb the
+		// virtual clock between otherwise identical runs.
+		ordered = make([]*DataNode, 0, len(nodes))
+		for node := range nodes {
+			ordered = append(ordered, node)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+		for _, node := range ordered {
+			parts := nodes[node]
+			sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+		}
 	}
 
 	distributed := len(ordered) > 1
@@ -456,14 +475,18 @@ func (s *Session) Abort(p *sim.Proc) {
 		return
 	}
 	// Deterministic order: aborting staged writes fires intent-release
-	// signals, which reschedules waiting processes.
-	parts := make([]*table.Partition, 0, len(s.touched))
-	for pt := range s.touched {
-		parts = append(parts, pt)
-	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
-	for _, pt := range parts {
-		pt.Abort(p, s.Txn)
+	// signals, which reschedules waiting processes. Read-only transactions
+	// skip the whole block (no slice, no sort boxing — the begin/abort
+	// cycle stays allocation-minimal, see TestSessionSetupAllocs).
+	if len(s.touched) > 0 {
+		parts := make([]*table.Partition, 0, len(s.touched))
+		for pt := range s.touched {
+			parts = append(parts, pt)
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+		for _, pt := range parts {
+			pt.Abort(p, s.Txn)
+		}
 	}
 	s.Txn.RunUndo(p)
 	lockNodes := s.lockNodeList()
@@ -479,6 +502,9 @@ func (s *Session) Abort(p *sim.Proc) {
 // lockNodeList returns the nodes holding lock state for this transaction in
 // ID order (lock release wakes waiters, so the order must be deterministic).
 func (s *Session) lockNodeList() []*DataNode {
+	if len(s.lockNodes) == 0 && len(s.touched) == 0 {
+		return nil // read-only MVCC transaction: nothing locked anywhere
+	}
 	seen := make(map[*DataNode]bool, len(s.lockNodes)+len(s.touched))
 	out := make([]*DataNode, 0, len(s.lockNodes)+len(s.touched))
 	for node := range s.lockNodes {

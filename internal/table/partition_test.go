@@ -480,7 +480,7 @@ func TestRecoveryRoundTripThroughPartition(t *testing.T) {
 
 		// Rebuild a fresh partition from the log.
 		fresh := NewPartition(1, simpleSchema(), Physiological, nil, nil, fx.deps)
-		_, _, err := wal.Recover(p, fx.deps.Log.Records(), map[uint64]wal.Target{1: fresh})
+		_, _, err := wal.Recover(p, fx.deps.Log.Iter(), map[uint64]wal.Target{1: fresh})
 		if err != nil {
 			t.Fatal(err)
 		}

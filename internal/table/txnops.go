@@ -58,12 +58,14 @@ func (pt *Partition) LogPrepare(txn *cc.Txn) {
 		if !ok {
 			continue
 		}
+		// Append encodes the record into the log's segment buffer at once,
+		// so the staged value can be passed through without a copy.
 		rec := wal.Record{Txn: txn.ID, Part: uint64(pt.ID), Key: []byte(ks)}
 		if v.Deleted {
 			rec.Type = wal.RecPrepDel
 		} else {
 			rec.Type = wal.RecPrepDML
-			rec.After = bytes.Clone(v.Val)
+			rec.After = v.Val
 		}
 		pt.deps.Log.Append(rec)
 	}
@@ -133,9 +135,10 @@ func (pt *Partition) Abort(p *sim.Proc, txn *cc.Txn) {
 	pt.stats.Aborts++
 }
 
-// logRecord builds the WAL record for installing v over old.
+// logRecord builds the WAL record for installing v over old. The log
+// encodes on Append, so the key is borrowed, never retained.
 func (pt *Partition) logRecord(txn *cc.Txn, key []byte, old *cc.Version, v cc.Version) wal.Record {
-	rec := wal.Record{Txn: txn.ID, Part: uint64(pt.ID), Key: bytes.Clone(key)}
+	rec := wal.Record{Txn: txn.ID, Part: uint64(pt.ID), Key: key}
 	switch {
 	case old == nil:
 		rec.Type = wal.RecInsert

@@ -165,7 +165,7 @@ func TestNewOrderAdvancesDistrictCounter(t *testing.T) {
 		readNext := func() int64 {
 			s := c.Master.Begin(p, cc.SnapshotIsolation, c.Nodes[0])
 			defer s.Abort(p)
-			key, _ := dep.Schemas[TDistrict].EncodeKeyPrefix(int64(1), int64(1))
+			key, _ := dep.Schemas[TDistrict].EncodeKeyPrefix2(int64(1), int64(1))
 			raw, ok, err := s.Get(p, TDistrict, key)
 			if err != nil || !ok {
 				t.Fatalf("district read: %v %v", ok, err)

@@ -409,8 +409,8 @@ func (d *Deployment) Delivery(p *sim.Proc, s *cluster.Session, w int, rng *rand.
 	olSchema := d.Schemas[TOrderLine]
 	eff := &Effect{Type: TxnDelivery, W: int64(w)}
 	for dd := 1; dd <= d.Cfg.DistrictsPerW; dd++ {
-		lo, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd))
-		hi, _ := noSchema.EncodeKeyPrefix(int64(w), int64(dd+1))
+		lo, _ := noSchema.EncodeKeyPrefix2(int64(w), int64(dd))
+		hi, _ := noSchema.EncodeKeyPrefix2(int64(w), int64(dd+1))
 		var oldest int64 = -1
 		nb := sc.batch(noSchema)
 		if err := s.Scan(p, TNewOrder, lo, hi, func(_, payload []byte) bool {

@@ -3,14 +3,14 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"wattdb/internal/cc"
 )
 
-// Wire format of one log record. The simulator keeps records as structs and
-// only charges Size() to the log device, but the format is authoritative:
-// Size() is the encoded length, and the round-trip is fuzz-checked so the
-// day the log writes real bytes nothing shifts.
+// Wire format of one log record. The log stores exactly these bytes: Append
+// frames each encoded record with a length + CRC32 header into the active
+// segment, recovery decodes them back, and the round-trip is fuzz-checked.
 //
 //	[0:8]   LSN
 //	[8:16]  Txn
@@ -106,4 +106,74 @@ func DecodeRecord(buf []byte) (Record, []byte, error) {
 		return Record{}, nil, fmt.Errorf("wal: %d after bytes on a record flagged after=nil", aLen)
 	}
 	return r, body[total:], nil
+}
+
+// Frame format: every record in a log segment is preceded by an 8-byte
+// header guarding its physical integrity, so recovery can detect a torn or
+// bit-rotted final frame and truncate the log at the last valid boundary.
+//
+//	[0:4] payload length (EncodeRecord bytes)
+//	[4:8] CRC32 (IEEE) of the payload
+//	[8:]  payload
+const frameHeaderSize = 8
+
+// maxFramePayload bounds a single record frame; a length field beyond it is
+// treated as tail corruption rather than attempting a giant read.
+const maxFramePayload = 1 << 28
+
+// appendFrame appends r's framed wire encoding to dst and returns the
+// extended slice.
+func appendFrame(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize)...)
+	dst = EncodeRecord(dst, r)
+	payload := dst[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodeFrame parses one framed record from the front of buf, returning the
+// record and the number of bytes consumed. A truncated header or payload, a
+// CRC mismatch, or a payload that does not decode to exactly one record all
+// fail — the caller treats the failure point as the end of the valid log.
+func decodeFrame(buf []byte) (Record, int, error) {
+	if len(buf) < frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("wal: frame header torn (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if n < recHeaderSize || n > maxFramePayload {
+		return Record{}, 0, fmt.Errorf("wal: implausible frame length %d", n)
+	}
+	if len(buf)-frameHeaderSize < n {
+		return Record{}, 0, fmt.Errorf("wal: frame payload torn (want %d, have %d)", n, len(buf)-frameHeaderSize)
+	}
+	payload := buf[frameHeaderSize : frameHeaderSize+n]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: frame CRC mismatch (%#x != %#x)", got, want)
+	}
+	rec, rest, err := DecodeRecord(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if len(rest) != 0 {
+		return Record{}, 0, fmt.Errorf("wal: %d stray bytes inside frame", len(rest))
+	}
+	return rec, frameHeaderSize + n, nil
+}
+
+// ValidPrefix returns the byte length of the longest prefix of buf that
+// parses as whole, CRC-valid record frames — the truncation point recovery
+// uses when a power failure leaves a torn or corrupt log tail. Exposed for
+// the torn-tail fuzzer.
+func ValidPrefix(buf []byte) int {
+	off := 0
+	for off < len(buf) {
+		_, n, err := decodeFrame(buf[off:])
+		if err != nil {
+			break
+		}
+		off += n
+	}
+	return off
 }

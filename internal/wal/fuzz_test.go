@@ -80,6 +80,65 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzTornTailRecovery feeds the frame scanner the physical crash states
+// recovery must survive: a run of valid frames followed by an arbitrary tail
+// — a torn prefix of the next frame, garbage, or a bit-flipped copy of a
+// complete frame. ValidPrefix (the truncation point Restart uses) must never
+// panic, must keep every intact leading frame, and must consume nothing but
+// whole frames.
+func FuzzTornTailRecovery(f *testing.F) {
+	frame := func(recs ...Record) []byte {
+		var buf []byte
+		for i := range recs {
+			buf = appendFrame(buf, &recs[i])
+		}
+		return buf
+	}
+	r1 := Record{LSN: 1, Type: RecInsert, Txn: 1, Part: 2, Key: []byte("k"), After: []byte("v")}
+	r2 := Record{LSN: 2, Type: RecCommit, Txn: 1}
+	f.Add(frame(r1, r2), []byte{}, -1)
+	f.Add(frame(r1, r2), frame(r2)[:5], -1)       // torn final record
+	f.Add(frame(r1), frame(r2), 12)               // bit-flipped complete frame
+	f.Add([]byte{}, []byte{0xFF, 0x00, 0xAB}, -1) // garbage-only log
+	f.Add(frame(r1, r2), bytes.Repeat([]byte{0}, 64), -1)
+
+	f.Fuzz(func(t *testing.T, valid []byte, tail []byte, flip int) {
+		// Only a frame-aligned valid part models a durable prefix.
+		valid = valid[:ValidPrefix(valid)]
+		if flip >= 0 && len(tail) > 0 {
+			tail = bytes.Clone(tail)
+			bit := flip % (len(tail) * 8)
+			tail[bit/8] ^= 1 << (bit % 8)
+		}
+		buf := append(bytes.Clone(valid), tail...)
+		vp := ValidPrefix(buf)
+		if vp < len(valid) {
+			t.Fatalf("truncation lost intact frames: valid prefix %d < %d", vp, len(valid))
+		}
+		if vp > len(buf) {
+			t.Fatalf("valid prefix %d over-reads %d-byte log", vp, len(buf))
+		}
+		// The accepted prefix must decode as whole frames, exactly to vp.
+		off := 0
+		for off < vp {
+			_, n, err := decodeFrame(buf[off:])
+			if err != nil {
+				t.Fatalf("accepted prefix fails to decode at %d: %v", off, err)
+			}
+			off += n
+		}
+		if off != vp {
+			t.Fatalf("frames consume %d bytes, valid prefix says %d", off, vp)
+		}
+		// Maximality: the truncation point must actually be damage.
+		if vp < len(buf) {
+			if _, _, err := decodeFrame(buf[vp:]); err == nil {
+				t.Fatalf("valid frame at %d beyond the reported prefix %d", vp, vp)
+			}
+		}
+	})
+}
+
 // FuzzDecodeRecordNoPanic feeds arbitrary bytes to the decoder: it must
 // reject garbage with an error, never panic or over-read.
 func FuzzDecodeRecordNoPanic(f *testing.F) {

@@ -3,6 +3,13 @@
 // node's log device, checkpoints taken when segments move, and log shipping
 // to helper nodes during rebalancing (Sect. 5.2). Restart recovery replays
 // committed work and rolls back losers.
+//
+// The log is physical: Append encodes each record into the active segment's
+// byte buffer (per-record frame with length + CRC32, see codec.go), Flush
+// persists the byte tail to the device, and recovery decodes segments back
+// into records — so replay reads exactly what was written, and a power
+// failure can leave a torn or bit-rotted final frame that Restart must
+// CRC-detect and truncate at the last valid record boundary.
 package wal
 
 import (
@@ -42,6 +49,9 @@ func (t RecType) String() string {
 // carry the raw staged payload: the commit timestamp is unknown until the
 // coordinator decides, so recovery stamps it while rolling the branch
 // forward.
+//
+// Append encodes the record immediately, so callers may pass slices they
+// keep mutating afterwards — the log never aliases caller memory.
 type Record struct {
 	LSN    uint64
 	Txn    cc.TxnID
@@ -53,11 +63,16 @@ type Record struct {
 	After  []byte // nil: key removed
 }
 
-// Size returns the record's on-disk footprint in bytes: exactly the length
-// EncodeRecord produces.
+// Size returns the record's encoded payload length in bytes: exactly what
+// EncodeRecord produces. The on-disk footprint adds the frame header
+// (FrameSize).
 func (r *Record) Size() int64 {
 	return int64(recHeaderSize + len(r.Key) + len(r.Before) + len(r.After))
 }
+
+// FrameSize returns the record's on-disk footprint: the framed encoded
+// length the log charges its device for.
+func (r *Record) FrameSize() int64 { return r.Size() + frameHeaderSize }
 
 // Device is where flushed log bytes go: the local log disk, or a helper
 // node reached over the network when log shipping is active.
@@ -85,15 +100,38 @@ func (d ShippedDevice) Append(p *sim.Proc, bytes int64) {
 	d.Disk.AppendLog(p, bytes)
 }
 
-// Log is one node's write-ahead log.
+// DefaultSegmentBytes is the target byte length of one log segment. The
+// active segment seals once it reaches this size and a new one starts;
+// TruncateBefore recycles whole sealed segments.
+const DefaultSegmentBytes = 32 << 10
+
+// logSegment is one contiguous run of encoded record frames. firstLSN and
+// ends form the LSN-to-offset mapping: record firstLSN+i occupies
+// buf[ends[i-1]:ends[i]] (ends[-1] = 0). buf may additionally hold torn
+// trailing bytes past ends[len(ends)-1] after a power failure interrupted a
+// device write; Restart's CRC scan truncates them.
+type logSegment struct {
+	firstLSN uint64
+	buf      []byte
+	ends     []int
+}
+
+// lastLSN returns the LSN of the segment's final record (firstLSN-1 when
+// the segment holds none).
+func (s *logSegment) lastLSN() uint64 { return s.firstLSN + uint64(len(s.ends)) - 1 }
+
+// Log is one node's write-ahead log: a sequence of byte-encoded segments,
+// the last of which is the active append tail.
 type Log struct {
-	env     *sim.Env
-	device  Device
-	records []Record
-	nextLSN uint64
+	env      *sim.Env
+	device   Device
+	segs     []*logSegment
+	segBytes int
+	forceNew bool // seal the active segment before the next append
+	nextLSN  uint64
 
 	flushedLSN   uint64
-	pendingBytes int64
+	pendingBytes int64 // appended frame bytes not yet durable
 	flushing     bool
 	flushedSig   *sim.Signal
 
@@ -107,29 +145,49 @@ type Log struct {
 	// Stats.
 	Flushes      int64
 	BytesFlushed int64
+	TornDiscards int64 // torn/corrupt tail bytes truncated by Restart
 }
 
 // NewLog creates a log writing to device.
 func NewLog(env *sim.Env, device Device) *Log {
-	return &Log{env: env, device: device, nextLSN: 1, flushedSig: sim.NewSignal(env)}
+	return &Log{env: env, device: device, segBytes: DefaultSegmentBytes,
+		nextLSN: 1, flushedSig: sim.NewSignal(env)}
+}
+
+// SetSegmentBytes overrides the segment seal threshold (tests and tight
+// storage budgets).
+func (l *Log) SetSegmentBytes(n int) {
+	if n > 0 {
+		l.segBytes = n
+	}
 }
 
 // SetDevice swaps the log device (e.g. to start or stop log shipping). The
 // caller should Flush first so no pending bytes straddle devices.
 func (l *Log) SetDevice(d Device) { l.device = d }
 
-// Append adds rec to the log tail and returns its LSN. The record is not
-// durable until a Flush covers it. Appends against a crashed node's log are
-// dropped (the node has no power; whoever issued them is a process that was
-// already in flight when the failure hit).
+// Append encodes rec into the active segment and returns its LSN. The bytes
+// are not durable until a Flush covers them. Appends against a crashed
+// node's log are dropped (the node has no power; whoever issued them is a
+// process that was already in flight when the failure hit).
 func (l *Log) Append(rec Record) uint64 {
 	if l.down {
 		return l.flushedLSN
 	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
-	l.records = append(l.records, rec)
-	l.pendingBytes += rec.Size()
+	var s *logSegment
+	if n := len(l.segs); n > 0 && !l.forceNew && len(l.segs[n-1].buf) < l.segBytes {
+		s = l.segs[n-1]
+	} else {
+		s = &logSegment{firstLSN: rec.LSN}
+		l.segs = append(l.segs, s)
+		l.forceNew = false
+	}
+	start := len(s.buf)
+	s.buf = appendFrame(s.buf, &rec)
+	s.ends = append(s.ends, len(s.buf))
+	l.pendingBytes += int64(len(s.buf) - start)
 	return rec.LSN
 }
 
@@ -140,8 +198,11 @@ func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
 func (l *Log) TailLSN() uint64 { return l.nextLSN }
 
 // Flush makes all records with LSN <= upTo durable. Concurrent callers are
-// group-committed: whoever finds the flusher busy waits for its batch and
-// re-checks, so one device write covers many commits.
+// group-committed: one flusher writes the whole byte tail in a single
+// device append, and everyone who arrives while that write is in flight
+// waits for its batch and re-checks — so one forced write covers many
+// commits, and a committer whose records were already covered never issues
+// a second write.
 func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 	if upTo >= l.nextLSN {
 		upTo = l.nextLSN - 1
@@ -161,8 +222,8 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 		l.device.Append(p, bytes) // metered as CatLogging by the device
 		if l.epoch != epoch {
 			// The node power-failed while this write was in flight: the
-			// records never reached the platter. Crash() already discarded
-			// them and reset the flusher state.
+			// bytes never (fully) reached the platter. Crash() already
+			// discarded them and reset the flusher state.
 			return
 		}
 		l.flushing = false
@@ -173,63 +234,254 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 	}
 }
 
-// Records returns the retained log records (recovery input). The slice is
-// owned by the log.
-func (l *Log) Records() []Record { return l.records }
-
-// Crash models the owning node's power failure: the volatile log buffer —
-// every record beyond the flushed LSN — is lost, in-flight flushes are
+// Crash models the owning node's power failure: the volatile byte tail —
+// everything beyond the flushed boundary — is lost, in-flight flushes are
 // fenced off, and the log stops accepting work until Restart. It returns
 // the number of records discarded.
 func (l *Log) Crash() int {
+	lost, _ := l.crash(0, -1)
+	return lost
+}
+
+// CrashTorn is Crash with medium-level tail damage: up to keep bytes of the
+// frame the device was writing when power cut survive on the platter (a
+// torn final record), and flip >= 0 additionally flips one bit within those
+// surviving bytes. Without a flip the torn frame is always partial (the
+// write never completed); with a flip it may be byte-complete but corrupt —
+// either way Restart's CRC scan must truncate it. It returns the records
+// discarded and the torn bytes left behind.
+func (l *Log) CrashTorn(keep, flip int) (lost, torn int) {
+	if keep < 1 {
+		keep = 1
+	}
+	return l.crash(keep, flip)
+}
+
+func (l *Log) crash(keep, flip int) (lost, torn int) {
 	l.epoch++
 	l.down = true
 	l.flushing = false
-	cut := len(l.records)
-	for cut > 0 && l.records[cut-1].LSN > l.flushedLSN {
-		cut--
+	lost = int(l.nextLSN - 1 - l.flushedLSN)
+	// Locate the durable boundary, capture the frame the device was writing
+	// when power cut, and drop every byte past the boundary.
+	var frame []byte
+	cut := len(l.segs)
+	for i, s := range l.segs {
+		durable := 0
+		if l.flushedLSN >= s.firstLSN {
+			durable = int(l.flushedLSN - s.firstLSN + 1)
+			if durable > len(s.ends) {
+				durable = len(s.ends)
+			}
+		}
+		if durable == len(s.ends) {
+			continue // fully durable (a live log has no bytes past its last frame)
+		}
+		off := 0
+		if durable > 0 {
+			off = s.ends[durable-1]
+		}
+		if durable < len(s.ends) {
+			frame = s.buf[off:s.ends[durable]]
+		}
+		// Cap-limit the cut so the torn append below cannot scribble over
+		// the bytes frame still aliases.
+		s.buf = s.buf[:off:off]
+		s.ends = s.ends[:durable]
+		cut = i
+		break
 	}
-	lost := len(l.records) - cut
-	l.records = l.records[:cut:cut]
+	if cut < len(l.segs) {
+		boundary := l.segs[cut]
+		l.segs = l.segs[:cut+1]
+		if keep > 0 && len(frame) > 0 {
+			maxKeep := len(frame) - 1 // an interrupted write never completes its frame...
+			if flip >= 0 {
+				maxKeep = len(frame) // ...unless the damage is bit rot in a completed one
+			}
+			if keep > maxKeep {
+				keep = maxKeep
+			}
+			if keep > 0 {
+				at := len(boundary.buf)
+				boundary.buf = append(boundary.buf, frame[:keep]...)
+				if flip >= 0 {
+					bit := flip % (keep * 8)
+					boundary.buf[at+bit/8] ^= 1 << (bit % 8)
+				}
+				torn = keep
+			}
+		}
+		if len(boundary.buf) == 0 && len(boundary.ends) == 0 {
+			l.segs = l.segs[:cut]
+		}
+	}
 	l.pendingBytes = 0
 	// The durable tail is now the log tail: future LSNs continue above it.
 	l.nextLSN = l.flushedLSN + 1
 	l.flushedSig.Fire() // waiters re-check and see the log is down
-	return lost
+	return lost, torn
 }
 
-// Restart brings a crashed log back into service (the durable records
-// survive; only the volatile tail was lost).
-func (l *Log) Restart() { l.down = false }
+// Restart brings a crashed log back into service by re-deriving its state
+// from the durable bytes: every segment is scanned frame by frame, the
+// LSN-to-offset mapping is rebuilt, and the scan stops at the first torn or
+// CRC-corrupt frame — the damaged tail (an interrupted or bit-rotted device
+// write, never acknowledged) is truncated at the last valid record
+// boundary. It returns the number of tail bytes discarded.
+func (l *Log) Restart() int {
+	if !l.down {
+		// Restarting a live log would promote its appended-but-unflushed
+		// tail to durable without a single device write.
+		return 0
+	}
+	l.down = false
+	discarded := 0
+	lastValid := uint64(0)
+	keep := 0
+scan:
+	for i, s := range l.segs {
+		off := 0
+		s.ends = s.ends[:0]
+		first := true
+		for off < len(s.buf) {
+			rec, n, err := decodeFrame(s.buf[off:])
+			if err == nil && lastValid > 0 && rec.LSN <= lastValid {
+				err = fmt.Errorf("wal: LSN %d not above %d", rec.LSN, lastValid)
+			}
+			if err != nil {
+				// Torn/corrupt tail: truncate here and drop everything after.
+				discarded += len(s.buf) - off
+				s.buf = s.buf[:off]
+				for _, t := range l.segs[i+1:] {
+					discarded += len(t.buf)
+				}
+				keep = i + 1
+				break scan
+			}
+			if first {
+				s.firstLSN = rec.LSN
+				first = false
+			}
+			off += n
+			s.ends = append(s.ends, off)
+			lastValid = rec.LSN
+		}
+		keep = i + 1
+	}
+	l.segs = l.segs[:keep]
+	// Drop segments the truncation emptied entirely.
+	for len(l.segs) > 0 {
+		if s := l.segs[len(l.segs)-1]; len(s.ends) == 0 && len(s.buf) == 0 {
+			l.segs = l.segs[:len(l.segs)-1]
+			continue
+		}
+		break
+	}
+	if lastValid > 0 {
+		l.flushedLSN = lastValid
+	}
+	l.nextLSN = l.flushedLSN + 1
+	l.pendingBytes = 0
+	l.TornDiscards += int64(discarded)
+	return discarded
+}
 
 // Down reports whether the log's node is power-failed.
 func (l *Log) Down() bool { return l.down }
 
-// Checkpoint appends a checkpoint record and flushes through it. It returns
-// the checkpoint LSN.
+// Checkpoint seals the active segment, appends a checkpoint record (opening
+// a fresh segment), and flushes through it — so a following TruncateBefore
+// can recycle every segment written before the checkpoint. It returns the
+// checkpoint LSN.
 func (l *Log) Checkpoint(p *sim.Proc) uint64 {
+	l.forceNew = true
 	lsn := l.Append(Record{Type: RecCheckpoint})
 	l.Flush(p, lsn)
 	return lsn
 }
 
-// TruncateBefore discards records with LSN < lsn (after a checkpoint made
-// them obsolete, e.g. when a moved segment's history is no longer needed).
+// TruncateBefore recycles whole segments whose records all have LSN < lsn
+// and are durable (after a checkpoint made them obsolete, e.g. when a moved
+// segment's history is no longer needed). Reclamation is segment-at-a-time:
+// a segment holding any record >= lsn is kept entirely, so RetainedBytes
+// stays the exact byte length of the surviving segments.
 func (l *Log) TruncateBefore(lsn uint64) {
 	cut := 0
-	for cut < len(l.records) && l.records[cut].LSN < lsn {
+	for cut < len(l.segs) {
+		s := l.segs[cut]
+		if len(s.ends) == 0 || s.lastLSN() >= lsn || s.lastLSN() > l.flushedLSN {
+			break
+		}
 		cut++
 	}
-	l.records = l.records[cut:]
+	l.segs = l.segs[cut:]
 }
 
-// RetainedBytes returns the size of retained log records (storage metric).
+// RetainedBytes returns the exact byte length of the retained log segments
+// (storage metric).
 func (l *Log) RetainedBytes() int64 {
 	var total int64
-	for i := range l.records {
-		total += l.records[i].Size()
+	for _, s := range l.segs {
+		total += int64(len(s.buf))
 	}
 	return total
+}
+
+// Iterator walks the log's encoded segments, decoding one record per Next.
+// It covers every retained byte — durable frames and, on a live log, the
+// appended-but-unflushed tail. Iteration stops at a torn or corrupt frame
+// (possible only on a crashed log that has not been through Restart); Err
+// reports whether the walk ended at damage rather than the clean end.
+type Iterator struct {
+	segs []*logSegment
+	si   int
+	off  int
+	err  error
+}
+
+// Iter returns an iterator over the log's records, decoded from the
+// segment bytes in LSN order.
+func (l *Log) Iter() *Iterator { return &Iterator{segs: l.segs} }
+
+// Next decodes and returns the next record. Decoded slices are copies, not
+// aliases of the log's buffers.
+func (it *Iterator) Next() (Record, bool) {
+	if it.err != nil {
+		return Record{}, false
+	}
+	for it.si < len(it.segs) {
+		s := it.segs[it.si]
+		if it.off >= len(s.buf) {
+			it.si++
+			it.off = 0
+			continue
+		}
+		rec, n, err := decodeFrame(s.buf[it.off:])
+		if err != nil {
+			it.err = fmt.Errorf("wal: segment %d offset %d: %w", it.si, it.off, err)
+			return Record{}, false
+		}
+		it.off += n
+		return rec, true
+	}
+	return Record{}, false
+}
+
+// Err returns the decode error that stopped iteration, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// All drains the iterator into a slice (recovery's analysis input).
+func (it *Iterator) All() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, it.err
 }
 
 // Target is the recovery interface to a partition: raw Put/Delete of
@@ -255,8 +507,14 @@ type Decision struct {
 // reverse order using before images. Both passes are idempotent, matching
 // the paper's requirement that "the log file is needed to reconstruct
 // partitions and to perform appropriate UNDO and REDO operations".
-// A record for a partition absent from targets is an error.
-func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, undone int, err error) {
+// The records are decoded from the iterator's segment bytes; a decode
+// failure (torn tail not yet truncated by Restart) fails recovery, as does
+// a record for a partition absent from targets.
+func Recover(p *sim.Proc, it *Iterator, targets map[uint64]Target) (redone, undone int, err error) {
+	recs, err := it.All()
+	if err != nil {
+		return 0, 0, err
+	}
 	redone, undone, _, err = replay(p, recs, targets, false, nil)
 	return redone, undone, err
 }
@@ -269,7 +527,11 @@ func Recover(p *sim.Proc, recs []Record, targets map[uint64]Target) (redone, und
 // transaction with an entry is rolled forward — its ordinary DML redone and
 // its prepare-time images installed at the decided timestamp — and one
 // without is presumed aborted and rolled back.
-func RecoverPartial(p *sim.Proc, recs []Record, targets map[uint64]Target, decisions map[cc.TxnID]Decision) (redone, undone, skipped int, err error) {
+func RecoverPartial(p *sim.Proc, it *Iterator, targets map[uint64]Target, decisions map[cc.TxnID]Decision) (redone, undone, skipped int, err error) {
+	recs, err := it.All()
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	return replay(p, recs, targets, true, decisions)
 }
 

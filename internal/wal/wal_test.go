@@ -27,6 +27,16 @@ func (d *countingDevice) Append(p *sim.Proc, bytes int64) {
 	d.bytes += bytes
 }
 
+// logOf materialises recs as a physically encoded log (LSNs assigned by
+// Append), so replay tests consume decoded segment bytes like real recovery.
+func logOf(env *sim.Env, recs []Record) *Log {
+	l := NewLog(env, &countingDevice{})
+	for i := range recs {
+		l.Append(recs[i])
+	}
+	return l
+}
+
 func TestAppendAssignsLSNs(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
@@ -46,7 +56,8 @@ func TestFlushMakesDurable(t *testing.T) {
 	defer env.Close()
 	dev := &countingDevice{}
 	l := NewLog(env, dev)
-	lsn := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("k"), After: []byte("v")})
+	rec := Record{Type: RecInsert, Txn: 1, Key: []byte("k"), After: []byte("v")}
+	lsn := l.Append(rec)
 	env.Spawn("committer", func(p *sim.Proc) {
 		l.Flush(p, lsn)
 	})
@@ -56,8 +67,46 @@ func TestFlushMakesDurable(t *testing.T) {
 	if l.FlushedLSN() != lsn {
 		t.Fatalf("flushed = %d, want %d", l.FlushedLSN(), lsn)
 	}
-	if dev.appends != 1 || dev.bytes == 0 {
-		t.Fatalf("device: %d appends, %d bytes", dev.appends, dev.bytes)
+	if dev.appends != 1 || dev.bytes != rec.FrameSize() {
+		t.Fatalf("device: %d appends, %d bytes (want %d)", dev.appends, dev.bytes, rec.FrameSize())
+	}
+}
+
+// TestPhysicalRoundTrip checks that the log stores only encoded bytes and
+// that the iterator decodes them back exactly, across a segment seal.
+func TestPhysicalRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	l.SetSegmentBytes(128) // force several segments
+	want := []Record{
+		{Type: RecInsert, Txn: 1, Part: 3, Key: []byte("a"), After: []byte("one")},
+		{Type: RecUpdate, Txn: 1, Part: 3, Key: []byte("b"), Before: []byte("x"), After: []byte("two")},
+		{Type: RecPrepDML, Txn: 2, Part: 4, Key: []byte("c"), After: []byte("raw")},
+		{Type: RecPrepare, Txn: 2},
+		{Type: RecDecision, Txn: 2, TS: 42},
+		{Type: RecCommit, Txn: 1},
+		{Type: RecDelete, Txn: 5, Part: 3, Key: []byte("a"), Before: []byte("one")},
+	}
+	for i := range want {
+		want[i].LSN = l.Append(want[i])
+	}
+	if len(l.segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(l.segs))
+	}
+	got, err := l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.LSN != w.LSN || g.Txn != w.Txn || g.Type != w.Type || g.Part != w.Part || g.TS != w.TS ||
+			string(g.Key) != string(w.Key) || string(g.Before) != string(w.Before) || string(g.After) != string(w.After) {
+			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, g, w)
+		}
 	}
 }
 
@@ -90,7 +139,7 @@ func TestGroupCommitBatches(t *testing.T) {
 	}
 }
 
-func TestCheckpointAndTruncate(t *testing.T) {
+func TestCheckpointAndTruncateRecyclesSegments(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
 	l := NewLog(env, &countingDevice{})
@@ -107,10 +156,119 @@ func TestCheckpointAndTruncate(t *testing.T) {
 	before := l.RetainedBytes()
 	l.TruncateBefore(ck)
 	if l.RetainedBytes() >= before {
-		t.Fatal("truncate kept old records")
+		t.Fatal("truncate kept old segments")
 	}
-	if len(l.Records()) != 1 || l.Records()[0].Type != RecCheckpoint {
-		t.Fatalf("records after truncate: %d", len(l.Records()))
+	recs, err := l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
+		t.Fatalf("records after truncate: %d", len(recs))
+	}
+	// RetainedBytes is exact: the surviving segment holds one framed record.
+	if l.RetainedBytes() != recs[0].FrameSize() {
+		t.Fatalf("retained %d bytes, want exactly %d", l.RetainedBytes(), recs[0].FrameSize())
+	}
+}
+
+// TestCrashDiscardsUnflushedBytes pins the crash fence on the byte log: the
+// unflushed tail is gone, the durable prefix decodes, and LSNs continue
+// above the durable boundary after restart.
+func TestCrashDiscardsUnflushedBytes(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	durable := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a"), After: []byte("1")})
+	env.Spawn("flush", func(p *sim.Proc) { l.Flush(p, durable) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Type: RecInsert, Txn: 2, Key: []byte("b"), After: []byte("2")})
+	l.Append(Record{Type: RecCommit, Txn: 2})
+	if lost := l.Crash(); lost != 2 {
+		t.Fatalf("lost = %d, want 2", lost)
+	}
+	if discarded := l.Restart(); discarded != 0 {
+		t.Fatalf("clean crash discarded %d bytes on restart", discarded)
+	}
+	recs, err := l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != durable {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+	if next := l.Append(Record{Type: RecAbort, Txn: 2}); next != durable+1 {
+		t.Fatalf("post-restart LSN = %d, want %d", next, durable+1)
+	}
+}
+
+// TestTornTailTruncated crashes with a partially persisted final frame: the
+// restart scan must CRC-detect the torn record, truncate at the last valid
+// boundary, and leave a fully decodable log.
+func TestTornTailTruncated(t *testing.T) {
+	for _, keep := range []int{1, 7, 31, 1 << 20} {
+		env := sim.NewEnv(1)
+		l := NewLog(env, &countingDevice{})
+		durable := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a"), After: []byte("acked")})
+		env.Spawn("flush", func(p *sim.Proc) { l.Flush(p, durable) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		unflushed := Record{Type: RecInsert, Txn: 2, Key: []byte("b"), After: []byte("never-acked")}
+		l.Append(unflushed)
+		_, torn := l.CrashTorn(keep, -1)
+		if torn < 1 || int64(torn) >= unflushed.FrameSize() {
+			t.Fatalf("keep=%d: torn = %d bytes, want a strictly partial frame (< %d)", keep, torn, unflushed.FrameSize())
+		}
+		if discarded := l.Restart(); discarded != torn {
+			t.Fatalf("keep=%d: restart discarded %d bytes, want %d", keep, discarded, torn)
+		}
+		recs, err := l.Iter().All()
+		if err != nil {
+			t.Fatalf("keep=%d: log not clean after torn-tail truncation: %v", keep, err)
+		}
+		if len(recs) != 1 || string(recs[0].After) != "acked" {
+			t.Fatalf("keep=%d: recovered %d records", keep, len(recs))
+		}
+		if l.FlushedLSN() != durable || l.TailLSN() != durable+1 {
+			t.Fatalf("keep=%d: flushed=%d tail=%d after truncation", keep, l.FlushedLSN(), l.TailLSN())
+		}
+		env.Close()
+	}
+}
+
+// TestBitFlipTailTruncated crashes leaving a byte-complete final frame with
+// one flipped bit — only the CRC can tell it from a valid record — and
+// checks recovery truncates it without touching the acked prefix.
+func TestBitFlipTailTruncated(t *testing.T) {
+	unflushed := Record{Type: RecInsert, Txn: 2, Key: []byte("b"), After: []byte("never-acked")}
+	frameLen := int(unflushed.FrameSize())
+	for flip := 0; flip < frameLen*8; flip += 13 {
+		env := sim.NewEnv(1)
+		l := NewLog(env, &countingDevice{})
+		durable := l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a"), After: []byte("acked")})
+		env.Spawn("flush", func(p *sim.Proc) { l.Flush(p, durable) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		l.Append(unflushed)
+		_, torn := l.CrashTorn(frameLen, flip)
+		if torn != frameLen {
+			t.Fatalf("flip=%d: torn = %d, want the complete frame (%d)", flip, torn, frameLen)
+		}
+		if discarded := l.Restart(); discarded != frameLen {
+			t.Fatalf("flip=%d: restart discarded %d bytes, want %d (CRC must reject the flipped frame)",
+				flip, discarded, frameLen)
+		}
+		recs, err := l.Iter().All()
+		if err != nil {
+			t.Fatalf("flip=%d: log not clean after bit-flip truncation: %v", flip, err)
+		}
+		if len(recs) != 1 || string(recs[0].After) != "acked" {
+			t.Fatalf("flip=%d: acked record lost (%d records survive)", flip, len(recs))
+		}
+		env.Close()
 	}
 }
 
@@ -176,7 +334,7 @@ func TestRecoveryRedoesWinnersUndoesLosers(t *testing.T) {
 	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
 
 	k := func(i int64) []byte { return keycodec.Int64Key(i) }
-	recs := []Record{
+	l := logOf(env, []Record{
 		// txn 1 commits: insert k1=one, update k2 old->two.
 		{Type: RecInsert, Txn: 1, Part: 9, Key: k(1), After: []byte("one")},
 		{Type: RecUpdate, Txn: 1, Part: 9, Key: k(2), Before: []byte("old"), After: []byte("two")},
@@ -185,14 +343,14 @@ func TestRecoveryRedoesWinnersUndoesLosers(t *testing.T) {
 		// k2 restored.
 		{Type: RecInsert, Txn: 2, Part: 9, Key: k(3), After: []byte("ghost")},
 		{Type: RecDelete, Txn: 2, Part: 9, Key: k(2), Before: []byte("two")},
-	}
+	})
 	env.Spawn("recover", func(p *sim.Proc) {
 		// Simulate a partially applied crash state: txn 2's effects hit
 		// the "disk" image.
 		tr.Put(p, k(2), []byte("old"), 0)
 		tr.Put(p, k(3), []byte("ghost"), 0)
 
-		redone, undone, err := Recover(p, recs, map[uint64]Target{9: treeTarget{tr}})
+		redone, undone, err := Recover(p, l.Iter(), map[uint64]Target{9: treeTarget{tr}})
 		if err != nil {
 			t.Error(err)
 			return
@@ -221,16 +379,16 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 	seg := storage.NewSegment(1, 512, 64)
 	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
 	k := keycodec.Int64Key(7)
-	recs := []Record{
+	l := logOf(env, []Record{
 		{Type: RecInsert, Txn: 1, Part: 1, Key: k, After: []byte("v")},
 		{Type: RecCommit, Txn: 1},
-	}
+	})
 	env.Spawn("recover-twice", func(p *sim.Proc) {
 		targets := map[uint64]Target{1: treeTarget{tr}}
-		if _, _, err := Recover(p, recs, targets); err != nil {
+		if _, _, err := Recover(p, l.Iter(), targets); err != nil {
 			t.Error(err)
 		}
-		if _, _, err := Recover(p, recs, targets); err != nil {
+		if _, _, err := Recover(p, l.Iter(), targets); err != nil {
 			t.Error(err)
 		}
 		if n, _ := tr.Count(p); n != 1 {
@@ -253,7 +411,7 @@ func TestRecoverPartialInDoubtBothDirections(t *testing.T) {
 	seg := storage.NewSegment(1, 512, 64)
 	tr := btree.New(btree.MemPager{Seg: seg}, 0, nil)
 	k := func(i int64) []byte { return keycodec.Int64Key(i) }
-	recs := []Record{
+	l := logOf(env, []Record{
 		// txn 5: prepared, decided commit at the coordinator. Its branch
 		// never installed locally — only the prepare images are durable.
 		{Type: RecPrepDML, Txn: 5, Part: 1, Key: k(1), After: []byte("fwd")},
@@ -264,13 +422,13 @@ func TestRecoverPartialInDoubtBothDirections(t *testing.T) {
 		{Type: RecPrepDML, Txn: 6, Part: 1, Key: k(3), After: []byte("ghost")},
 		{Type: RecPrepare, Txn: 6},
 		{Type: RecUpdate, Txn: 6, Part: 1, Key: k(4), Before: []byte("orig"), After: []byte("scribble")},
-	}
+	})
 	env.Spawn("recover", func(p *sim.Proc) {
 		// Crash-state disk image: txn 6's partial install is present.
 		tr.Put(p, k(2), []byte("doomed"), 0)
 		tr.Put(p, k(4), []byte("scribble"), 0)
 		decisions := map[cc.TxnID]Decision{5: {TS: 77}}
-		redone, undone, skipped, err := RecoverPartial(p, recs, map[uint64]Target{1: treeTarget{tr}}, decisions)
+		redone, undone, skipped, err := RecoverPartial(p, l.Iter(), map[uint64]Target{1: treeTarget{tr}}, decisions)
 		if err != nil {
 			t.Error(err)
 			return
@@ -299,12 +457,12 @@ func TestRecoverPartialInDoubtBothDirections(t *testing.T) {
 func TestRecoveryUnknownPartitionFails(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
-	recs := []Record{
+	l := logOf(env, []Record{
 		{Type: RecInsert, Txn: 1, Part: 42, Key: []byte("k"), After: []byte("v")},
 		{Type: RecCommit, Txn: 1},
-	}
+	})
 	env.Spawn("recover", func(p *sim.Proc) {
-		if _, _, err := Recover(p, recs, map[uint64]Target{}); err == nil {
+		if _, _, err := Recover(p, l.Iter(), map[uint64]Target{}); err == nil {
 			t.Error("recovery with missing partition should fail")
 		}
 	})
