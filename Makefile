@@ -9,7 +9,7 @@ BENCH_NEW      ?= bench-new.txt
 # Chaos harness: number of seeds swept by `make chaos` / `make chaos-tpcc`.
 SEEDS ?= 25
 
-.PHONY: all build test test-race vet chaos chaos-tpcc chaos-quick bench-quick bench-micro bench-baseline bench-compare check
+.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-quick bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -39,10 +39,19 @@ chaos:
 chaos-tpcc:
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS)
 
-## chaos-quick: a short crash-anywhere sweep of both workloads (CI gate)
+## chaos-coord: coordinator-failover-heavy sweep — every plan already
+## power-fails the leader once; this piles on extra random leader crashes so
+## elections, lease handoffs, and in-doubt reconciliation dominate the run
+chaos-coord:
+	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -coord 3
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -coord 3
+
+## chaos-quick: a short crash-anywhere sweep of both workloads, plus a
+## coordinator-crash-heavy burst (CI gate)
 chaos-quick:
 	$(GO) run ./cmd/wattdb-chaos -seeds 6 -duration 25s
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 3 -duration 20s
+	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -coord 3
 
 ## check: tier-1 verification in one command (build + vet + race-enabled
 ## tests + a short crash-anywhere chaos sweep of both workloads)

@@ -27,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", 0, "workload processes (default 4)")
 	duration := flag.Duration("duration", 0, "simulated workload window (default 45s)")
 	faults := flag.Int("faults", 0, "extra random fault events (default 4)")
+	coord := flag.Int("coord", 0, "extra random coordinator power-fails (default 1; every plan also crashes the leader mid-migration)")
 	tpccMode := flag.Bool("tpcc", false, "run the TPC-C workload with the warehouse-invariant oracle (ignores -keys)")
 	verbose := flag.Bool("v", false, "print the fault schedule of every run")
 	flag.Parse()
@@ -64,12 +65,13 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := chaos.Config{
-			Seed:     s,
-			Scheme:   scheme,
-			Keys:     *keys,
-			Workers:  *workers,
-			Duration: *duration,
-			Faults:   *faults,
+			Seed:        s,
+			Scheme:      scheme,
+			Keys:        *keys,
+			Workers:     *workers,
+			Duration:    *duration,
+			Faults:      *faults,
+			CoordFaults: *coord,
 		}
 		run := chaos.Run
 		if *tpccMode {
@@ -86,9 +88,9 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d) restarts=%d\n",
+		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d leader=%d) restarts=%d failovers=%d\n",
 			s, scheme, status, rep.StateHash, rep.SimTime.Seconds(),
-			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.Restarts)
+			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.LeaderCrashes, rep.Restarts, rep.Failovers)
 		if *verbose || !rep.Passed() {
 			for _, f := range rep.Faults {
 				fmt.Printf("    %s\n", f)
@@ -115,6 +117,9 @@ func main() {
 			}
 			if *faults != 0 {
 				repro += fmt.Sprintf(" -faults %d", *faults)
+			}
+			if *coord != 0 {
+				repro += fmt.Sprintf(" -coord %d", *coord)
 			}
 			fmt.Printf("    reproduce: %s\n", repro)
 		}

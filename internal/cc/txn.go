@@ -85,10 +85,18 @@ func (t *Txn) DropUndo() { t.undo = nil }
 // Oracle issues timestamps and tracks active transactions so MVCC garbage
 // collection knows the oldest snapshot still in use. WattDB hosts it on the
 // master node; callers pay any network cost at their layer.
+//
+// When the master is replicated, the oracle runs under bounded leases: lease
+// holds the first timestamp it may NOT issue, granted only after the lease
+// record is durable on a follower replica. A new leader resumes at the old
+// ceiling, so timestamps issued across a failover never regress or collide
+// — the old leader could not have issued anything at or above its lease.
+// lease == 0 disables the bound (standalone master).
 type Oracle struct {
 	next   Timestamp
 	nextID TxnID
 	active map[TxnID]Timestamp
+	lease  Timestamp
 }
 
 // NewOracle returns an oracle starting at timestamp 1.
@@ -96,22 +104,83 @@ func NewOracle() *Oracle {
 	return &Oracle{next: 1, active: make(map[TxnID]Timestamp)}
 }
 
+func (o *Oracle) tick() Timestamp {
+	o.next++
+	if o.lease > 0 && o.next >= o.lease {
+		// The master layer extends the lease with headroom before issuing;
+		// reaching the ceiling means a timestamp would escape the replicated
+		// bound, which a post-failover leader could then re-issue.
+		panic("cc: timestamp issued beyond replicated lease ceiling")
+	}
+	return o.next
+}
+
 // Begin starts a transaction in the given mode.
 func (o *Oracle) Begin(mode Mode) *Txn {
 	o.nextID++
-	o.next++
-	t := &Txn{ID: o.nextID, Begin: o.next, Mode: mode, State: TxnActive}
+	t := &Txn{ID: o.nextID, Begin: o.tick(), Mode: mode, State: TxnActive}
 	o.active[t.ID] = t.Begin
 	return t
 }
 
 // CommitTS assigns a commit timestamp to t and marks it committed.
 func (o *Oracle) CommitTS(t *Txn) Timestamp {
-	o.next++
-	t.Commit = o.next
+	t.Commit = o.tick()
 	t.State = TxnCommitted
 	delete(o.active, t.ID)
 	return t.Commit
+}
+
+// Leased returns the current lease ceiling (0: unbounded).
+func (o *Oracle) Leased() Timestamp { return o.lease }
+
+// Clock returns the last timestamp issued.
+func (o *Oracle) Clock() Timestamp { return o.next }
+
+// Remaining returns how many timestamps the current lease still covers.
+func (o *Oracle) Remaining() Timestamp {
+	if o.lease == 0 {
+		return ^Timestamp(0)
+	}
+	if o.next+1 >= o.lease {
+		return 0
+	}
+	return o.lease - o.next - 1
+}
+
+// ExtendLease raises the lease ceiling to ceil (never lowers it). The caller
+// must have made the grant durable on a replica first.
+func (o *Oracle) ExtendLease(ceil Timestamp) {
+	if ceil > o.lease {
+		o.lease = ceil
+	}
+}
+
+// RearmLease sets the lease ceiling to ceil even when that lowers it,
+// provided ceil is still above the clock. Setup-only: a durable grant at or
+// above the old ceiling must already exist, so shrinking the in-memory
+// ceiling merely forces earlier re-grants (tests use it to sweep lease
+// boundaries without consuming a full default chunk first).
+func (o *Oracle) RearmLease(ceil Timestamp) {
+	if ceil > o.next {
+		o.lease = ceil
+	}
+}
+
+// Failover re-seats the oracle on a new leader: the clock resumes at the
+// replicated lease ceiling, strictly above anything the old leader could
+// have issued. The active-transaction table is kept — survivors of the
+// failover still hold their snapshots, so the GC watermark must keep
+// honoring them. The new leader holds no usable lease until it replicates
+// its own grant (Remaining() == 0 forces that before the next timestamp).
+func (o *Oracle) Failover(ceil Timestamp) {
+	if ceil == 0 {
+		return
+	}
+	if ceil-1 > o.next {
+		o.next = ceil - 1
+	}
+	o.lease = ceil
 }
 
 // Abort marks t aborted and deregisters it.

@@ -59,6 +59,11 @@ type Config struct {
 	// Faults is the number of random fault events drawn on top of the
 	// always-present crash-during-migration sequence.
 	Faults int
+	// CoordFaults is the number of random coordinator power-fails drawn on
+	// top of the always-present mid-migration coordinator crash. The master
+	// runs replicated (two follower replicas) and every run must fail over
+	// and keep all invariants.
+	CoordFaults int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +83,11 @@ func (c Config) withDefaults() Config {
 		c.Faults = 0
 	} else if c.Faults == 0 {
 		c.Faults = 4
+	}
+	if c.CoordFaults < 0 {
+		c.CoordFaults = 0
+	} else if c.CoordFaults == 0 {
+		c.CoordFaults = 1
 	}
 	return c
 }
@@ -100,6 +110,10 @@ type Report struct {
 	// included in Crashes.
 	TornCrashes int
 	BitFlips    int
+	// LeaderCrashes counts crashes that hit the acting coordinator;
+	// Failovers counts the leader elections the master went through.
+	LeaderCrashes int
+	Failovers     int
 
 	Faults     []string // executed fault schedule, in order
 	Violations []string // invariant violations (empty = PASS)
@@ -168,6 +182,7 @@ func Run(cfg Config) (*Report, error) {
 
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.Nodes
+	ccfg.MasterReplicas = 2
 	c := cluster.New(env, ccfg)
 	for _, n := range c.Nodes[1:] {
 		n.HW.ForceActive()
@@ -250,6 +265,19 @@ func Run(cfg Config) (*Report, error) {
 	if err := env.Run(); err != nil {
 		return h.rep, err
 	}
+
+	// Coordinator-failover oracles: after the drain the master must be
+	// available under some leader, and every recorded commit decision must
+	// have been acknowledged by all its participants (the decision map
+	// drains to empty — nothing leaks across failovers).
+	if c.Master.Fenced() {
+		h.violate("coordinator still fenced after drain (no leader elected)")
+	}
+	if n := c.Master.InDoubtDecisionCount(); n != 0 {
+		h.violate(fmt.Sprintf("decision map leak: %d commit decisions never fully acknowledged: %s",
+			n, strings.Join(c.Master.OutstandingDecisions(), "; ")))
+	}
+	h.rep.Failovers = c.Master.Failovers()
 
 	// Final invariant sweep.
 	finalState := h.finalCheck()
@@ -527,8 +555,8 @@ func (h *harness) stateHash(finalState string) string {
 	for _, f := range h.rep.Faults {
 		fmt.Fprintln(d, f)
 	}
-	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d now=%d\n",
-		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.env.Now())
+	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d failovers=%d now=%d\n",
+		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

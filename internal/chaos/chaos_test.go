@@ -58,6 +58,41 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosCoordFailoverDeterministic piles extra coordinator power-fails
+// onto one seed and requires (a) leader crashes and completed failovers
+// actually occurred, (b) every invariant still holds through them, and
+// (c) two runs agree on the schedule and the state hash — elections,
+// catch-up, and post-failover reconciliation replay identically (the hash
+// includes the failover count).
+func TestChaosCoordFailoverDeterministic(t *testing.T) {
+	cfg := Config{Seed: 23, Scheme: table.Physiological, Duration: 40 * time.Second, CoordFaults: 3}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logReport(t, r1)
+	if !r1.Passed() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(r1.Violations, "\n"))
+	}
+	if r1.LeaderCrashes == 0 || r1.Failovers == 0 {
+		t.Fatalf("coordinator never failed over (leaderCrashes=%d failovers=%d)", r1.LeaderCrashes, r1.Failovers)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateHash != r2.StateHash {
+		t.Errorf("state hash differs: %s vs %s", r1.StateHash, r2.StateHash)
+	}
+	if fmt.Sprint(r1.Faults) != fmt.Sprint(r2.Faults) {
+		t.Errorf("fault schedules differ:\nrun1: %v\nrun2: %v", r1.Faults, r2.Faults)
+	}
+	if r1.LeaderCrashes != r2.LeaderCrashes || r1.Failovers != r2.Failovers {
+		t.Errorf("failover outcome differs: (%d,%d) vs (%d,%d)",
+			r1.LeaderCrashes, r1.Failovers, r2.LeaderCrashes, r2.Failovers)
+	}
+}
+
 func logReport(t *testing.T, rep *Report) {
 	t.Helper()
 	t.Logf("seed=%d scheme=%s hash=%s commits=%d aborts=%d failedOps=%d reads=%d scans=%d crashes=%d restarts=%d",

@@ -21,6 +21,7 @@ const (
 	faultDiskStall                  // extra per-request latency on a disk
 	faultNetSpike                   // extra one-way latency on every link
 	faultMigrate                    // rebalance a key range onto a target
+	faultCrashCoord                 // power-fail whichever node is the acting coordinator
 )
 
 // faultEvent is one scheduled fault.
@@ -65,6 +66,23 @@ func buildPlan(cfg Config) []faultEvent {
 		node: target,
 		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
 	})
+	// Every plan also power-fails the coordinator while that migration is in
+	// flight — the hardest failover window: the leader may die between
+	// shipping a migration boundary (or a commit decision) and acting on it,
+	// and a follower must take over with the partition table and in-doubt
+	// decisions intact.
+	plan = append(plan, faultEvent{
+		at:   migAt + 40*time.Millisecond + time.Duration(rng.Int63n(int64(150*time.Millisecond))),
+		kind: faultCrashCoord,
+		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+	})
+	for i := 0; i < cfg.CoordFaults; i++ {
+		plan = append(plan, faultEvent{
+			at:   window/10 + time.Duration(rng.Int63n(int64(window*8/10))),
+			kind: faultCrashCoord,
+			dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+		})
+	}
 	// Every plan also damages the log medium once each way on a data node
 	// (the nodes with steady log traffic): a power failure tearing the frame
 	// the device was writing, and one leaving a bit-flipped frame at the
@@ -187,7 +205,7 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 				p.Sleep(wait)
 			}
 			switch ev.kind {
-			case faultCrash, faultCrashTorn, faultCrashFlip:
+			case faultCrash, faultCrashTorn, faultCrashFlip, faultCrashCoord:
 				fr.execCrash(ev)
 			case faultDiskStall:
 				n := fr.c.Nodes[ev.node]
@@ -229,6 +247,13 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 // (possibly bit-flipped), and the restart must CRC-detect and truncate it
 // while every acknowledged commit below the boundary survives.
 func (fr *faultRunner) execCrash(ev faultEvent) {
+	if ev.kind == faultCrashCoord {
+		// Resolve the acting coordinator at execution time — after earlier
+		// failovers the leader may be any replica-group member — then crash
+		// it like any other power failure.
+		ev.node = fr.c.Master.LeaderID()
+		ev.kind = faultCrash
+	}
 	n := fr.c.Nodes[ev.node]
 	if n.Down() {
 		// Already down: a second crash+restart pair for the same outage
@@ -236,6 +261,7 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 		fr.logFault("crash node %d skipped (already down)", ev.node)
 		return
 	}
+	wasLeader := n == fr.c.Master.Node
 	switch ev.kind {
 	case faultCrashTorn:
 		torn := fr.c.CrashNodeTorn(n, ev.tear, -1)
@@ -255,6 +281,9 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 		fr.logFault("crash node %d (restart after %v)", ev.node, ev.dur)
 	}
 	fr.rep.Crashes++
+	if fr.c.MasterReplicated() && wasLeader {
+		fr.rep.LeaderCrashes++
+	}
 	node := n
 	dur := ev.dur
 	fr.env.Spawn(fmt.Sprintf("chaos-restart-%d", ev.node), func(p *sim.Proc) {

@@ -43,6 +43,7 @@ func RunTPCC(cfg Config) (*Report, error) {
 
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.Nodes
+	ccfg.MasterReplicas = 2
 	c := cluster.New(env, ccfg)
 	for _, n := range c.Nodes[1:] {
 		n.HW.ForceActive()
@@ -116,6 +117,15 @@ func RunTPCC(cfg Config) (*Report, error) {
 	if err := env.Run(); err != nil {
 		return h.rep, err
 	}
+
+	// Coordinator-failover oracles (same contract as the KV harness).
+	if c.Master.Fenced() {
+		h.violate("coordinator still fenced after drain (no leader elected)")
+	}
+	if n := c.Master.InDoubtDecisionCount(); n != 0 {
+		h.violate(fmt.Sprintf("decision map leak: %d commit decisions never fully acknowledged", n))
+	}
+	h.rep.Failovers = c.Master.Failovers()
 
 	h.model.settle(h.violate)
 	finalState := h.finalCheck()
@@ -233,6 +243,20 @@ func buildTPCCPlan(cfg Config, tcfg tpcc.Config) []faultEvent {
 		node: target,
 		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
 	})
+	// Every plan also power-fails the coordinator during the migration window
+	// plus cfg.CoordFaults more times at random instants (see buildPlan).
+	plan = append(plan, faultEvent{
+		at:   migAt + 40*time.Millisecond + time.Duration(rng.Int63n(int64(150*time.Millisecond))),
+		kind: faultCrashCoord,
+		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+	})
+	for i := 0; i < cfg.CoordFaults; i++ {
+		plan = append(plan, faultEvent{
+			at:   window/10 + time.Duration(rng.Int63n(int64(window*8/10))),
+			kind: faultCrashCoord,
+			dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+		})
+	}
 	// Guaranteed log-medium damage on the warehouse-hosting nodes: one torn
 	// final frame, one bit-flipped boundary frame (see tornCrashEvents).
 	plan = append(plan, tornCrashEvents(rng, window, 2)...)
@@ -325,8 +349,8 @@ func (h *tpccHarness) stateHash(finalState string) string {
 	for _, f := range h.rep.Faults {
 		fmt.Fprintln(d, f)
 	}
-	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d now=%d\n",
-		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.env.Now())
+	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d failovers=%d now=%d\n",
+		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

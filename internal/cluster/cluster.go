@@ -28,6 +28,10 @@ type Config struct {
 	LockTimeout time.Duration
 	// VectorSize is the record batch size for remote operators.
 	VectorSize int
+	// MasterReplicas, when positive, replicates the coordinator state
+	// machine to nodes 1..MasterReplicas (see replication.go). Zero keeps
+	// the legacy stable-metadata master.
+	MasterReplicas int
 }
 
 // DefaultConfig returns the paper's 10-node cluster with test-scale
@@ -81,6 +85,9 @@ func New(env *sim.Env, cfg Config) *Cluster {
 	}
 	c.Nodes[0].HW.ForceActive()
 	c.Master = newMaster(c)
+	if cfg.MasterReplicas > 0 {
+		c.EnableMasterReplication(cfg.MasterReplicas)
+	}
 	var hwNodes []*hw.Node
 	for _, n := range c.Nodes {
 		hwNodes = append(hwNodes, n.HW)

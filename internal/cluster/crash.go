@@ -27,9 +27,11 @@ import (
 // state is known consistent (initial bulk load, and segment adoption after
 // a flush-then-ship migration, which the paper treats as a checkpoint) —
 // and then replays the node's durable WAL over it (REDO winners, UNDO
-// losers). The master's catalog and timestamp oracle are modeled as a
-// stable metadata service and survive failures of the node hosting them,
-// matching the scope of the paper's recovery discussion.
+// losers). The master's catalog, timestamp oracle, and decision map are a
+// replicated state machine (see replication.go): crashing the seated
+// leader fences the coordinator until a follower replays its shipped
+// master WAL and takes over, resuming the oracle above the replicated
+// lease ceiling with in-doubt resolution intact.
 //
 // Commit atomicity. A failure may land at ANY instant of a commit — there
 // is no critical-section deferral. Distributed transactions survive because
@@ -119,6 +121,16 @@ func (c *Cluster) doCrash(n *DataNode, tear, flip int) int {
 	n.Pool = buffer.NewPool(c.Env, (*nodeBackend)(n), c.Cal.PageSize, c.Cal.BufferFrames)
 	n.Pool.SetWALFlush(func(p *sim.Proc, lsn uint64) { n.Log.Flush(p, lsn) })
 	n.Locks = cc.NewLockManager(c.Env)
+	// Replicated coordinator: losing the leader fences the master until a
+	// follower is elected; losing a follower drops it from the current set
+	// (it rejoins through catch-up on restart).
+	if r := c.Master.rep; r != nil {
+		if n == c.Master.Node {
+			c.Master.leaderDown()
+		} else if r.current[n.ID] {
+			r.current[n.ID] = false
+		}
+	}
 	return torn
 }
 
@@ -137,6 +149,12 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	}
 	n.HW.PowerOn(p)
 	n.Log.Restart()
+	// A reviving replica-group member may complete a stalled election: its
+	// durable log (just recovered) is valid election input even though the
+	// node is still mid-restart.
+	if r := c.Master.rep; r != nil && r.member(n.ID) && c.Master.down {
+		c.Master.tryElect(n)
+	}
 
 	// Rebuild replacements. Partition IDs are reused so the WAL's partition
 	// references resolve; bounds are the bounds at crash time (adoption had
@@ -193,6 +211,21 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	}
 	n.lostParts = nil
 	n.crashed = false
+	if r := c.Master.rep; r != nil {
+		// Drain decisions still charged to this node whose branches its
+		// durable log shows resolved — the ack was in flight (or unforced
+		// and lost) when a leader died, and the rebuilt decision map still
+		// lists them.
+		for _, id := range c.Master.outstandingDecisionsFor(n.ID) {
+			if branchResolvedIn(recs, id) {
+				c.Master.AckInDoubt(id, n.ID)
+			}
+		}
+		// A restarted group member rejoins through full-state catch-up.
+		if r.member(n.ID) && !c.Master.down && n != c.Master.Node && !r.current[n.ID] {
+			c.Master.catchUp(p, n)
+		}
+	}
 	return redone, undone, nil
 }
 
@@ -228,6 +261,13 @@ func (c *Cluster) resolveInDoubt(p *sim.Proc, n *DataNode, recs []wal.Record) ([
 	}
 	sort.Slice(inDoubt, func(i, j int) bool { return inDoubt[i] < inDoubt[j] })
 	decisions := make(map[cc.TxnID]wal.Decision, len(inDoubt))
+	if len(inDoubt) > 0 {
+		// Under replication an in-doubt query must wait out a coordinator
+		// failover and its presumed-abort grace window: a "no decision"
+		// answer is only trustworthy once in-flight commits have had time to
+		// re-replicate verdicts the dead leader never shipped.
+		c.Master.awaitAvailable(p)
+	}
 	for _, id := range inDoubt {
 		if n != c.Master.Node {
 			// The coordinator query is a metadata round trip to the master.

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// failoverWorld is a replicated-coordinator cluster: node 0 is the seated
+// leader, nodes 1 and 2 are master replicas, node 3 owns all data. Crashing
+// node 0 never touches a data partition, so every observed effect is pure
+// coordinator failover.
+type failoverWorld struct {
+	env  *sim.Env
+	c    *Cluster
+	data *DataNode
+}
+
+func newFailoverWorld(t *testing.T, leaseChunk int) *failoverWorld {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MasterReplicas = 2
+	c := New(env, cfg)
+	for _, node := range c.Nodes[1:] {
+		node.HW.ForceActive()
+	}
+	c.Master.SetLeaseChunk(leaseChunk)
+	_, err := c.Master.CreateTable(kvSchema(), table.Physiological, []RangeSpec{
+		{Low: nil, High: nil, Owner: c.Nodes[3]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &failoverWorld{env: env, c: c, data: c.Nodes[3]}
+}
+
+// runCommits executes total single-partition commits back-to-back on the
+// data node, retrying through fenced windows, and returns the acknowledged
+// commit timestamps in acknowledgment order.
+func (w *failoverWorld) runCommits(t *testing.T, total int) []cc.Timestamp {
+	t.Helper()
+	var acked []cc.Timestamp
+	w.env.Spawn("committer", func(p *sim.Proc) {
+		for i := 0; i < total; i++ {
+			for {
+				s := w.c.Master.Begin(p, cc.SnapshotIsolation, w.data)
+				row := table.Row{int64(i), fmt.Sprintf("v-%d", i)}
+				key, _ := kvSchema().Key(row)
+				payload, _ := kvSchema().EncodeRow(row)
+				if err := s.Put(p, "kv", key, payload); err != nil {
+					s.Abort(p)
+					p.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if err := s.Commit(p); err != nil {
+					s.Abort(p)
+					p.Sleep(20 * time.Millisecond)
+					continue
+				}
+				acked = append(acked, s.Txn.Commit)
+				break
+			}
+		}
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return acked
+}
+
+// TestFailoverTimestampMonotonic sweeps a leader power failure across the
+// whole commit stream — including every point of the small lease window —
+// and asserts that acknowledged commit timestamps never regress or repeat
+// across the failover: the new leader must resume strictly above the
+// replicated lease ceiling, and the ceiling must cover everything the old
+// leader acknowledged.
+func TestFailoverTimestampMonotonic(t *testing.T) {
+	const (
+		leaseChunk = 300 // just above leaseHeadroom: frequent lease grants
+		commits    = 400 // crosses several lease boundaries
+		sweepN     = 16
+	)
+
+	// Calibration run, no crash: measure the undisturbed stream's duration
+	// so sweep points land inside it.
+	base := newFailoverWorld(t, leaseChunk)
+	baseTS := base.runCommits(t, commits)
+	baseEnd := base.env.Now()
+	base.env.Close()
+	if len(baseTS) != commits {
+		t.Fatalf("calibration: %d of %d commits acked", len(baseTS), commits)
+	}
+
+	for i := 0; i < sweepN; i++ {
+		crashAt := baseEnd * time.Duration(i+1) / time.Duration(sweepN+1)
+		t.Run(fmt.Sprintf("crash@%v", crashAt), func(t *testing.T) {
+			w := newFailoverWorld(t, leaseChunk)
+			defer w.env.Close()
+			leader := w.c.Nodes[0]
+			w.env.Spawn("crash-leader", func(p *sim.Proc) {
+				p.Sleep(crashAt)
+				w.c.CrashNode(leader)
+			})
+			acked := w.runCommits(t, commits)
+			if len(acked) != commits {
+				t.Fatalf("%d of %d commits acked", len(acked), commits)
+			}
+			for j := 1; j < len(acked); j++ {
+				if acked[j] <= acked[j-1] {
+					t.Fatalf("commit %d ts=%d not above commit %d ts=%d (failover regressed or reissued a timestamp)",
+						j, acked[j], j-1, acked[j-1])
+				}
+			}
+			if w.c.Master.Fenced() {
+				t.Fatal("coordinator still fenced after the stream drained")
+			}
+			if got := w.c.Master.Failovers(); got != 1 {
+				t.Fatalf("failovers = %d, want 1", got)
+			}
+			if w.c.Master.LeaderID() == 0 {
+				t.Fatal("crashed node 0 still seated as leader")
+			}
+			if n := w.c.Master.InDoubtDecisionCount(); n != 0 {
+				t.Fatalf("decision map leak: %d entries after drain", n)
+			}
+		})
+	}
+}
+
+// TestFailoverLeaseExhaustion parks the cluster right before a lease
+// boundary, kills the leader, and verifies the next leader's first grant
+// starts strictly above the old ceiling even though the old leader had
+// consumed almost none of its last lease.
+func TestFailoverLeaseExhaustion(t *testing.T) {
+	const leaseChunk = 300
+	w := newFailoverWorld(t, leaseChunk)
+	defer w.env.Close()
+
+	first := w.runCommits(t, 10)
+	oldCeil := w.c.Master.Oracle.Leased()
+	if oldCeil == 0 {
+		t.Fatal("no lease ceiling replicated")
+	}
+	w.c.CrashNode(w.c.Nodes[0])
+
+	second := w.runCommits(t, 10)
+	if len(second) != 10 {
+		t.Fatalf("%d of 10 post-failover commits acked", len(second))
+	}
+	if second[0] <= first[len(first)-1] {
+		t.Fatalf("post-failover ts %d not above pre-crash ts %d", second[0], first[len(first)-1])
+	}
+	if second[0] < oldCeil {
+		t.Fatalf("post-failover ts %d below old lease ceiling %d: new leader reused leased range", second[0], oldCeil)
+	}
+	if newCeil := w.c.Master.Oracle.Leased(); newCeil <= oldCeil {
+		t.Fatalf("new leader's lease ceiling %d not above old ceiling %d", newCeil, oldCeil)
+	}
+}
+
+// TestFailoverDoubleCrash kills the first elected successor too: after the
+// original leader rejoined as a follower (catch-up), a second election must
+// seat another replica and timestamps must still never regress across
+// either handoff. (Without the restart the second leader would have no live
+// follower: forced records could never replicate and the coordinator would
+// stay correctly write-fenced.)
+func TestFailoverDoubleCrash(t *testing.T) {
+	const leaseChunk = 300
+	w := newFailoverWorld(t, leaseChunk)
+	defer w.env.Close()
+
+	var all []cc.Timestamp
+	all = append(all, w.runCommits(t, 20)...)
+	w.c.CrashNode(w.c.Nodes[0])
+	all = append(all, w.runCommits(t, 20)...)
+	w.env.Spawn("restart-0", func(p *sim.Proc) {
+		if _, _, err := w.c.RestartNode(p, w.c.Nodes[0]); err != nil {
+			t.Errorf("restart node 0: %v", err)
+		}
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	w.c.CrashNode(w.c.Master.Node) // whoever got elected
+	all = append(all, w.runCommits(t, 20)...)
+
+	if len(all) != 60 {
+		t.Fatalf("%d of 60 commits acked", len(all))
+	}
+	for j := 1; j < len(all); j++ {
+		if all[j] <= all[j-1] {
+			t.Fatalf("ts %d at commit %d not above predecessor %d", all[j], j, all[j-1])
+		}
+	}
+	if got := w.c.Master.Failovers(); got != 2 {
+		t.Fatalf("failovers = %d, want 2", got)
+	}
+}

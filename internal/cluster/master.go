@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"wattdb/internal/cc"
 	"wattdb/internal/sim"
@@ -35,6 +36,19 @@ type Master struct {
 	// MoveMode is the concurrency control mode used by record-movement
 	// system transactions (Fig. 3 compares both).
 	MoveMode cc.Mode
+
+	// Replication state (nil: the legacy stable-metadata master). See
+	// replication.go.
+	rep        *masterRep
+	down       bool          // leader power-failed, no successor seated yet
+	epoch      uint64        // bumped on every fence and every election
+	graceUntil time.Duration // presumed-abort grace deadline after election
+	failovers  int
+	leaseChunk int
+	// schemas remembers every schema ever created: replicated snapshots
+	// carry table names, not schema definitions, and a new leader
+	// reconstructs TableMeta objects from this registry.
+	schemas map[string]*table.Schema
 }
 
 // txnDecision is one remembered commit verdict: the commit timestamp and
@@ -79,6 +93,8 @@ func (m *Master) CreateReplicatedTable(schema *table.Schema, nodes []*DataNode) 
 		tm.replicas[n] = pt
 	}
 	m.tables[schema.Name] = tm
+	m.schemas[schema.Name] = schema
+	m.shipTable(nil, schema.Name, true)
 	return tm, nil
 }
 
@@ -144,11 +160,13 @@ func (e *RangeEntry) contains(key []byte) bool {
 
 func newMaster(c *Cluster) *Master {
 	return &Master{
-		cluster:   c,
-		Node:      c.Nodes[0],
-		Oracle:    cc.NewOracle(),
-		tables:    make(map[string]*TableMeta),
-		decisions: make(map[cc.TxnID]*txnDecision),
+		cluster:    c,
+		Node:       c.Nodes[0],
+		Oracle:     cc.NewOracle(),
+		tables:     make(map[string]*TableMeta),
+		decisions:  make(map[cc.TxnID]*txnDecision),
+		leaseChunk: defaultLeaseChunk,
+		schemas:    make(map[string]*table.Schema),
 	}
 }
 
@@ -157,14 +175,47 @@ func newMaster(c *Cluster) *Master {
 // record is forced to the master's log and the verdict is remembered for
 // in-doubt resolution. From this moment the transaction commits everywhere
 // — a participant crash leaves a branch that RestartNode rolls forward.
+//
+// Under replication the decision must also reach a follower before any
+// participant is acknowledged, and the transaction is already past its
+// commit point (readers may have seen its versions), so there is no abort
+// path: the session blocks here, retrying — across a leader failover if
+// need be — until some leader holds the decision replicated. The map entry
+// is installed before the first attempt (a participant restarting
+// mid-replication must be told commit, which is safe exactly because this
+// loop guarantees the verdict eventually replicates) and re-installed after
+// (a failover during the loop rebuilt the map without it).
 func (m *Master) recordDecision(p *sim.Proc, txn *cc.Txn, commitTS cc.Timestamp, participants []*DataNode) {
-	lsn := m.Node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecDecision, TS: commitTS})
-	m.Node.Log.Flush(p, lsn)
 	out := make(map[int]bool, len(participants))
+	nodes := make([]int, 0, len(participants))
 	for _, n := range participants {
 		out[n.ID] = true
+		nodes = append(nodes, n.ID)
 	}
-	m.decisions[txn.ID] = &txnDecision{ts: commitTS, outstanding: out}
+	sort.Ints(nodes)
+	d := &txnDecision{ts: commitTS, outstanding: out}
+	if m.rep == nil {
+		lsn := m.Node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecDecision, TS: commitTS})
+		m.Node.Log.Flush(p, lsn)
+		m.decisions[txn.ID] = d
+		return
+	}
+	rec := wal.Record{Txn: txn.ID, Type: wal.RecDecision, TS: commitTS,
+		After: wal.EncodeMasterParticipants(nil, nodes)}
+	m.decisions[txn.ID] = d
+	for {
+		if !m.down && !m.Node.Down() && m.logMaster(p, rec, true) {
+			break
+		}
+		p.Sleep(decisionRetryDelay)
+	}
+	// Elections during the loop keep this very object in the map (electFrom
+	// never replaces a known decision), so acks that landed meanwhile are
+	// reflected in d.outstanding. Re-install only while branches remain —
+	// a fully drained decision must stay forgotten.
+	if len(d.outstanding) > 0 {
+		m.decisions[txn.ID] = d
+	}
 }
 
 // ackDecision notes that node holds a durable commit record (or has rolled
@@ -179,6 +230,15 @@ func (m *Master) ackDecision(id cc.TxnID, node int) {
 	delete(d.outstanding, node)
 	if len(d.outstanding) == 0 {
 		delete(m.decisions, id)
+	}
+	// Replicate the ack unforced: the bytes ride along with the followers'
+	// next group commit. A lost ack merely resurrects the decision entry at
+	// the next election, and reconciliation re-drains it from the
+	// participant's durable log. The !down guard keeps election replay
+	// (electFrom applies RecMAck through this path) from re-logging.
+	if m.rep != nil && !m.down {
+		m.logMaster(nil, wal.Record{Txn: id, Type: wal.RecMAck,
+			After: wal.EncodeMasterAck(nil, node)}, false)
 	}
 }
 
@@ -201,6 +261,28 @@ func (m *Master) AckInDoubt(id cc.TxnID, node int) { m.ackDecision(id, node) }
 // InDoubtDecisionCount reports the number of remembered commit verdicts
 // (diagnostics and tests).
 func (m *Master) InDoubtDecisionCount() int { return len(m.decisions) }
+
+// OutstandingDecisions describes every remembered commit verdict and the
+// participants still charged with it (diagnostics: a non-empty result after
+// a full drain means an ack path leaked).
+func (m *Master) OutstandingDecisions() []string {
+	ids := make([]cc.TxnID, 0, len(m.decisions))
+	for id := range m.decisions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		d := m.decisions[id]
+		nodes := make([]int, 0, len(d.outstanding))
+		for n := range d.outstanding {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		out = append(out, fmt.Sprintf("txn=%d ts=%d outstanding=%v", id, d.ts, nodes))
+	}
+	return out
+}
 
 // RangeSpec declares one initial partition of a table.
 type RangeSpec struct {
@@ -231,6 +313,8 @@ func (m *Master) CreateTable(schema *table.Schema, scheme table.Scheme, ranges [
 		tm.entries = append(tm.entries, &RangeEntry{Low: r.Low, High: r.High, Part: pt, Owner: r.Owner})
 	}
 	m.tables[schema.Name] = tm
+	m.schemas[schema.Name] = schema
+	m.shipTable(nil, schema.Name, true)
 	return tm, nil
 }
 

@@ -214,6 +214,14 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 		news = append(news, &RangeEntry{Low: hi, High: e.High, Part: src, Owner: srcOwner})
 	}
 	tm.replaceEntry(e, news...)
+	// Replicate the dual-pointer install before moving anything. The
+	// boundary still equals lo, so the old location stays authoritative for
+	// every key: losing the leader here merely suspends a move that has not
+	// moved a record yet.
+	epoch := m.epoch
+	if !m.shipTable(p, tm.Schema.Name, true) {
+		return ErrMasterDown{}
+	}
 
 	// Move batches of records with system transactions. Records are
 	// removed from the source (tombstones keep old snapshots working) and
@@ -230,6 +238,12 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 		// correct (moved keys at the destination, the rest at the source)
 		// whether or not the move is ever resumed.
 		if err := migrationAlive(srcOwner, dst); err != nil {
+			return err
+		}
+		// A coordinator failover orphans this migration: the new leader
+		// rebuilt the partition table from replicated snapshots, so the
+		// entry objects held here are stale.
+		if err := m.coordCheck(epoch); err != nil {
 			return err
 		}
 		type rec struct{ k, v []byte }
@@ -301,6 +315,26 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 		}
 		last := batch[len(batch)-1].k
 		boundary := nextKey(last)
+		// Replicate the advanced boundary BEFORE installing it: a boundary
+		// that routes writers to the destination must survive a leader
+		// failover, or acknowledged destination writes would be shadowed by
+		// old-first routing under the new leader. The converse order —
+		// replicated ahead of installed — is read-safe (destination-first
+		// routing falls back to the source for keys not yet moved). The
+		// snapshot is built with the boundary temporarily set so the shipped
+		// record carries it; the durable install happens only in the
+		// non-blocking check-and-advance pair below.
+		if m.rep != nil {
+			if prev := moved.MovedBelow; prev == nil || bytes.Compare(boundary, prev) > 0 {
+				moved.MovedBelow = boundary
+				rec := m.tableRecord(tm.Schema.Name)
+				moved.MovedBelow = prev
+				if !m.logMaster(p, rec, true) {
+					sess.Abort(p)
+					return ErrMasterDown{}
+				}
+			}
+		}
 		// A key of this window may carry a write the scan could not see: a
 		// still-staged foreign intent, or a commit newer than the scan's
 		// snapshot (e.g. a tombstoned record re-inserted concurrently).
@@ -352,9 +386,16 @@ func (m *Master) moveRecordRange(p *sim.Proc, tm *TableMeta, e *RangeEntry, lo, 
 		}
 	}
 	// All records moved: the old pointer stays until old snapshots drain,
-	// then the source's tombstoned range is vacuumed.
+	// then the source's tombstoned range is vacuumed. Clearing the boundary
+	// is safe to do before the ship: every record sits at the destination,
+	// and if the ship fails a failover resurrects the last boundary, under
+	// which unmoved-looking keys simply fall back through the source's
+	// Absent answers to the destination copy.
 	moved.MovedBelow = nil
-	m.scheduleOldPointerCleanup(moved)
+	if !m.shipTable(p, tm.Schema.Name, true) {
+		return ErrMasterDown{}
+	}
+	m.scheduleOldPointerCleanup(tm, moved)
 	return nil
 }
 
@@ -371,7 +412,7 @@ func retryConflict(p *sim.Proc, err error) error {
 
 // scheduleOldPointerCleanup drops the dual pointer and vacuums the source
 // once every snapshot that could see the old copies has finished.
-func (m *Master) scheduleOldPointerCleanup(e *RangeEntry) {
+func (m *Master) scheduleOldPointerCleanup(tm *TableMeta, e *RangeEntry) {
 	horizon := m.Oracle.Begin(cc.SnapshotIsolation)
 	m.Oracle.Abort(horizon) // only needed its timestamp
 	m.cluster.Env.Spawn("old-pointer-cleanup", func(p *sim.Proc) {
@@ -388,6 +429,17 @@ func (m *Master) scheduleOldPointerCleanup(e *RangeEntry) {
 		src := e.OldPart
 		e.OldPart = nil
 		e.OldOwner = nil
+		if m.rep != nil {
+			// A failover since scheduling rebuilt the partition table; the
+			// captured entry is stale then, so retire the old pointer on the
+			// current entry too and replicate the retirement (unforced: a
+			// lost cleanup snapshot only resurrects a read-safe dual
+			// pointer).
+			m.clearOldPointer(tm.Schema.Name, e.Low, e.High)
+			if !m.down {
+				m.shipTable(p, tm.Schema.Name, false)
+			}
+		}
 		if src != nil {
 			src.Vacuum(p, m.Oracle.Watermark())
 		}
@@ -476,17 +528,42 @@ func (m *Master) migratePhysiological(p *sim.Proc, tm *TableMeta, lo, hi []byte,
 // moveSegment transfers one mini-partition from e.Part to a partition on
 // dst, implementing the paper's movement protocol:
 //
-//  1. mark the move on the master (dual pointers),
-//  2. read-lock the mini-partition on the source, waiting for writers,
+//  1. read-lock the mini-partition on the source, waiting for writers,
+//  2. mark the move on the master (dual pointers), replicate it,
 //  3. checkpoint + flush so no UNDO/REDO must ship,
 //  4. copy the segment to the target node,
 //  5. adopt it into the target's partition tree, update the master,
 //  6. unlock; the source keeps a ghost until old readers drain.
+//
+// The lock precedes the dual-pointer install: replicating the install to
+// master followers blocks, and a writer racing that window could
+// overflow-split the mini-partition after the master captured its bounds,
+// stranding the split-off tail at the source behind a dual pointer that is
+// later dropped.
 func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table.SegHandle, dstPart *table.Partition, dst *DataNode) error {
 	src := e.Part
 	srcOwner := e.Owner
 
-	// (1) Master: split the entry so the moving range has dual pointers.
+	// (1) Read lock on the mini-partition: waits for in-flight writers and
+	// holds off new ones (they queue, then get redirected on retry). Taken
+	// before the master entry is touched, so a lock failure needs no
+	// unwinding.
+	mover := m.BeginSystem(p, m.MoveMode, srcOwner)
+	lockName := src.MovementLockName()
+	if err := srcOwner.Locks.Lock(p, mover.Txn, lockName, cc.LockR, 30*time.Second); err != nil {
+		srcOwner.Locks.ReleaseAll(mover.Txn)
+		mover.Abort(p)
+		return err
+	}
+	if err := migrationAlive(srcOwner, dst); err != nil {
+		srcOwner.Locks.ReleaseAll(mover.Txn)
+		mover.Abort(p)
+		return err
+	}
+
+	// (2) Master: split the entry so the moving range has dual pointers.
+	// The segment's bounds are read under the lock — no concurrent split
+	// can narrow them between capture and detach.
 	moved := &RangeEntry{Low: h.Low, High: h.High, Part: dstPart, Owner: dst, OldPart: src, OldOwner: srcOwner}
 	var news []*RangeEntry
 	if e.Low == nil && h.Low != nil || (e.Low != nil && h.Low != nil && bytes.Compare(e.Low, h.Low) < 0) {
@@ -524,15 +601,21 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 		}
 		srcOwner.Locks.ReleaseAll(mover.Txn)
 		mover.Abort(p)
+		// Replicate the revert unforced; losing it resurrects read-safe
+		// dual pointers, nothing worse.
+		if m.rep != nil && !m.down {
+			m.shipTable(p, tm.Schema.Name, false)
+		}
 		return cause
 	}
 
-	// (2) Read lock on the mini-partition: waits for in-flight writers and
-	// holds off new ones (they queue, then get redirected on retry).
-	mover := m.BeginSystem(p, m.MoveMode, srcOwner)
-	lockName := src.MovementLockName()
-	if err := srcOwner.Locks.Lock(p, mover.Txn, lockName, cc.LockR, 30*time.Second); err != nil {
-		return abortMove(mover, nil, err)
+	// Replicate the dual-pointer install. Failing here unwinds the move —
+	// the suspended dual pointers would be read-safe (the adopt-only
+	// destination answers ErrNotOwned until a segment arrives and every
+	// access falls back to the source), but the held movement lock must
+	// not outlive the move attempt.
+	if !m.shipTable(p, tm.Schema.Name, true) {
+		return abortMove(mover, nil, ErrMasterDown{})
 	}
 	if err := migrationAlive(srcOwner, dst); err != nil {
 		return abortMove(mover, nil, err)
@@ -611,8 +694,21 @@ func (m *Master) moveSegment(p *sim.Proc, tm *TableMeta, e *RangeEntry, h *table
 		}
 		e.OldPart = nil
 		e.OldOwner = nil
+		if m.rep != nil {
+			m.clearOldPointer(tm.Schema.Name, e.Low, e.High)
+			if !m.down {
+				m.shipTable(gp, tm.Schema.Name, false)
+			}
+		}
 		src.DropGhost(gp, segID)
 	})
+	// The adopted segment is at the destination and the source keeps only a
+	// ghost: replicate the post-adoption state (unforced; a failover that
+	// misses it re-serves through the step-1 dual pointers, whose fallback
+	// still answers every key).
+	if m.rep != nil && !m.down {
+		m.shipTable(p, tm.Schema.Name, false)
+	}
 	return nil
 }
 

@@ -26,6 +26,10 @@ type Session struct {
 	// lockNodes: nodes whose lock managers hold locks for this txn
 	// (locking mode also locks on reads). Lazily allocated by lockNode().
 	lockNodes map[*DataNode]bool
+	// fenced marks a session refused at Begin because the replicated
+	// coordinator was unavailable: its transaction is born aborted and
+	// every operation returns ErrMasterDown.
+	fenced bool
 }
 
 // Begin starts a transaction executing at home. The timestamp comes from
@@ -34,6 +38,15 @@ type Session struct {
 // or lock, keeping transaction setup map-free (TestSessionSetupAllocs pins
 // this).
 func (m *Master) Begin(p *sim.Proc, mode cc.Mode, home *DataNode) *Session {
+	if m.rep != nil {
+		// A fenced coordinator (or one whose lease cannot replicate) admits
+		// no new transactions: the session is born aborted and the caller
+		// sees ErrMasterDown on every operation — the modeled unavailability
+		// window of a master failover.
+		if m.down || m.Node.Down() || m.ensureLease(p) != nil {
+			return &Session{m: m, Txn: &cc.Txn{Mode: mode, State: cc.TxnAborted}, Home: home, fenced: true}
+		}
+	}
 	if home != m.Node {
 		m.cluster.Net.Transfer(p, home.ID, m.Node.ID, 32)
 		m.cluster.Net.Transfer(p, m.Node.ID, home.ID, 32)
@@ -107,6 +120,9 @@ func (e *RangeEntry) candidatesFor(key []byte) []loc {
 // Get reads key from tableName, visiting both locations of an in-flight
 // migration if needed.
 func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, error) {
+	if s.fenced {
+		return nil, false, ErrMasterDown{}
+	}
 	tm, err := s.m.Table(tableName)
 	if err != nil {
 		return nil, false, err
@@ -159,6 +175,9 @@ func (s *Session) Delete(p *sim.Proc, tableName string, key []byte) error {
 }
 
 func (s *Session) write(p *sim.Proc, tableName string, key, payload []byte, del bool) error {
+	if s.fenced {
+		return ErrMasterDown{}
+	}
 	tm, err := s.m.Table(tableName)
 	if err != nil {
 		return err
@@ -203,6 +222,9 @@ func (s *Session) write(p *sim.Proc, tableName string, key, payload []byte, del 
 // scanned and merged by key (each record is visible in exactly one of them
 // for a given snapshot).
 func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key, payload []byte) bool) error {
+	if s.fenced {
+		return ErrMasterDown{}
+	}
 	tm, err := s.m.Table(tableName)
 	if err != nil {
 		return err
@@ -396,6 +418,13 @@ func (s *Session) Commit(p *sim.Proc) error {
 	if s.Home != s.m.Node {
 		s.m.cluster.Net.Transfer(p, s.Home.ID, s.m.Node.ID, 32)
 		s.m.cluster.Net.Transfer(p, s.m.Node.ID, s.Home.ID, 32)
+	}
+	// Under replication the coordinator must be seated with lease headroom
+	// before the commit timestamp exists. Failing here is still the
+	// presumed-abort side of the window: nothing is visible, the caller
+	// aborts, and prepared branches roll back on restart.
+	if err := s.m.commitGate(p); err != nil {
+		return err
 	}
 	commitTS := s.m.Oracle.CommitTS(s.Txn)
 	if distributed {

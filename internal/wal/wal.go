@@ -35,12 +35,23 @@ const (
 	RecPrepDML  // prepare-time redo image of a staged write (After = raw payload)
 	RecPrepDel  // prepare-time redo image of a staged delete
 	RecDecision // coordinator commit decision (TS = commit timestamp)
+
+	// Master-state records: the coordinator's catalog, partition table,
+	// timestamp leases, and decision bookkeeping encoded as ordinary log
+	// records, so the master is a WAL-backed state machine whose log can be
+	// shipped to follower replicas and replayed after a leader failure. In
+	// all of them Part carries the master-state sequence number (the
+	// replicated apply order, independent of each replica's local LSNs).
+	RecMState // full catalog + partition-table snapshot of one table (After = EncodeMasterTable)
+	RecMLease // timestamp-oracle lease grant (TS = first timestamp NOT covered)
+	RecMAck   // decision participant resolved (Txn = txn, After = EncodeMasterAck)
 )
 
 // String returns the type's display name.
 func (t RecType) String() string {
 	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint",
-		"segmove", "prepare", "prepdml", "prepdel", "decision"}[t]
+		"segmove", "prepare", "prepdml", "prepdel", "decision",
+		"mstate", "mlease", "mack"}[t]
 }
 
 // Record is one logical log record. For ordinary DML, Before and After carry
@@ -232,6 +243,18 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 		l.BytesFlushed += bytes
 		l.flushedSig.Fire()
 	}
+}
+
+// SetupFlush marks the appended tail durable without charging device time.
+// Setup-only: cluster construction and table creation happen outside the
+// simulation (like BulkLoad, which charges nothing), yet the bootstrap
+// master-state records they emit must be durable before the clock starts.
+func (l *Log) SetupFlush() {
+	if l.down {
+		return
+	}
+	l.flushedLSN = l.nextLSN - 1
+	l.pendingBytes = 0
 }
 
 // Crash models the owning node's power failure: the volatile byte tail —
