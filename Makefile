@@ -9,7 +9,7 @@ BENCH_NEW      ?= bench-new.txt
 # Chaos harness: number of seeds swept by `make chaos` / `make chaos-tpcc`.
 SEEDS ?= 25
 
-.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-quick bench-quick bench-micro bench-baseline bench-compare check
+.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-ship chaos-quick bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -46,12 +46,20 @@ chaos-coord:
 	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -coord 3
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -coord 3
 
-## chaos-quick: a short crash-anywhere sweep of both workloads, plus a
-## coordinator-crash-heavy burst (CI gate)
+## chaos-ship: replication-heavy sweep — extra disk destructions and
+## acked-frame bit rot per plan, so full rebuilds from the replica set and
+## scrubber repairs dominate the run
+chaos-ship:
+	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -disk 3
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -disk 3
+
+## chaos-quick: a short crash-anywhere sweep of both workloads, plus
+## coordinator-crash-heavy and disk-loss-heavy bursts (CI gate)
 chaos-quick:
 	$(GO) run ./cmd/wattdb-chaos -seeds 6 -duration 25s
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 3 -duration 20s
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -coord 3
+	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -disk 3
 
 ## check: tier-1 verification in one command (build + vet + race-enabled
 ## tests + a short crash-anywhere chaos sweep of both workloads)

@@ -28,6 +28,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "simulated workload window (default 45s)")
 	faults := flag.Int("faults", 0, "extra random fault events (default 4)")
 	coord := flag.Int("coord", 0, "extra random coordinator power-fails (default 1; every plan also crashes the leader mid-migration)")
+	disk := flag.Int("disk", 0, "extra disk-loss + acked-rot fault pairs (default 1; every plan already destroys one disk and bit-rots one flushed frame)")
 	tpccMode := flag.Bool("tpcc", false, "run the TPC-C workload with the warehouse-invariant oracle (ignores -keys)")
 	verbose := flag.Bool("v", false, "print the fault schedule of every run")
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 			Duration:    *duration,
 			Faults:      *faults,
 			CoordFaults: *coord,
+			DiskFaults:  *disk,
 		}
 		run := chaos.Run
 		if *tpccMode {
@@ -88,9 +90,10 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d leader=%d) restarts=%d failovers=%d\n",
+		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d leader=%d disk=%d) restarts=%d failovers=%d rebuilds=%d scrubs=%d freads=%d\n",
 			s, scheme, status, rep.StateHash, rep.SimTime.Seconds(),
-			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.LeaderCrashes, rep.Restarts, rep.Failovers)
+			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.LeaderCrashes, rep.DiskLosses, rep.Restarts, rep.Failovers,
+			rep.Rebuilds, rep.ScrubRepairs, rep.FollowerReads)
 		if *verbose || !rep.Passed() {
 			for _, f := range rep.Faults {
 				fmt.Printf("    %s\n", f)
@@ -120,6 +123,9 @@ func main() {
 			}
 			if *coord != 0 {
 				repro += fmt.Sprintf(" -coord %d", *coord)
+			}
+			if *disk != 0 {
+				repro += fmt.Sprintf(" -disk %d", *disk)
 			}
 			fmt.Printf("    reproduce: %s\n", repro)
 		}

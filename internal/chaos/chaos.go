@@ -64,6 +64,11 @@ type Config struct {
 	// runs replicated (two follower replicas) and every run must fail over
 	// and keep all invariants.
 	CoordFaults int
+	// DiskFaults is the number of guaranteed full-disk-loss + acked-history
+	// bit-rot pairs in the plan. Every run ships acked history to follower
+	// replicas; each disk-loss victim must rebuild all hosted partitions
+	// from its replica set, and the scrubber must repair every rot hit.
+	DiskFaults int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +93,11 @@ func (c Config) withDefaults() Config {
 		c.CoordFaults = 0
 	} else if c.CoordFaults == 0 {
 		c.CoordFaults = 1
+	}
+	if c.DiskFaults < 0 {
+		c.DiskFaults = 0
+	} else if c.DiskFaults == 0 {
+		c.DiskFaults = 1
 	}
 	return c
 }
@@ -114,6 +124,16 @@ type Report struct {
 	// Failovers counts the leader elections the master went through.
 	LeaderCrashes int
 	Failovers     int
+	// Replicated-history counters: DiskLosses counts full log-medium
+	// destructions, Rebuilds the restarts that reconstructed a node's
+	// history from its replica set, RotInjected the acked-history bit flips
+	// landed, ScrubRepairs the frames the scrubber patched back from a
+	// healthy copy, FollowerReads the snapshot reads served by replicas.
+	DiskLosses    int
+	Rebuilds      int
+	RotInjected   int
+	ScrubRepairs  int
+	FollowerReads int
 
 	Faults     []string // executed fault schedule, in order
 	Violations []string // invariant violations (empty = PASS)
@@ -183,6 +203,7 @@ func Run(cfg Config) (*Report, error) {
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.Nodes
 	ccfg.MasterReplicas = 2
+	ccfg.DataReplicas = 2
 	c := cluster.New(env, ccfg)
 	for _, n := range c.Nodes[1:] {
 		n.HW.ForceActive()
@@ -231,12 +252,14 @@ func Run(cfg Config) (*Report, error) {
 	if loadErr != nil {
 		return h.rep, loadErr
 	}
+	c.SetupReplicationDrain()
 
-	// Workload, fault plan, and power sampler.
+	// Workload, fault plan, power sampler, and replication daemons.
 	for w := 0; w < cfg.Workers; w++ {
 		h.spawnWorker(w)
 	}
 	h.spawnPowerSampler()
+	spawnReplicationDaemons(env, c, &h.stop)
 	h.runner().spawnExecutor(buildPlan(cfg))
 
 	if err := env.RunUntil(cfg.Duration); err != nil {
@@ -265,6 +288,11 @@ func Run(cfg Config) (*Report, error) {
 	if err := env.Run(); err != nil {
 		return h.rep, err
 	}
+	finalReplicationSweep(env, c, h.violate)
+	if err := env.Run(); err != nil {
+		return h.rep, err
+	}
+	h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses = c.ReplicationStats()
 
 	// Coordinator-failover oracles: after the drain the master must be
 	// available under some leader, and every recorded commit decision must
@@ -557,6 +585,8 @@ func (h *harness) stateHash(finalState string) string {
 	}
 	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d failovers=%d now=%d\n",
 		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
+	fmt.Fprintf(d, "rebuilds=%d scrubs=%d freads=%d disklosses=%d\n",
+		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

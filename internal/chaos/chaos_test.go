@@ -58,6 +58,46 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosDiskLossDeterministic piles full-disk-loss and acked-history-rot
+// faults onto one seed and requires (a) a disk actually got destroyed and
+// the restart rebuilt the node from its replica set, (b) every invariant
+// holds through the rebuild, and (c) two runs agree on the schedule and the
+// state hash — rebuild sourcing, scrub repairs, and follower reads replay
+// identically (the hash includes all the replication counters).
+func TestChaosDiskLossDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Scheme: table.Physiological, Duration: 40 * time.Second, DiskFaults: 3}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logReport(t, r1)
+	if !r1.Passed() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(r1.Violations, "\n"))
+	}
+	if r1.DiskLosses == 0 || r1.Rebuilds == 0 {
+		t.Fatalf("no disk was lost and rebuilt (diskLosses=%d rebuilds=%d)", r1.DiskLosses, r1.Rebuilds)
+	}
+	if r1.FollowerReads == 0 {
+		t.Fatal("no snapshot read was served by a replica")
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateHash != r2.StateHash {
+		t.Errorf("state hash differs: %s vs %s", r1.StateHash, r2.StateHash)
+	}
+	if fmt.Sprint(r1.Faults) != fmt.Sprint(r2.Faults) {
+		t.Errorf("fault schedules differ:\nrun1: %v\nrun2: %v", r1.Faults, r2.Faults)
+	}
+	if r1.DiskLosses != r2.DiskLosses || r1.Rebuilds != r2.Rebuilds ||
+		r1.ScrubRepairs != r2.ScrubRepairs || r1.FollowerReads != r2.FollowerReads {
+		t.Errorf("replication counters differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			r1.DiskLosses, r1.Rebuilds, r1.ScrubRepairs, r1.FollowerReads,
+			r2.DiskLosses, r2.Rebuilds, r2.ScrubRepairs, r2.FollowerReads)
+	}
+}
+
 // TestChaosCoordFailoverDeterministic piles extra coordinator power-fails
 // onto one seed and requires (a) leader crashes and completed failovers
 // actually occurred, (b) every invariant still holds through them, and

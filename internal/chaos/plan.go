@@ -15,13 +15,15 @@ import (
 type faultKind int
 
 const (
-	faultCrash     faultKind = iota // power-fail a node, restart it later
-	faultCrashTorn                  // power-fail leaving a torn final record on the log tail
-	faultCrashFlip                  // power-fail leaving a bit-flipped frame at the flushed boundary
-	faultDiskStall                  // extra per-request latency on a disk
-	faultNetSpike                   // extra one-way latency on every link
-	faultMigrate                    // rebalance a key range onto a target
-	faultCrashCoord                 // power-fail whichever node is the acting coordinator
+	faultCrash       faultKind = iota // power-fail a node, restart it later
+	faultCrashTorn                    // power-fail leaving a torn final record on the log tail
+	faultCrashFlip                    // power-fail leaving a bit-flipped frame at the flushed boundary
+	faultDiskStall                    // extra per-request latency on a disk
+	faultNetSpike                     // extra one-way latency on every link
+	faultMigrate                      // rebalance a key range onto a target
+	faultCrashCoord                   // power-fail whichever node is the acting coordinator
+	faultDestroyDisk                  // power-fail a node AND destroy its log medium (rebuild from replicas)
+	faultRotAcked                     // flip one bit inside a flushed frame of a live node's log
 )
 
 // faultEvent is one scheduled fault.
@@ -88,10 +90,16 @@ func buildPlan(cfg Config) []faultEvent {
 	// the device was writing, and one leaving a bit-flipped frame at the
 	// flushed boundary. Recovery must truncate both tails cleanly.
 	plan = append(plan, tornCrashEvents(rng, window, 2)...)
+	// And cfg.DiskFaults full-disk-loss + acked-history-rot pairs: the wiped
+	// node must rebuild everything from its replica set, and the scrubber
+	// must repair the flipped frame from a healthy copy.
+	for i := 0; i < cfg.DiskFaults; i++ {
+		plan = append(plan, diskFaultEvents(rng, window, cfg.Nodes)...)
+	}
 
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
-		switch rng.Intn(6) {
+		switch rng.Intn(8) {
 		case 0:
 			plan = append(plan, faultEvent{
 				at:   at,
@@ -128,6 +136,10 @@ func buildPlan(cfg Config) []faultEvent {
 				hiK:    int64(cfg.Keys / 4),
 				target: cfg.Nodes - 1,
 			})
+		case 6:
+			plan = append(plan, destroyDisk(rng, at, cfg.Nodes))
+		case 7:
+			plan = append(plan, rotAcked(rng, at, cfg.Nodes))
 		}
 	}
 	// Stable order: by time, with insertion order breaking ties (stability
@@ -171,6 +183,48 @@ func tornCrashEvents(rng *rand.Rand, window time.Duration, dataNodes int) []faul
 	return []faultEvent{
 		tornCrash(rng, at(), faultCrashTorn, dataNodes),
 		tornCrash(rng, at(), faultCrashFlip, dataNodes),
+	}
+}
+
+// destroyDisk builds one full-disk-loss event: power-fail the node, wipe its
+// log medium and recovery bases, and restart it after dur — the restart must
+// rebuild every hosted partition from the node's replica set.
+func destroyDisk(rng *rand.Rand, at time.Duration, nodes int) faultEvent {
+	return faultEvent{
+		at:   at,
+		kind: faultDestroyDisk,
+		node: rng.Intn(nodes),
+		dur:  12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second))),
+	}
+}
+
+// rotAcked builds one acked-history bit-rot event: flip a bit inside a
+// flushed, shippable frame of a live node's log (the scrubber must repair it
+// from a healthy copy before — or at latest during — the final sweep). The
+// node is drawn from the first two (steady log traffic guarantees a victim
+// frame exists).
+func rotAcked(rng *rand.Rand, at time.Duration, nodes int) faultEvent {
+	pick := nodes
+	if pick > 2 {
+		pick = 2
+	}
+	return faultEvent{
+		at:   at,
+		kind: faultRotAcked,
+		node: rng.Intn(pick),
+		flip: rng.Intn(1 << 20),
+	}
+}
+
+// diskFaultEvents derives the guaranteed disk-loss + acked-rot pair every
+// plan carries, landing in the middle half of the window.
+func diskFaultEvents(rng *rand.Rand, window time.Duration, nodes int) []faultEvent {
+	at := func() time.Duration {
+		return window/4 + time.Duration(rng.Int63n(int64(window/2)))
+	}
+	return []faultEvent{
+		destroyDisk(rng, at(), nodes),
+		rotAcked(rng, at(), nodes),
 	}
 }
 
@@ -236,6 +290,20 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 				}
 				migrating = true
 				fr.migrate(ev, func() { migrating = false })
+			case faultDestroyDisk:
+				fr.execDestroy(ev)
+			case faultRotAcked:
+				n := fr.c.Nodes[ev.node]
+				if n.Down() {
+					fr.logFault("acked-history rot on node %d skipped (down)", ev.node)
+					continue
+				}
+				if lsn := n.Log.FlipFlushedBit(ev.flip, fr.c.RotEligible(n)); lsn != 0 {
+					fr.rep.RotInjected++
+					fr.logFault("acked-history rot: node %d frame at LSN %d bit-flipped (pick %d)", ev.node, lsn, ev.flip)
+				} else {
+					fr.logFault("acked-history rot on node %d skipped (no replica-covered frame)", ev.node)
+				}
 			}
 		}
 	})
@@ -307,6 +375,66 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 		}
 		fr.rep.Restarts++
 		fr.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)
+		if fr.postRestart != nil {
+			fr.postRestart(p, node)
+		}
+	})
+}
+
+// execDestroy power-fails a node AND destroys its log medium — segments and
+// recovery base images both — then schedules the restart, which must rebuild
+// every hosted partition from the node's replica set. At most one disk loss
+// is outstanding at a time: two simultaneously wiped nodes could be each
+// other's only replica, leaving no rebuild source (real deployments solve
+// this with rack-aware placement; the simulator keeps the invariant by
+// serializing the fault).
+func (fr *faultRunner) execDestroy(ev faultEvent) {
+	if !fr.c.DataReplicated() {
+		fr.logFault("disk loss on node %d skipped (data replication off)", ev.node)
+		return
+	}
+	n := fr.c.Nodes[ev.node]
+	if n.Down() {
+		fr.logFault("disk loss on node %d skipped (already down)", ev.node)
+		return
+	}
+	for _, other := range fr.c.Nodes {
+		if other.DiskLost() {
+			fr.logFault("disk loss on node %d skipped (node %d still rebuilding)", ev.node, other.ID)
+			return
+		}
+	}
+	wasLeader := n == fr.c.Master.Node
+	fr.c.DestroyDisk(n)
+	fr.logFault("disk loss: node %d log medium and bases destroyed (restart after %v)", ev.node, ev.dur)
+	fr.rep.Crashes++
+	if fr.c.MasterReplicated() && wasLeader {
+		fr.rep.LeaderCrashes++
+	}
+	node := n
+	dur := ev.dur
+	fr.env.Spawn(fmt.Sprintf("chaos-rebuild-%d", ev.node), func(p *sim.Proc) {
+		p.Sleep(dur)
+		redone, undone, err := fr.c.RestartNode(p, node)
+		if err != nil {
+			fr.violate(fmt.Sprintf("rebuild restart of node %d failed: %v", node.ID, err))
+			return
+		}
+		if node.DiskLost() || node.Log.LostDurable() {
+			fr.violate(fmt.Sprintf("node %d still marked disk-lost after rebuild restart", node.ID))
+			return
+		}
+		it := node.Log.Iter()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		if it.Err() != nil {
+			fr.violate(fmt.Sprintf("rebuild of node %d left a corrupt log: %v", node.ID, it.Err()))
+		}
+		fr.rep.Restarts++
+		fr.logFault("node %d rebuilt from replicas (replay: %d redone, %d undone)", node.ID, redone, undone)
 		if fr.postRestart != nil {
 			fr.postRestart(p, node)
 		}

@@ -44,6 +44,7 @@ func RunTPCC(cfg Config) (*Report, error) {
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = cfg.Nodes
 	ccfg.MasterReplicas = 2
+	ccfg.DataReplicas = 2
 	c := cluster.New(env, ccfg)
 	for _, n := range c.Nodes[1:] {
 		n.HW.ForceActive()
@@ -89,10 +90,12 @@ func RunTPCC(cfg Config) (*Report, error) {
 	if loadErr != nil {
 		return h.rep, loadErr
 	}
+	c.SetupReplicationDrain()
 
 	for w := 0; w < cfg.Workers; w++ {
 		h.spawnWorker(w)
 	}
+	spawnReplicationDaemons(env, c, &h.stop)
 	h.runner().spawnExecutor(buildTPCCPlan(cfg, tcfg))
 
 	if err := env.RunUntil(cfg.Duration); err != nil {
@@ -117,6 +120,11 @@ func RunTPCC(cfg Config) (*Report, error) {
 	if err := env.Run(); err != nil {
 		return h.rep, err
 	}
+	finalReplicationSweep(env, c, h.violate)
+	if err := env.Run(); err != nil {
+		return h.rep, err
+	}
+	h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses = c.ReplicationStats()
 
 	// Coordinator-failover oracles (same contract as the KV harness).
 	if c.Master.Fenced() {
@@ -260,9 +268,13 @@ func buildTPCCPlan(cfg Config, tcfg tpcc.Config) []faultEvent {
 	// Guaranteed log-medium damage on the warehouse-hosting nodes: one torn
 	// final frame, one bit-flipped boundary frame (see tornCrashEvents).
 	plan = append(plan, tornCrashEvents(rng, window, 2)...)
+	// Guaranteed full-disk-loss + acked-history-rot pairs (see buildPlan).
+	for i := 0; i < cfg.DiskFaults; i++ {
+		plan = append(plan, diskFaultEvents(rng, window, cfg.Nodes)...)
+	}
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
-		switch rng.Intn(6) {
+		switch rng.Intn(8) {
 		case 0:
 			plan = append(plan, faultEvent{at: at, kind: faultCrash, node: rng.Intn(cfg.Nodes),
 				dur: 12*time.Second + time.Duration(rng.Int63n(int64(10*time.Second)))})
@@ -282,6 +294,10 @@ func buildTPCCPlan(cfg Config, tcfg tpcc.Config) []faultEvent {
 			// Move the last warehouse to the last node.
 			plan = append(plan, faultEvent{at: at, kind: faultMigrate,
 				loK: int64(tcfg.Warehouses), hiK: int64(tcfg.Warehouses) + 1, target: cfg.Nodes - 1})
+		case 6:
+			plan = append(plan, destroyDisk(rng, at, cfg.Nodes))
+		case 7:
+			plan = append(plan, rotAcked(rng, at, cfg.Nodes))
 		}
 	}
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
@@ -351,6 +367,8 @@ func (h *tpccHarness) stateHash(finalState string) string {
 	}
 	fmt.Fprintf(d, "commits=%d aborts=%d failed=%d failovers=%d now=%d\n",
 		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
+	fmt.Fprintf(d, "rebuilds=%d scrubs=%d freads=%d disklosses=%d\n",
+		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

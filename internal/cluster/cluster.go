@@ -32,6 +32,12 @@ type Config struct {
 	// machine to nodes 1..MasterReplicas (see replication.go). Zero keeps
 	// the legacy stable-metadata master.
 	MasterReplicas int
+	// DataReplicas, when positive, ships every node's data WAL frames to
+	// that many follower nodes (see datarep.go): forced commits need one
+	// durable follower, a wiped disk rebuilds from the replica set, and
+	// read-only snapshot reads can be served by followers. Zero keeps the
+	// legacy stable-flushed-bytes durability model.
+	DataReplicas int
 }
 
 // DefaultConfig returns the paper's 10-node cluster with test-scale
@@ -66,6 +72,9 @@ type Cluster struct {
 	homes     map[storage.SegID]*segHome
 	nextSegID storage.SegID
 
+	// drep is non-nil when data replication is enabled (datarep.go).
+	drep *dataRep
+
 	cfg Config
 }
 
@@ -87,6 +96,9 @@ func New(env *sim.Env, cfg Config) *Cluster {
 	c.Master = newMaster(c)
 	if cfg.MasterReplicas > 0 {
 		c.EnableMasterReplication(cfg.MasterReplicas)
+	}
+	if cfg.DataReplicas > 0 {
+		c.EnableDataReplication(cfg.DataReplicas)
 	}
 	var hwNodes []*hw.Node
 	for _, n := range c.Nodes {
@@ -140,6 +152,11 @@ type DataNode struct {
 	crashed   bool                        // power-failed, not yet restarted
 	lostParts []*table.Partition          // partitions to rebuild on restart, in ID order
 	bases     map[table.PartID][]basePair // recovery bases (bulk-load and adopted images)
+
+	// Data replication (see datarep.go); nil unless enabled.
+	ship     *shipState        // origin role: frames queued for followers
+	stores   map[int]*repStore // follower role: replica stores by origin ID
+	diskLost bool              // DestroyDisk wiped the durable state; rebuild pending
 }
 
 func newDataNode(c *Cluster, id int) *DataNode {

@@ -58,9 +58,15 @@ type basePair struct{ key, val []byte }
 // Down reports whether the node is power-failed.
 func (n *DataNode) Down() bool { return n.crashed }
 
-// addBase appends a record image to a partition's recovery base.
+// addBase appends a record image to a partition's recovery base. Under data
+// replication the image is also logged as a RecBase record, so the base rides
+// the shipped stream and a replica can rebuild the partition from log frames
+// alone (Append encodes immediately; key/val are borrowed).
 func (n *DataNode) addBase(id table.PartID, key, val []byte) {
 	n.bases[id] = append(n.bases[id], basePair{bytes.Clone(key), bytes.Clone(val)})
+	if n.cluster.drep != nil {
+		n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: key, After: val})
+	}
 }
 
 // CrashNode power-fails a node instantly (no orderly shutdown) — including
@@ -101,6 +107,11 @@ func (c *Cluster) doCrash(n *DataNode, tear, flip int) int {
 	if n.shippedFrom != nil {
 		n.Log.SetDevice(n.shippedFrom)
 		n.shippedFrom = nil
+	}
+	// Data replication: the ship queue and replica stores die with DRAM;
+	// followers and origins mark each other for resync.
+	if c.drep != nil {
+		c.crashShipState(n)
 	}
 	// Every owned partition loses its volatile state. The dead objects stay
 	// routable so in-flight transactions fail cleanly with ErrPartitionDown.
@@ -148,7 +159,21 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 		return 0, 0, fmt.Errorf("cluster: restart of node %d, which is not crashed", n.ID)
 	}
 	n.HW.PowerOn(p)
+	// Salvage the damaged log's readable frames before Restart's byte scan
+	// truncates at the first bad frame: if the restart turns into a rebuild,
+	// the node's own surviving frames merge with the replica copies.
+	var sv *ownSalvage
+	if c.drep != nil {
+		sv = salvageOwnFrames(n)
+	}
 	n.Log.Restart()
+	// Total durable loss — a wiped disk, or bit rot that ate into acked
+	// history (Restart found fewer valid frames than were flushed). The log
+	// is rebuilt from the replica set before anything reads it: the election
+	// below and every recovery pass must see the reconstructed history.
+	if c.drep != nil && (n.diskLost || n.Log.LostDurable()) {
+		c.rebuildFromReplicas(p, n, sv)
+	}
 	// A reviving replica-group member may complete a stalled election: its
 	// durable log (just recovered) is valid election input even though the
 	// node is still mid-restart.
@@ -225,6 +250,17 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 		if r.member(n.ID) && !c.Master.down && n != c.Master.Node && !r.current[n.ID] {
 			c.Master.catchUp(p, n)
 		}
+	}
+	// Data replication epilogue: restore any base records the crash's lost
+	// tail ate, then re-seed this node's replicas of live origins and push
+	// resyncs to followers that went stale while it was down. Only then does
+	// a rebuilt node shed its disk-lost mark — until its wrapper copies of
+	// the streams it follows are re-seeded, it is not stable storage for
+	// anyone else's rebuild.
+	if c.drep != nil {
+		c.repairBaseLog(p, n)
+		c.restartResync(p, n)
+		n.diskLost = false
 	}
 	return redone, undone, nil
 }

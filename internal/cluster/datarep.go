@@ -1,0 +1,1231 @@
+package cluster
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// Data replication: every node streams its shippable WAL frames (DML,
+// commits, prepare images, recovery-base images — see wal.Shippable) to a
+// fixed set of follower nodes, which append them wrapped in RecShip records
+// to their own logs (durability rides the followers' group commits) and
+// apply them to in-memory replica stores. The replicated history serves
+// three purposes:
+//
+//   - Durability beyond one disk: a forced commit is acknowledged only once
+//     its frames are durable on at least one follower (forceShip), so a node
+//     that loses its entire log medium (DestroyDisk, or bit rot inside acked
+//     history detected at Restart) rebuilds every hosted partition from a
+//     follower's durable wrapper log (rebuildFromReplicas).
+//   - Self-healing: a background scrubber CRC-rescans acked history and
+//     patches bit-rotted frames with the byte-identical copy a follower
+//     retained (ScrubPass).
+//   - Read scaling: read-only snapshot gets/scans below a follower's applied
+//     horizon are served from its replica store without touching the origin
+//     (session.go followerGet/followerScanPart).
+//
+// The origin/follower assignment is positional — followersOf(n) is the next
+// DataReplicas node IDs cyclically — so every node plays both roles. A
+// follower that misses deliveries (it was down, or its own disk was wiped)
+// is marked stale and stops counting for durability until a wholesale resync
+// (reset wrapper + every retained shippable frame) re-seeds it; resyncs run
+// from RestartNode in both directions. The master's records replicate
+// through the coordinator's own protocol (replication.go) and are excluded
+// from this stream.
+
+// shipRetryDelay paces forceShip's wait for a usable follower (mirrors the
+// coordinator's decisionRetryDelay).
+const shipRetryDelay = 50 * time.Millisecond
+
+// shipWireOverhead is the per-frame wire framing cost of a shipped frame
+// (ship header + request framing), matching the RPC overhead used elsewhere.
+const shipWireOverhead = 32
+
+// dataRep is the cluster-wide data-replication state.
+type dataRep struct {
+	replicas int // followers per origin node
+
+	// inflight: commit timestamps issued whose frames may not yet be
+	// replica-durable, keyed by origin node then transaction. A follower
+	// read at snapshot >= any inflight timestamp of the origin could miss
+	// that transaction's versions, so the read falls back to the origin.
+	inflight map[int]map[cc.TxnID]cc.Timestamp
+
+	// Stats (chaos report + state hash).
+	Rebuilds      int // partitions-hosting nodes rebuilt from replicas
+	ScrubRepairs  int // bit-rotted frames patched from a follower copy
+	FollowerReads int // gets/scans served by a replica store
+	DiskLosses    int // DestroyDisk invocations
+}
+
+func (d *dataRep) addInflight(node int, id cc.TxnID, ts cc.Timestamp) {
+	m := d.inflight[node]
+	if m == nil {
+		m = make(map[cc.TxnID]cc.Timestamp, 4)
+		d.inflight[node] = m
+	}
+	m[id] = ts
+}
+
+func (d *dataRep) delInflight(node int, id cc.TxnID) { delete(d.inflight[node], id) }
+
+func (d *dataRep) clearInflight(node int) { delete(d.inflight, node) }
+
+// inflightBelow reports whether the origin has an undelivered commit at or
+// below snap — a follower serving that snapshot could miss it.
+func (d *dataRep) inflightBelow(node int, snap cc.Timestamp) bool {
+	for _, ts := range d.inflight[node] {
+		if ts <= snap {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicationStats reports the data-replication counters: partitions-hosting
+// nodes rebuilt from their replica sets, bit-rotted frames the scrubber
+// repaired, reads served by replica stores, and DestroyDisk invocations.
+// All zero when data replication is off.
+func (c *Cluster) ReplicationStats() (rebuilds, scrubRepairs, followerReads, diskLosses int) {
+	if c.drep == nil {
+		return 0, 0, 0, 0
+	}
+	return c.drep.Rebuilds, c.drep.ScrubRepairs, c.drep.FollowerReads, c.drep.DiskLosses
+}
+
+// DataReplicated reports whether per-node WAL shipping is enabled.
+func (c *Cluster) DataReplicated() bool { return c.drep != nil }
+
+// DiskLost reports whether the node's log medium is destroyed (DestroyDisk)
+// and not yet rebuilt.
+func (n *DataNode) DiskLost() bool { return n.diskLost }
+
+// shipItem is one queued frame awaiting delivery to followers.
+type shipItem struct {
+	lsn   uint64
+	frame []byte // stable copy (the append hook clones the segment alias)
+}
+
+// shipState is a node's origin-side replication state.
+type shipState struct {
+	queue []shipItem // appended frames not yet delivered to live followers
+
+	// lastShippable is the LSN of the newest shippable frame appended —
+	// forceShip's durability target.
+	lastShippable uint64
+
+	// stale marks followers that missed deliveries (down, or wiped) and
+	// must be wholesale-resynced before they count for anything again.
+	stale map[int]bool
+
+	// Per-follower watermarks, all in origin LSNs except wrapLSN:
+	sent    map[int]uint64 // newest frame delivered (applied + appended there)
+	durable map[int]uint64 // newest frame covered by a flush of the follower's log
+	wrapLSN map[int]uint64 // follower-local LSN of the last wrapper appended
+
+	// rebuildGen counts rebuildFromReplicas passes — it is the generation
+	// stamped on every shipped frame, so followers' retained wrappers can be
+	// told apart across renumberings. rebuiltThrough and rebuiltFromGen
+	// describe the last rebuild: frames of generation rebuiltFromGen at or
+	// below rebuiltThrough survived into the rebuilt log. A commit waiter
+	// parked across the outage uses them to learn its frame's post-recovery
+	// fate (forceShipDecided).
+	rebuildGen     uint64
+	rebuiltThrough uint64
+	rebuiltFromGen uint64
+
+	// syncedGen tracks, per follower, the generation current when that
+	// follower's replica state was last reset. A resync within the same
+	// generation skips the reset: the follower's retained wrappers are
+	// byte-identical prefixes of the same numbering, and destroying them
+	// would risk trading a complete durable history for a partial one if the
+	// resync is cut short.
+	syncedGen map[int]uint64
+
+	// draining serializes queue drains (the background shipper vs. forced
+	// commits vs. resyncs); contenders wait on drained.
+	draining bool
+	drained  *sim.Signal
+}
+
+// stagedRep is one replicated DML image buffered until its commit arrives.
+type stagedRep struct {
+	part table.PartID
+	key  []byte
+	ver  cc.Version
+}
+
+// repStore is a follower's in-memory replica of one origin's partitions,
+// built by applying the origin's shipped frames in log order. It is wiped by
+// a crash (DRAM) and re-seeded by resync.
+type repStore struct {
+	maxLSN  uint64            // newest applied origin LSN (dedupe; reset clears)
+	frames  map[uint64][]byte // raw frame retention: scrub repair + rebuild source
+	pending map[cc.TxnID][]stagedRep
+	parts   map[table.PartID]*replicaPart
+}
+
+func newRepStore() *repStore {
+	return &repStore{
+		frames:  make(map[uint64][]byte),
+		pending: make(map[cc.TxnID][]stagedRep),
+		parts:   make(map[table.PartID]*replicaPart),
+	}
+}
+
+func (st *repStore) part(id table.PartID) *replicaPart {
+	rp := st.parts[id]
+	if rp == nil {
+		rp = &replicaPart{vers: make(map[string][]cc.Version)}
+		st.parts[id] = rp
+	}
+	return rp
+}
+
+// applyFrame processes one shipped origin frame: retain the raw bytes, buffer
+// DML under its transaction, promote on commit, drop on abort, and install
+// base images immediately (they are logged before any DML on their keys).
+// The frame must be a stable copy — it is retained verbatim.
+func (st *repStore) applyFrame(lsn uint64, frame []byte) {
+	if lsn <= st.maxLSN {
+		return // duplicate delivery (resync overlap)
+	}
+	rec, err := wal.DecodeFrame(frame)
+	if err != nil {
+		return // never shipped: drains and resyncs skip damaged frames
+	}
+	st.maxLSN = lsn
+	st.frames[lsn] = frame
+	switch rec.Type {
+	case wal.RecBase:
+		if v, err := table.DecodeValue(rec.After); err == nil {
+			st.part(table.PartID(rec.Part)).install(rec.Key, v)
+		}
+	case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+		if v, err := table.DecodeValue(rec.After); err == nil {
+			st.pending[rec.Txn] = append(st.pending[rec.Txn],
+				stagedRep{part: table.PartID(rec.Part), key: rec.Key, ver: v})
+		}
+	case wal.RecCommit:
+		for _, sv := range st.pending[rec.Txn] {
+			st.part(sv.part).install(sv.key, sv.ver)
+		}
+		delete(st.pending, rec.Txn)
+	case wal.RecAbort:
+		delete(st.pending, rec.Txn)
+	}
+	// Prepare images (RecPrepDML/RecPrepDel) carry raw payloads without a
+	// commit timestamp: they are retained for rebuild (where the normal
+	// in-doubt recovery path stamps them) but never installed here — the
+	// deciding commit re-ships ordinary DML with the final values.
+}
+
+// replicaPart mirrors one partition's full committed version history: a
+// sorted key list and per-key newest-first version chains. Nothing is ever
+// pruned — old snapshots routed here must resolve exactly as at the origin.
+type replicaPart struct {
+	keys []string // sorted
+	vers map[string][]cc.Version
+}
+
+// install adds v as key's version at v.TS (replacing an equal-TS install —
+// re-applied history is idempotent).
+func (rp *replicaPart) install(key []byte, v cc.Version) {
+	ks := string(key)
+	vs, known := rp.vers[ks]
+	if !known {
+		i := sort.SearchStrings(rp.keys, ks)
+		rp.keys = append(rp.keys, "")
+		copy(rp.keys[i+1:], rp.keys[i:])
+		rp.keys[i] = ks
+	}
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS <= v.TS })
+	if i < len(vs) && vs[i].TS == v.TS {
+		vs[i] = v
+	} else {
+		vs = append(vs, cc.Version{})
+		copy(vs[i+1:], vs[i:])
+		vs[i] = v
+	}
+	rp.vers[ks] = vs
+}
+
+// get resolves key at snapshot snap: the newest version with TS <= snap
+// (tombstones included — ok distinguishes "no version" from a visible
+// tombstone, matching cc.VersionStore.VisibleVersion).
+func (rp *replicaPart) get(key []byte, snap cc.Timestamp) (cc.Version, bool) {
+	for _, v := range rp.vers[string(key)] {
+		if v.TS <= snap {
+			return v, true
+		}
+	}
+	return cc.Version{}, false
+}
+
+// scan visits live versions of keys in [lo, hi) at snapshot snap, in key
+// order; fn returning false stops the scan.
+func (rp *replicaPart) scan(lo, hi []byte, snap cc.Timestamp, fn func(k, v []byte) bool) {
+	start := 0
+	if lo != nil {
+		start = sort.SearchStrings(rp.keys, string(lo))
+	}
+	for _, ks := range rp.keys[start:] {
+		if hi != nil && ks >= string(hi) {
+			return
+		}
+		v, ok := rp.get([]byte(ks), snap)
+		if !ok || v.Deleted {
+			continue
+		}
+		if !fn([]byte(ks), v.Val) {
+			return
+		}
+	}
+}
+
+// EnableDataReplication turns on per-node WAL shipping with the given number
+// of followers per node. Setup-only: call before the simulation starts (New
+// does, when Config.DataReplicas is positive), so bulk-load base images queue
+// from the first append.
+func (c *Cluster) EnableDataReplication(replicas int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(c.Nodes)-1 {
+		replicas = len(c.Nodes) - 1
+	}
+	c.drep = &dataRep{
+		replicas: replicas,
+		inflight: make(map[int]map[cc.TxnID]cc.Timestamp),
+	}
+	for _, n := range c.Nodes {
+		node := n
+		node.ship = &shipState{
+			stale:     make(map[int]bool),
+			sent:      make(map[int]uint64),
+			durable:   make(map[int]uint64),
+			wrapLSN:   make(map[int]uint64),
+			syncedGen: make(map[int]uint64),
+			drained:   sim.NewSignal(c.Env),
+		}
+		node.stores = make(map[int]*repStore)
+		node.Log.SetAppendHook(func(rec *wal.Record, frame []byte) {
+			if !wal.Shippable(rec.Type) {
+				return
+			}
+			sh := node.ship
+			sh.lastShippable = rec.LSN
+			sh.queue = append(sh.queue, shipItem{lsn: rec.LSN, frame: bytes.Clone(frame)})
+			if len(sh.queue) == 1 {
+				sh.updatePin(node.Log)
+			}
+		})
+	}
+}
+
+// followersOf returns origin id's replica set: the next DataReplicas node
+// IDs, cyclically.
+func (c *Cluster) followersOf(id int) []*DataNode {
+	out := make([]*DataNode, 0, c.drep.replicas)
+	for i := 1; i <= c.drep.replicas; i++ {
+		out = append(out, c.Nodes[(id+i)%len(c.Nodes)])
+	}
+	return out
+}
+
+// originsOf returns the node IDs that replicate TO node id (the inverse of
+// followersOf), ascending.
+func (c *Cluster) originsOf(id int) []*DataNode {
+	out := make([]*DataNode, 0, c.drep.replicas)
+	for i := 1; i <= c.drep.replicas; i++ {
+		out = append(out, c.Nodes[(id-i+len(c.Nodes))%len(c.Nodes)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// updatePin advances the log's truncation fence: everything unshipped (or
+// everything, while any follower awaits a resync from the retained log) is
+// pinned against TruncateBefore.
+func (sh *shipState) updatePin(l *wal.Log) {
+	for _, s := range sh.stale {
+		if s {
+			l.PinBefore(1) // a resync re-ships the whole retained log
+			return
+		}
+	}
+	if len(sh.queue) > 0 {
+		l.PinBefore(sh.queue[0].lsn)
+		return
+	}
+	l.PinBefore(l.TailLSN())
+}
+
+// applyToFollower delivers one origin frame to follower f: a RecShip wrapper
+// on f's log (Part carries the origin ID) and an immediate replica-store
+// apply. frame must be a stable copy.
+func (c *Cluster) applyToFollower(f, origin *DataNode, lsn uint64, frame []byte) {
+	payload := wal.EncodeShipFrame(nil, &wal.ShipFrame{
+		Origin: uint32(origin.ID), LSN: lsn, Gen: origin.ship.rebuildGen, Frame: frame})
+	wl := f.Log.Append(wal.Record{Type: wal.RecShip, Part: uint64(origin.ID), After: payload})
+	origin.ship.wrapLSN[f.ID] = wl
+	st := f.stores[origin.ID]
+	if st == nil {
+		st = newRepStore()
+		f.stores[origin.ID] = st
+	}
+	st.applyFrame(lsn, frame)
+}
+
+// applyReset opens a wholesale resync of origin's stream at follower f: a
+// reset wrapper on f's log, and a fresh replica store.
+func (c *Cluster) applyReset(f, origin *DataNode) {
+	payload := wal.EncodeShipFrame(nil, &wal.ShipFrame{
+		Origin: uint32(origin.ID), Gen: origin.ship.rebuildGen, Reset: true})
+	wl := f.Log.Append(wal.Record{Type: wal.RecShip, Part: uint64(origin.ID), After: payload})
+	origin.ship.wrapLSN[f.ID] = wl
+	f.stores[origin.ID] = newRepStore()
+}
+
+// acquireDrain serializes queue drains for origin; returns false if origin
+// died while waiting.
+func (c *Cluster) acquireDrain(p *sim.Proc, origin *DataNode) bool {
+	sh := origin.ship
+	for sh.draining {
+		if origin.crashed {
+			return false
+		}
+		stop := p.Meter(sim.CatLogging)
+		sh.drained.Wait(p)
+		stop()
+	}
+	if origin.crashed {
+		return false
+	}
+	sh.draining = true
+	return true
+}
+
+func (c *Cluster) releaseDrain(origin *DataNode) {
+	origin.ship.draining = false
+	origin.ship.drained.Fire()
+}
+
+// shipQueued delivers origin's queued frames to every live, in-sync
+// follower; with forced, each receiving follower's log is flushed through
+// the delivered wrappers and the durable watermark advances. Followers that
+// cannot receive are marked stale (resync re-seeds them). Returns false only
+// when origin died mid-drain.
+//
+// Only the origin-flushed prefix of the queue ships: a frame the origin has
+// not made locally durable could die with its unflushed tail, yet survive in
+// a follower's durably-flushed wrapper — a ghost the origin's restart would
+// renumber over and a rebuild would resurrect. Holding frames until the
+// origin's own flush covers them makes every shipped frame permanent at the
+// origin, so followers' retained wrappers never diverge from a restarted
+// origin's log.
+func (c *Cluster) shipQueued(p *sim.Proc, origin *DataNode, forced bool) bool {
+	if !c.acquireDrain(p, origin) {
+		return false
+	}
+	defer c.releaseDrain(origin)
+	sh := origin.ship
+	flushed := origin.Log.FlushedLSN()
+	cut := 0
+	for cut < len(sh.queue) && sh.queue[cut].lsn <= flushed {
+		cut++
+	}
+	items := sh.queue[:cut:cut]
+	var batchBytes int64
+	for _, it := range items {
+		batchBytes += int64(len(it.frame)) + shipWireOverhead
+	}
+	delivered := len(items) == 0
+	for _, f := range c.followersOf(origin.ID) {
+		if f.crashed || sh.stale[f.ID] {
+			if len(items) > 0 {
+				sh.stale[f.ID] = true
+			}
+			continue
+		}
+		if len(items) > 0 {
+			c.Net.Transfer(p, origin.ID, f.ID, batchBytes)
+			if origin.crashed {
+				return false
+			}
+			if f.crashed || sh.stale[f.ID] {
+				sh.stale[f.ID] = true
+				continue
+			}
+			for _, it := range items {
+				if it.lsn <= sh.sent[f.ID] {
+					continue
+				}
+				c.applyToFollower(f, origin, it.lsn, it.frame)
+				sh.sent[f.ID] = it.lsn
+			}
+			delivered = true
+		}
+		if forced {
+			wl := sh.wrapLSN[f.ID]
+			if wl > 0 && f.Log.FlushedLSN() < wl {
+				f.Log.Flush(p, wl)
+				if origin.crashed {
+					return false
+				}
+			}
+			if !f.crashed && !sh.stale[f.ID] && f.Log.FlushedLSN() >= wl {
+				sh.durable[f.ID] = sh.sent[f.ID]
+			}
+		}
+	}
+	if delivered {
+		sh.queue = sh.queue[len(items):]
+	}
+	// Not delivered: every follower is stale or down. The queue is kept —
+	// a restarting follower's resync covers only the origin-flushed prefix,
+	// so frames still volatile at the origin must stay queued for ordinary
+	// delivery once a follower is back in sync.
+	sh.updatePin(origin.Log)
+	return true
+}
+
+// forceShip blocks until every shippable frame origin has appended so far is
+// durable on at least one follower — the replication half of a forced
+// commit. It retries through follower outages (a restarting follower resyncs
+// and satisfies the target); it returns false only when origin itself dies.
+func (c *Cluster) forceShip(p *sim.Proc, origin *DataNode) bool {
+	sh := origin.ship
+	target := sh.lastShippable
+	// The caller locally forced its own frames before calling, so they sit at
+	// or below the flushed boundary. Anything above it was appended by OTHER
+	// in-flight transactions — they have their own waiters, and chasing them
+	// would hang this commit on a group-commit flush that may never come
+	// (an end-of-workload straggler).
+	if fl := origin.Log.FlushedLSN(); fl < target {
+		target = fl
+	}
+	for {
+		if origin.crashed {
+			return false
+		}
+		for _, f := range c.followersOf(origin.ID) {
+			if !sh.stale[f.ID] && sh.durable[f.ID] >= target {
+				return true
+			}
+		}
+		if !c.shipQueued(p, origin, true) {
+			return false
+		}
+		for _, f := range c.followersOf(origin.ID) {
+			if !sh.stale[f.ID] && sh.durable[f.ID] >= target {
+				return true
+			}
+		}
+		if origin.crashed {
+			return false
+		}
+		c.healStaleFollowers(p, origin)
+		if origin.crashed {
+			return false
+		}
+		p.Sleep(shipRetryDelay)
+	}
+}
+
+// healStaleFollowers resyncs any live-but-stale follower of origin. Restart
+// epilogues normally do this, but a resync interrupted by a concurrent crash
+// of the counterpart leaves the pair stale with no further trigger once both
+// are finally up — a forced commit waiting on replica durability would spin
+// forever. The forced-ship retry loops call this so they make progress on
+// whatever replica set the crash schedule left them.
+func (c *Cluster) healStaleFollowers(p *sim.Proc, origin *DataNode) {
+	if true { return }
+	sh := origin.ship
+	for _, f := range c.followersOf(origin.ID) {
+		if origin.crashed {
+			return
+		}
+		if !f.crashed && sh.stale[f.ID] {
+			c.resyncFollower(p, origin, f)
+		}
+	}
+}
+
+// forceShipDecided is the phase-2 replication wait of a single-node commit
+// whose commit record is ALREADY locally durable at LSN target (generation
+// gen, captured when the record was appended): the transaction's fate is
+// decided on this node's log, so an origin crash must not fail the commit —
+// a plain restart replays it and the ack must follow. The waiter parks across
+// the outage and resolves to the commit's actual post-recovery fate:
+//
+//   - origin alive: ship forced until a follower holds the target durably;
+//   - origin down: sleep until its restart resyncs a follower (durable
+//     watermarks re-anchor at the restored flushed boundary, which covers the
+//     locally-durable commit) — then true;
+//   - the restart was a rebuild (disk lost, or acked history rotted beyond
+//     repair): true iff the commit's frame was inside the replica set's
+//     durable prefix of its generation and thus survived into the rebuilt
+//     log; otherwise the commit is gone from the origin AND every replica
+//     (the rebuilt generation supersedes the stale wrappers), so false is
+//     consistent — nothing can surface.
+//
+// This keeps the harness oracle's strict contract: an error return means the
+// transaction is durably absent everywhere, a true return means it is durable
+// at the origin and recoverable from the replica set.
+func (c *Cluster) forceShipDecided(p *sim.Proc, origin *DataNode, target, gen uint64) bool {
+	sh := origin.ship
+	for {
+		if sh.rebuildGen != gen {
+			return sh.rebuiltFromGen == gen && target <= sh.rebuiltThrough
+		}
+		if !origin.crashed {
+			for _, f := range c.followersOf(origin.ID) {
+				if !sh.stale[f.ID] && sh.durable[f.ID] >= target {
+					return true
+				}
+			}
+			if c.shipQueued(p, origin, true) && sh.rebuildGen == gen {
+				for _, f := range c.followersOf(origin.ID) {
+					if !sh.stale[f.ID] && sh.durable[f.ID] >= target {
+						return true
+					}
+				}
+			}
+			if !origin.crashed && sh.rebuildGen == gen {
+				c.healStaleFollowers(p, origin)
+			}
+		}
+		p.Sleep(shipRetryDelay)
+	}
+}
+
+// DrainShipQueues runs one unforced delivery pass over every node (the
+// background shipper's body): queued frames ride to followers and their
+// wrapper durability rides the followers' group commits.
+func (c *Cluster) DrainShipQueues(p *sim.Proc) {
+	if c.drep == nil {
+		return
+	}
+	for _, n := range c.Nodes {
+		if n.crashed || len(n.ship.queue) == 0 {
+			continue
+		}
+		c.shipQueued(p, n, false)
+	}
+}
+
+// SetupReplicationDrain ships everything queued during setup (bulk-load base
+// images) and marks all logs durable, without charging simulated time — the
+// replicated starting state, like BulkLoad itself, exists before the clock
+// starts. Call after loading, before traffic.
+func (c *Cluster) SetupReplicationDrain() {
+	if c.drep == nil {
+		return
+	}
+	for _, n := range c.Nodes {
+		n.Log.SetupFlush()
+	}
+	for _, n := range c.Nodes {
+		sh := n.ship
+		for _, f := range c.followersOf(n.ID) {
+			for _, it := range sh.queue {
+				c.applyToFollower(f, n, it.lsn, it.frame)
+				sh.sent[f.ID] = it.lsn
+			}
+		}
+		sh.queue = nil
+		sh.updatePin(n.Log)
+	}
+	for _, n := range c.Nodes {
+		n.Log.SetupFlush() // the wrappers just appended
+	}
+	for _, n := range c.Nodes {
+		for _, f := range c.followersOf(n.ID) {
+			n.ship.durable[f.ID] = n.ship.sent[f.ID]
+		}
+	}
+}
+
+// resyncFollower wholesale-rebuilds follower f's replica of origin: a reset
+// wrapper, then every durable shippable frame of origin's log, appended to
+// f's log and flushed — after which f is in sync (stale cleared) and counts
+// for durability again. Tolerates either side dying mid-resync (stale
+// stays set; a later restart retries).
+func (c *Cluster) resyncFollower(p *sim.Proc, origin, f *DataNode) {
+	if origin.crashed || f.crashed {
+		return
+	}
+	// Heal any rot in the origin's acked history first: the collection below
+	// skips undecodable frames, and silently baking that gap into the
+	// follower's durable shipped prefix would defeat a later rebuild.
+	c.scrubNode(p, origin)
+	if origin.crashed || f.crashed {
+		return
+	}
+	if !c.acquireDrain(p, origin) {
+		return
+	}
+	defer c.releaseDrain(origin)
+	sh := origin.ship
+	flushed := origin.Log.FlushedLSN()
+	var frames []shipItem
+	var total int64
+	origin.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+		if rec.LSN > flushed {
+			return false
+		}
+		if !wal.Shippable(rec.Type) {
+			return true
+		}
+		frames = append(frames, shipItem{lsn: rec.LSN, frame: bytes.Clone(frame)})
+		total += int64(len(frame)) + shipWireOverhead
+		return true
+	})
+	c.Net.Transfer(p, origin.ID, f.ID, total+shipWireOverhead)
+	if origin.crashed || f.crashed {
+		return
+	}
+	// Reset only across a renumbering rebuild: the follower's retained
+	// wrappers of an older generation are unrelated records at colliding
+	// LSNs and must be superseded. Within one generation the retained
+	// wrappers are byte-identical to what ships below, so re-applying over
+	// them is idempotent — and skipping the reset means a resync cut short
+	// by a crash can only add duplicates, never trade the follower's
+	// complete durable history for a partial one.
+	if sh.syncedGen[f.ID] != sh.rebuildGen {
+		c.applyReset(f, origin)
+		sh.syncedGen[f.ID] = sh.rebuildGen
+	} else {
+		// Same generation: keep the retained wrappers, but start the
+		// in-memory store over so the re-applied stream rebuilds it in full
+		// (a crashed follower's store died with DRAM anyway; a live stale
+		// one may have missed deliveries).
+		f.stores[origin.ID] = newRepStore()
+	}
+	for _, it := range frames {
+		c.applyToFollower(f, origin, it.lsn, it.frame)
+	}
+	sh.sent[f.ID] = flushed
+	wl := sh.wrapLSN[f.ID]
+	f.Log.Flush(p, wl)
+	if origin.crashed {
+		return
+	}
+	if !f.crashed && f.Log.FlushedLSN() >= wl {
+		sh.durable[f.ID] = flushed
+		sh.stale[f.ID] = false
+	}
+	// The resynced prefix no longer needs queue delivery to THIS follower —
+	// but the queue is shared across the replica set, so only frames every
+	// non-stale follower already holds (sent covers them; stale followers
+	// re-ship from the retained log) may be dropped. Trimming to this
+	// follower's flushed boundary alone would discard frames a sibling
+	// synced at an older boundary never received, leaving a permanent gap
+	// in its replica store.
+	limit := flushed
+	for _, g := range c.followersOf(origin.ID) {
+		if !sh.stale[g.ID] && sh.sent[g.ID] < limit {
+			limit = sh.sent[g.ID]
+		}
+	}
+	q := origin.ship.queue
+	keep := 0
+	for keep < len(q) && q[keep].lsn <= limit {
+		keep++
+	}
+	origin.ship.queue = q[keep:]
+	sh.updatePin(origin.Log)
+}
+
+// durableShippedFrames reads follower f's durable wrapper log directly —
+// even while f is down; its disk is stable storage — and reconstructs
+// origin's shipped stream: raw frames keyed by origin LSN, after processing
+// reset markers in log order and keeping only the newest generation present
+// (older generations use a numbering the origin has since renumbered over —
+// their frames are unrelated records at colliding LSNs). Returns the frames,
+// the highest LSN among them, and the generation they belong to. Used by
+// rebuildFromReplicas, which must not wait for followers to restart (two
+// destroyed nodes could be mutual followers), and by the scrubber.
+func durableShippedFrames(f *DataNode, origin int) (map[uint64][]byte, uint64, uint64) {
+	frames := make(map[uint64][]byte)
+	var max, gen uint64
+	flushed := f.Log.FlushedLSN()
+	f.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+		if rec.LSN > flushed {
+			return false
+		}
+		if rec.Type != wal.RecShip || rec.Part != uint64(origin) {
+			return true
+		}
+		sf, err := wal.DecodeShipFrame(rec.After)
+		if err != nil {
+			return true
+		}
+		if sf.Gen < gen {
+			return true // stale straggler from before a renumbering
+		}
+		if sf.Gen > gen || sf.Reset {
+			frames = make(map[uint64][]byte)
+			max = 0
+			gen = sf.Gen
+		}
+		if sf.Reset {
+			return true
+		}
+		if sf.LSN > max {
+			max = sf.LSN
+		}
+		frames[sf.LSN] = sf.Frame
+		return true
+	})
+	return frames, max, gen
+}
+
+// RotEligible returns a predicate over origin n's acked frames marking those
+// a chaos bit-rot fault may damage without exceeding the redundancy budget:
+// only frames with a durable current-generation copy on a follower whose disk
+// medium is intact qualify. In-memory repair sources (the origin's ship
+// queue, follower replica stores) are deliberately excluded — a crash
+// schedule can erase every one of them before the scrubber runs, and rotting
+// a frame whose last durable copy is the origin's own models unrecoverable
+// media loss, not repairable decay.
+func (c *Cluster) RotEligible(n *DataNode) func(lsn uint64) bool {
+	covered := make(map[uint64]bool)
+	if c.drep != nil {
+		for _, f := range c.followersOf(n.ID) {
+			if f.diskLost {
+				continue
+			}
+			frames, _, gen := durableShippedFrames(f, n.ID)
+			if gen != n.ship.rebuildGen {
+				continue
+			}
+			for lsn := range frames {
+				covered[lsn] = true
+			}
+		}
+	}
+	return func(lsn uint64) bool { return covered[lsn] }
+}
+
+// durableMasterSeq returns the highest master-state sequence in the durable
+// prefix of m's log, tolerating damage: a crashed member's disk is readable
+// stable storage, but may still hold the torn tail or rotted frame its own
+// restart has not truncated yet, so the scan is per-frame and gated on the
+// flushed boundary rather than using the stop-on-error iterator.
+func durableMasterSeq(m *DataNode) uint64 {
+	var max uint64
+	flushed := m.Log.FlushedLSN()
+	m.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+		if rec.LSN > flushed {
+			return false
+		}
+		switch rec.Type {
+		case wal.RecMState, wal.RecMLease, wal.RecMAck:
+		case wal.RecDecision:
+			if rec.After == nil {
+				return true
+			}
+		default:
+			return true
+		}
+		if rec.Part > max {
+			max = rec.Part
+		}
+		return true
+	})
+	return max
+}
+
+// ownSalvage is the pre-Restart per-frame read of a crashed node's own
+// damaged log: every durable frame that still decodes, captured before
+// Restart's byte scan truncates at the first damaged frame. Rot on the
+// origin and a destroyed follower disk can each eat a DIFFERENT part of the
+// replicated history; the origin's own readable frames are the one source
+// guaranteed to cover everything it ever acked locally, so a rebuild merges
+// them with the best follower copy instead of discarding them.
+type ownSalvage struct {
+	frames map[uint64][]byte // shippable frames by LSN (current numbering)
+	max    uint64
+	// Replicated coordinator records (log order) and their highest sequence:
+	// a master-group member's own log may hold a longer master history than
+	// any other member's (it was the leader), and it reads for free.
+	masterRecs []wal.Record
+	masterSeq  uint64
+}
+
+// salvageOwnFrames reads n's crashed, possibly damaged log frame by frame
+// (the in-memory offset map survives the power failure model, mirroring the
+// scrubber's CheckFlushed walk) and keeps whatever still decodes inside the
+// durable boundary. Must run before Log.Restart — the restart scan
+// physically truncates at the first damaged frame, destroying every
+// readable frame behind it.
+func salvageOwnFrames(n *DataNode) *ownSalvage {
+	sv := &ownSalvage{frames: make(map[uint64][]byte)}
+	flushed := n.Log.FlushedLSN()
+	n.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+		if rec.LSN > flushed {
+			return false
+		}
+		switch {
+		case wal.Shippable(rec.Type):
+			sv.frames[rec.LSN] = bytes.Clone(frame)
+			if rec.LSN > sv.max {
+				sv.max = rec.LSN
+			}
+		case rec.Type == wal.RecMState || rec.Type == wal.RecMLease || rec.Type == wal.RecMAck,
+			rec.Type == wal.RecDecision && rec.After != nil:
+			sv.masterRecs = append(sv.masterRecs, *rec)
+			if rec.Part > sv.masterSeq {
+				sv.masterSeq = rec.Part
+			}
+		}
+		return true
+	})
+	return sv
+}
+
+// rebuildFromReplicas reconstructs a node's log after total loss of its
+// durable state (a wiped disk, or bit rot that ate into acked history): the
+// node's own salvaged frames and the follower holding the longest durable
+// prefix of the shipped stream together supply the frames, which are
+// re-appended — renumbered — to the freshly wiped log, together with the
+// coordinator's replicated records when the node is a master-group member
+// (those replicate through the master protocol and are absent from the data
+// stream, but elections read this node's log). Runs inside RestartNode,
+// right after Log.Restart and before any recovery pass; sv is the
+// pre-Restart salvage (empty after a wiped disk).
+func (c *Cluster) rebuildFromReplicas(p *sim.Proc, n *DataNode, sv *ownSalvage) {
+	// Pick the follower with the newest generation, longest durable prefix.
+	// Within a generation each follower's durable shipped set is a prefix of
+	// the origin's stream (in-order flushed-only delivery, resync on any
+	// gap), so the longest prefix of the newest generation covers every
+	// frame any forced commit had acked against since the last renumbering.
+	var best *DataNode
+	var bestFrames map[uint64][]byte
+	var bestMax, bestGen uint64
+	for _, f := range c.followersOf(n.ID) {
+		if f.diskLost {
+			continue // wiped too: no stable storage to read
+		}
+		frames, max, gen := durableShippedFrames(f, n.ID)
+		if best == nil || gen > bestGen || (gen == bestGen && max > bestMax) {
+			best, bestFrames, bestMax, bestGen = f, frames, max, gen
+		}
+	}
+	// Merge the sources. The salvage (when non-empty) is in the log's current
+	// numbering and covers everything this node acked locally — including
+	// slices whose only follower copy died with a destroyed disk; the best
+	// follower's copy fills the salvage's rot holes and is the sole source
+	// after a wiped disk. They merge when the follower holds the current
+	// generation (same numbering, byte-identical frames where both present);
+	// an older-generation follower copy uses a numbering this log has since
+	// renumbered over and cannot extend the salvage.
+	curGen := n.ship.rebuildGen
+	frames := bestFrames
+	rebuiltFromGen, rebuiltThrough := bestGen, bestMax
+	var fromBestBytes int64
+	if best != nil {
+		for _, fr := range bestFrames {
+			fromBestBytes += int64(len(fr)) + shipWireOverhead
+		}
+	}
+	if sv != nil && len(sv.frames) > 0 {
+		frames = sv.frames
+		rebuiltFromGen, rebuiltThrough = curGen, sv.max
+		if best != nil && bestGen == curGen {
+			fromBestBytes = 0
+			for lsn, fr := range bestFrames {
+				if _, ok := frames[lsn]; !ok {
+					frames[lsn] = fr
+					fromBestBytes += int64(len(fr)) + shipWireOverhead
+				}
+			}
+			if bestMax > rebuiltThrough {
+				rebuiltThrough = bestMax
+			}
+		} else {
+			best = nil
+		}
+	}
+	// Master-group members additionally restore the replicated coordinator
+	// records from the member with the highest durable master sequence, so
+	// the election and reconciliation passes below RestartNode see them. A
+	// down member's disk is stable storage just like in durableShippedFrames
+	// — only a wiped one is unreadable — and every acked forced record is
+	// flushed on all current followers, so the best durable prefix available
+	// covers everything a coordinator ack promised.
+	var masterRecs []wal.Record
+	if r := c.Master.rep; r != nil && r.member(n.ID) {
+		var src *DataNode
+		var bestSeq uint64
+		for _, id := range r.group {
+			m := c.Nodes[id]
+			if m == n || m.diskLost {
+				continue
+			}
+			if s := durableMasterSeq(m); src == nil || s > bestSeq {
+				src, bestSeq = m, s
+			}
+		}
+		if sv != nil && len(sv.masterRecs) > 0 && sv.masterSeq >= bestSeq {
+			// This node's own salvaged master history is at least as long as
+			// any other member's durable prefix — use it, wire-free.
+			masterRecs = sv.masterRecs
+			src = nil
+		}
+		if src != nil {
+			var total int64
+			flushed := src.Log.FlushedLSN()
+			src.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+				if rec.LSN > flushed {
+					return false
+				}
+				switch rec.Type {
+				case wal.RecMState, wal.RecMLease, wal.RecMAck:
+				case wal.RecDecision:
+					if rec.After == nil {
+						return true // coordinator-local form, not the replicated one
+					}
+				default:
+					return true
+				}
+				masterRecs = append(masterRecs, *rec)
+				total += int64(len(frame)) + shipWireOverhead
+				return true
+			})
+			c.Net.Transfer(p, src.ID, n.ID, total)
+		}
+	}
+	n.Log.WipeDisk() // renumber from LSN 1: the shipped stream has gaps
+	// forceShip targets are LSNs of the OLD numbering; re-anchor at zero and
+	// let the append hook re-advance as frames are re-appended below.
+	n.ship.lastShippable = 0
+	// Parked commit waiters resolve against the rebuild outcome: frames of
+	// generation rebuiltFromGen at or below rebuiltThrough survive (in that
+	// generation's numbering); everything else is gone everywhere once the
+	// resyncs supersede the stale wrappers.
+	n.ship.rebuiltThrough = rebuiltThrough
+	n.ship.rebuiltFromGen = rebuiltFromGen
+	n.ship.rebuildGen++
+	// The recovery bases are re-derived from the rebuilt log alone: the wiped
+	// log IS the new base truth, and stale in-memory pairs would re-append as
+	// phantom tail bases on the next repairBaseLog pass.
+	n.bases = make(map[table.PartID][]basePair)
+	for i := range masterRecs {
+		n.Log.Append(masterRecs[i])
+	}
+	if len(frames) > 0 {
+		if best != nil && fromBestBytes > 0 {
+			// Read the follower's contribution from its disk, ship it over.
+			best.HW.LogDisk().ReadSeq(p, fromBestBytes)
+			c.Net.Transfer(p, best.ID, n.ID, fromBestBytes)
+		}
+		lsns := make([]uint64, 0, len(frames))
+		for lsn := range frames {
+			lsns = append(lsns, lsn)
+		}
+		sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+		for _, lsn := range lsns {
+			rec, err := wal.DecodeFrame(frames[lsn])
+			if err != nil {
+				continue
+			}
+			n.Log.Append(rec) // Append renumbers
+			if rec.Type == wal.RecBase {
+				// A wiped disk also lost the recovery bases; the shipped
+				// base images restore them (Append encoded already, so the
+				// decoded slices can be retained).
+				id := table.PartID(rec.Part)
+				n.bases[id] = append(n.bases[id], basePair{rec.Key, rec.After})
+			}
+		}
+	}
+	last := n.Log.TailLSN() - 1
+	if last > 0 {
+		n.Log.Flush(p, last)
+	}
+	n.Log.ClearLostDurable()
+	// diskLost stays set until RestartNode's resync epilogue finishes: the
+	// replica set must be whole again (this node's wrapper copies of the
+	// streams it follows re-seeded, its followers re-seeded with the rebuilt
+	// stream) before it counts as stable storage for anyone else's rebuild.
+	c.drep.Rebuilds++
+}
+
+// repairBaseLog re-appends recovery-base records whose original appends were
+// lost with the unflushed tail of a crash — possible only in the window
+// between a migration's segment adoption and the move's base force. Durable
+// RecBase records are a per-partition prefix of the in-memory base list
+// (prefix flush), and a lost tail implies nothing durable follows it, so the
+// missing suffix re-appends at the tail without ever shadowing newer durable
+// DML on its keys (the adopted keys had none before adoption). Runs after
+// the recovery passes (this restart replayed the bases from memory) and
+// before the resyncs (which ship only the durable log).
+func (c *Cluster) repairBaseLog(p *sim.Proc, n *DataNode) {
+	have := make(map[table.PartID]int)
+	n.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
+		if rec.Type == wal.RecBase {
+			have[table.PartID(rec.Part)]++
+		}
+		return true
+	})
+	ids := make([]table.PartID, 0, len(n.bases))
+	for id := range n.bases {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var last uint64
+	for _, id := range ids {
+		bps := n.bases[id]
+		from := have[id]
+		if from > len(bps) {
+			from = len(bps)
+		}
+		for _, bp := range bps[from:] {
+			last = n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: bp.key, After: bp.val})
+		}
+	}
+	if last > 0 {
+		n.Log.Flush(p, last)
+	}
+}
+
+// restartResync runs RestartNode's replication epilogue on a freshly revived
+// node: drop stale inflight bookkeeping, pull fresh replicas of live origins
+// this node follows, and push resyncs to live followers that went stale.
+func (c *Cluster) restartResync(p *sim.Proc, n *DataNode) {
+	c.drep.clearInflight(n.ID)
+	for _, o := range c.originsOf(n.ID) {
+		if !o.crashed && o.ship.stale[n.ID] {
+			c.resyncFollower(p, o, n)
+		}
+	}
+	for _, f := range c.followersOf(n.ID) {
+		if !f.crashed && n.ship.stale[f.ID] {
+			c.resyncFollower(p, n, f)
+		}
+	}
+}
+
+// crashShipState is doCrash's replication teardown: the origin-side queue
+// dies with DRAM (followers resync on restart), the follower-side stores die
+// with DRAM (origins mark this node stale), and any drain parked in a
+// transfer is released.
+func (c *Cluster) crashShipState(n *DataNode) {
+	sh := n.ship
+	sh.queue = nil
+	sh.draining = false
+	sh.drained.Fire()
+	// Appends above the flushed boundary died with the crash: they can never
+	// become replica-durable, and a forceShip target above the durable tail
+	// would wait forever.
+	sh.lastShippable = n.Log.FlushedLSN()
+	// Followers may hold an unflushed shipped suffix the origin is about to
+	// lose — or miss frames whose queue just evaporated. Either way their
+	// replicas diverge from the restarted origin's durable log: resync.
+	for _, f := range c.followersOf(n.ID) {
+		sh.stale[f.ID] = true
+	}
+	n.stores = make(map[int]*repStore)
+	for _, o := range c.originsOf(n.ID) {
+		o.ship.stale[n.ID] = true
+		o.ship.updatePin(o.Log)
+	}
+	sh.updatePin(n.Log)
+}
+
+// DestroyDisk power-fails a node AND destroys its log medium: segments,
+// acked history, wrapper logs of the origins it follows, and the recovery
+// bases — everything durable is gone. RestartNode detects the loss and
+// rebuilds the node's state from its replica set. A no-op on an
+// already-destroyed disk.
+func (c *Cluster) DestroyDisk(n *DataNode) {
+	if n.diskLost {
+		return
+	}
+	c.CrashNode(n)
+	n.Log.WipeDisk()
+	n.bases = make(map[table.PartID][]basePair)
+	n.diskLost = true
+	if c.drep != nil {
+		c.drep.DiskLosses++
+	}
+}
+
+// ScrubPass CRC-rescans every live node's acked history and repairs
+// bit-rotted frames from a healthy copy. Returns the number of frames
+// repaired this pass.
+func (c *Cluster) ScrubPass(p *sim.Proc) int {
+	if c.drep == nil {
+		return 0
+	}
+	repaired := 0
+	for _, n := range c.Nodes {
+		if n.crashed {
+			continue
+		}
+		repaired += c.scrubNode(p, n)
+	}
+	return repaired
+}
+
+// scrubNode repairs every bit-rotted frame of one node's acked history.
+// Repair sources, in order: the node's own ship queue (the append-time clone
+// is pristine and covers flushed-but-unshipped frames), a live in-sync
+// follower's replica store, and finally any follower's durable wrapper log —
+// readable even while that follower is down or stale, since its disk is
+// stable storage. PatchFrame validates the candidate bytes, so a stale
+// wrapper log from before a renumbering rebuild can never patch wrong data.
+func (c *Cluster) scrubNode(p *sim.Proc, n *DataNode) int {
+	repaired := 0
+	for _, lsn := range n.Log.CheckFlushed() {
+		var frame []byte
+		for _, it := range n.ship.queue {
+			if it.lsn == lsn {
+				frame = it.frame
+				break
+			}
+		}
+		if frame == nil {
+			for _, f := range c.followersOf(n.ID) {
+				if !f.crashed && !n.ship.stale[f.ID] {
+					if st := f.stores[n.ID]; st != nil {
+						frame = st.frames[lsn]
+					}
+				}
+				if frame == nil && !f.diskLost {
+					// Only the current generation's wrappers may patch: an
+					// older generation's frame at the same LSN is a different
+					// record that happens to decode (PatchFrame checks CRC
+					// and LSN, not identity).
+					frames, _, gen := durableShippedFrames(f, n.ID)
+					if gen == n.ship.rebuildGen {
+						frame = frames[lsn]
+					}
+				}
+				if frame != nil {
+					// Request + frame response from the follower's copy.
+					c.Net.Transfer(p, n.ID, f.ID, 32)
+					c.Net.Transfer(p, f.ID, n.ID, int64(len(frame))+shipWireOverhead)
+					break
+				}
+			}
+		}
+		if n.crashed {
+			break
+		}
+		if frame != nil && n.Log.PatchFrame(lsn, frame) {
+			repaired++
+			c.drep.ScrubRepairs++
+		}
+	}
+	return repaired
+}

@@ -459,12 +459,13 @@ func (m *Master) RecordCount(p *sim.Proc, tableName string) (int, error) {
 }
 
 // appendCommitRecord writes and flushes a commit record on node's log. It
-// reports whether the record is actually durable — a power failure during
-// the force leaves the node's branch in doubt (prepared, undecided locally).
-func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) bool {
+// returns the record's LSN and whether it is actually durable — a power
+// failure during the force leaves the node's branch in doubt (prepared,
+// undecided locally).
+func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) (uint64, bool) {
 	lsn := node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
 	node.Log.Flush(p, lsn)
-	return !node.Down() && node.Log.FlushedLSN() >= lsn
+	return lsn, !node.Down() && node.Log.FlushedLSN() >= lsn
 }
 
 // rebind re-points every catalog reference at a restarted node's recovered

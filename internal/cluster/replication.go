@@ -453,28 +453,26 @@ func (m *Master) tryElect(reviving *DataNode) {
 
 // maxMasterSeq returns the highest master-state sequence in n's log
 // (election comparison; a crashed candidate has been through Log.Restart,
-// so the scan covers exactly its durable records).
+// so the scan covers exactly its durable records). The scan is per-frame
+// so a rotted acked data frame the scrubber has not reached yet cannot
+// hide the master records appended after it.
 func maxMasterSeq(n *DataNode) uint64 {
 	var max uint64
-	it := n.Log.Iter()
-	for {
-		rec, ok := it.Next()
-		if !ok {
-			break
-		}
+	n.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
 		switch rec.Type {
 		case wal.RecMState, wal.RecMLease, wal.RecMAck:
 		case wal.RecDecision:
 			if rec.After == nil {
-				continue
+				return true
 			}
 		default:
-			continue
+			return true
 		}
 		if rec.Part > max {
 			max = rec.Part
 		}
-	}
+		return true
+	})
 	return max
 }
 
@@ -488,21 +486,20 @@ func maxMasterSeq(n *DataNode) uint64 {
 func (m *Master) electFrom(candidate *DataNode) {
 	r := m.rep
 	var recs []wal.Record
-	it := candidate.Log.Iter()
-	for {
-		rec, ok := it.Next()
-		if !ok {
-			break
-		}
+	// Per-frame scan: a live candidate may carry a bit-rotted acked data
+	// frame the scrubber has not repaired yet; the master records past it
+	// must still be replayed.
+	candidate.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
 		switch rec.Type {
 		case wal.RecMState, wal.RecMLease, wal.RecMAck:
-			recs = append(recs, rec)
+			recs = append(recs, *rec)
 		case wal.RecDecision:
 			if rec.After != nil { // replicated decisions carry participants
-				recs = append(recs, rec)
+				recs = append(recs, *rec)
 			}
 		}
-	}
+		return true
+	})
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Part < recs[j].Part })
 	m.tables = make(map[string]*TableMeta)
 	// The decision map is NOT reset: every in-memory ack corresponds to a

@@ -30,6 +30,10 @@ type Session struct {
 	// coordinator was unavailable: its transaction is born aborted and
 	// every operation returns ErrMasterDown.
 	fenced bool
+	// reads counts read operations, alternating them between the owner and
+	// an eligible replica under data replication (so both paths stay
+	// exercised and the owner keeps roughly half the load).
+	reads int
 }
 
 // Begin starts a transaction executing at home. The timestamp comes from
@@ -89,6 +93,39 @@ func (s *Session) rpc(p *sim.Proc, owner *DataNode, reqBytes, respBytes int64) {
 	s.m.cluster.Net.Transfer(p, owner.ID, s.Home.ID, respBytes+32)
 }
 
+// followerFor returns a replica node eligible to serve this session's
+// snapshot reads of e's partition, or nil to read at the owner. Eligibility
+// is a conjunction of safety gates: the store mirrors every committed version
+// visible at the session's snapshot only if the owner has nothing queued or
+// in flight at or below it and the follower is fully in sync. Every other
+// read goes to the owner regardless, so both paths stay exercised.
+func (s *Session) followerFor(e *RangeEntry) *DataNode {
+	c := s.m.cluster
+	if c.drep == nil || s.Txn.Mode != cc.SnapshotIsolation || len(s.touched) != 0 {
+		return nil
+	}
+	s.reads++
+	if s.reads%2 == 0 || e.OldPart != nil {
+		return nil // owner's turn, or a migration is in flight (dual copies)
+	}
+	origin := e.Owner
+	if origin.Down() || len(origin.ship.queue) > 0 {
+		return nil // undelivered frames could hold versions below the snapshot
+	}
+	if c.drep.inflightBelow(origin.ID, s.Txn.Begin) {
+		return nil // a commit at or below the snapshot is not yet replicated
+	}
+	for _, f := range c.followersOf(origin.ID) {
+		if f.Down() || origin.ship.stale[f.ID] {
+			continue
+		}
+		if st := f.stores[origin.ID]; st != nil && st.parts[e.Part.ID] != nil {
+			return f
+		}
+	}
+	return nil
+}
+
 type loc struct {
 	part  *table.Partition
 	owner *DataNode
@@ -137,6 +174,26 @@ func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, 
 	e, err := tm.route(key)
 	if err != nil {
 		return nil, false, err
+	}
+	// Follower snapshot read: an in-sync replica resolves the key below its
+	// applied horizon without touching the owner. Its answer is authoritative
+	// either way — the store mirrors the owner's full committed history, so
+	// "absent" and a visible tombstone both mean not-found at this snapshot.
+	if f := s.followerFor(e); f != nil {
+		origin := e.Owner
+		s.rpc(p, f, 32, 64)
+		// Re-fetch after the blocking trip: a crash or resync may have
+		// replaced the store meanwhile (fall back to the owner if so).
+		if st := f.stores[origin.ID]; st != nil {
+			if rp := st.parts[e.Part.ID]; rp != nil {
+				s.m.cluster.drep.FollowerReads++
+				v, ok := rp.get(key, s.Txn.Begin)
+				if !ok || v.Deleted {
+					return nil, false, nil
+				}
+				return v.Val, true, nil
+			}
+		}
 	}
 	for _, c := range e.candidatesFor(key) {
 		if s.Txn.Mode == cc.Locking {
@@ -254,14 +311,17 @@ func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key
 		elo, ehi := maxBytes(lo, e.Low), minBytes(hi, e.High)
 		stop := false
 		if e.OldPart == nil {
-			s.rpc(p, e.Owner, 64, 256)
-			err = e.Part.Scan(p, s.Txn, elo, ehi, func(k, v []byte) bool {
+			wrapped := func(k, v []byte) bool {
 				if !fn(k, v) {
 					stop = true
 					return false
 				}
 				return true
-			})
+			}
+			if !s.followerScanPart(p, e, elo, ehi, wrapped) {
+				s.rpc(p, e.Owner, 64, 256)
+				err = e.Part.Scan(p, s.Txn, elo, ehi, wrapped)
+			}
 		} else {
 			err = s.mergedScan(p, e, elo, ehi, func(k, v []byte) bool {
 				if !fn(k, v) {
@@ -279,6 +339,29 @@ func (s *Session) Scan(p *sim.Proc, tableName string, lo, hi []byte, fn func(key
 		}
 	}
 	return nil
+}
+
+// followerScanPart serves one range entry's scan from an eligible replica
+// store; it reports whether the scan was served (false falls back to the
+// owner). Tombstones are skipped exactly as the owner's scan would.
+func (s *Session) followerScanPart(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn func(k, v []byte) bool) bool {
+	f := s.followerFor(e)
+	if f == nil {
+		return false
+	}
+	origin := e.Owner
+	s.rpc(p, f, 64, 256)
+	st := f.stores[origin.ID]
+	if st == nil {
+		return false // crash or resync replaced the store mid-trip
+	}
+	rp := st.parts[e.Part.ID]
+	if rp == nil {
+		return false
+	}
+	s.m.cluster.drep.FollowerReads++
+	rp.scan(lo, hi, s.Txn.Begin, fn)
+	return true
 }
 
 // mergedScan visits both locations of a migrating range and merges results
@@ -412,6 +495,12 @@ func (s *Session) Commit(p *sim.Proc) error {
 			if node.Down() { // power-failed during the prepare force
 				return ErrNodeDown{node.ID}
 			}
+			// Under data replication a prepared branch must also be durable
+			// on a replica before the coordinator may decide: losing the
+			// branch's entire disk would otherwise lose a voted prepare.
+			if s.m.cluster.drep != nil && !s.m.cluster.forceShip(p, node) {
+				return ErrNodeDown{node.ID}
+			}
 		}
 	}
 	// Commit point: timestamp from the master's oracle.
@@ -427,6 +516,15 @@ func (s *Session) Commit(p *sim.Proc) error {
 		return err
 	}
 	commitTS := s.m.Oracle.CommitTS(s.Txn)
+	// The commit timestamp exists but its frames are not yet on replicas:
+	// register it so follower reads at snapshots covering it fall back to
+	// the owner until phase 2 ships everything (deregistered per node below;
+	// a participant crash clears its entries wholesale at restart).
+	if s.m.cluster.drep != nil {
+		for _, node := range ordered {
+			s.m.cluster.drep.addInflight(node.ID, s.Txn.ID, commitTS)
+		}
+	}
 	if distributed {
 		// The coordinator forces its decision record before any participant
 		// installs: from here the transaction commits everywhere, no matter
@@ -469,12 +567,39 @@ func (s *Session) Commit(p *sim.Proc) error {
 			// acknowledgment.
 			return nodeErr
 		}
-		if durable := appendCommitRecord(p, node, s.Txn); !durable {
+		var shipGen uint64
+		if s.m.cluster.drep != nil {
+			// Captured in the same instant the commit record gets its LSN:
+			// the pair identifies the record across any renumbering rebuild.
+			shipGen = node.ship.rebuildGen
+		}
+		commitLSN, durable := appendCommitRecord(p, node, s.Txn)
+		if !durable {
 			// The node power-failed during the commit-record force.
 			if !distributed {
 				return ErrNodeDown{node.ID}
 			}
 			continue // in-doubt: the decision record drives roll-forward
+		}
+		// Replication half of the force: the branch's frames (DML + commit)
+		// must be durable on a replica before the ack, or a disk loss at
+		// this node would lose an acknowledged commit. A distributed branch
+		// whose node dies here is in doubt like any other; its inflight
+		// entry clears when it restarts. A single-node transaction's commit
+		// record is already durable — its fate is decided — so the wait
+		// parks across any origin outage and resolves to what recovery
+		// actually did: ack if the commit survived (plain restart, or a
+		// rebuild whose replica prefix covered it), error only if it is
+		// durably gone everywhere.
+		if s.m.cluster.drep != nil {
+			if distributed {
+				if !s.m.cluster.forceShip(p, node) {
+					continue
+				}
+			} else if !s.m.cluster.forceShipDecided(p, node, commitLSN, shipGen) {
+				return ErrNodeDown{node.ID}
+			}
+			s.m.cluster.drep.delInflight(node.ID, s.Txn.ID)
 		}
 		if distributed {
 			s.m.ackDecision(s.Txn.ID, node.ID)

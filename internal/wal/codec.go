@@ -75,7 +75,7 @@ func DecodeRecord(buf []byte) (Record, []byte, error) {
 		Part: binary.LittleEndian.Uint64(buf[24:32]),
 		Type: RecType(buf[32]),
 	}
-	if r.Type > RecMAck {
+	if r.Type > RecShip {
 		return Record{}, nil, fmt.Errorf("wal: unknown record type %d", buf[32])
 	}
 	flags := buf[33]
@@ -160,6 +160,19 @@ func decodeFrame(buf []byte) (Record, int, error) {
 		return Record{}, 0, fmt.Errorf("wal: %d stray bytes inside frame", len(rest))
 	}
 	return rec, frameHeaderSize + n, nil
+}
+
+// DecodeFrame parses exactly one framed record occupying the whole of buf —
+// the replication layer's entry point for decoding a shipped frame copy.
+func DecodeFrame(buf []byte) (Record, error) {
+	rec, n, err := decodeFrame(buf)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(buf) {
+		return Record{}, fmt.Errorf("wal: %d stray bytes after frame", len(buf)-n)
+	}
+	return rec, nil
 }
 
 // ValidPrefix returns the byte length of the longest prefix of buf that

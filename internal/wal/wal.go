@@ -45,13 +45,27 @@ const (
 	RecMState // full catalog + partition-table snapshot of one table (After = EncodeMasterTable)
 	RecMLease // timestamp-oracle lease grant (TS = first timestamp NOT covered)
 	RecMAck   // decision participant resolved (Txn = txn, After = EncodeMasterAck)
+
+	// RecBase is a recovery-base image: one record of a bulk-loaded or
+	// adopted-segment partition image, logged so the base rides the same
+	// shipped stream as ordinary DML and a replica can rebuild the partition
+	// from log frames alone. Replay applies it unconditionally (Txn = 0, no
+	// commit record guards it); correctness relies on bases being logged
+	// before any DML on their keys, which append order guarantees.
+	RecBase // Part = partition, Key/After = the loaded image
+	// RecShip is a data-replication wrapper on a FOLLOWER's log: After holds
+	// an EncodeShipFrame payload carrying one raw frame of some origin node's
+	// log. Replay ignores it (the wrapped record belongs to the origin's
+	// partitions); the follower's in-memory replica store is rebuilt from
+	// these wrappers on restart.
+	RecShip
 )
 
 // String returns the type's display name.
 func (t RecType) String() string {
 	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint",
 		"segmove", "prepare", "prepdml", "prepdel", "decision",
-		"mstate", "mlease", "mack"}[t]
+		"mstate", "mlease", "mack", "base", "ship"}[t]
 }
 
 // Record is one logical log record. For ordinary DML, Before and After carry
@@ -153,6 +167,23 @@ type Log struct {
 	down  bool
 	epoch uint64
 
+	// pin is the truncation fence set by PinBefore: records with LSN >= pin
+	// are retained regardless of what TruncateBefore asks for (0 = no fence).
+	// The data-replication layer pins its shipped watermark here so
+	// acked-but-unshipped history is never recycled.
+	pin uint64
+
+	// onAppend, when set, observes every record the moment Append frames it.
+	// The frame slice aliases the segment buffer — the hook must copy if it
+	// retains the bytes (a later FlipFlushedBit would corrupt a live alias).
+	onAppend func(rec *Record, frame []byte)
+
+	// lostDurable is set by Restart when the CRC scan truncated below the
+	// pre-crash flushed boundary (bit rot inside acked history, or a wiped
+	// disk): durable bytes this log once acknowledged are gone, and the owner
+	// must rebuild from replicas. Sticky until ClearLostDurable.
+	lostDurable bool
+
 	// Stats.
 	Flushes      int64
 	BytesFlushed int64
@@ -199,8 +230,22 @@ func (l *Log) Append(rec Record) uint64 {
 	s.buf = appendFrame(s.buf, &rec)
 	s.ends = append(s.ends, len(s.buf))
 	l.pendingBytes += int64(len(s.buf) - start)
+	if l.onAppend != nil {
+		l.onAppend(&rec, s.buf[start:])
+	}
 	return rec.LSN
 }
+
+// SetAppendHook installs a callback observing every framed append (the
+// data-replication ship queue). The frame slice passed to the hook aliases
+// the segment buffer; the hook must copy it if retained.
+func (l *Log) SetAppendHook(fn func(rec *Record, frame []byte)) { l.onAppend = fn }
+
+// PinBefore sets the truncation fence: every record with LSN >= lsn is
+// retained no matter what TruncateBefore asks for. The replication layer
+// advances the fence as history ships to followers, so a checkpoint can
+// never recycle acked-but-unshipped frames. lsn = 0 clears the fence.
+func (l *Log) PinBefore(lsn uint64) { l.pin = lsn }
 
 // FlushedLSN returns the highest durable LSN.
 func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
@@ -359,6 +404,7 @@ func (l *Log) Restart() int {
 		return 0
 	}
 	l.down = false
+	prevFlushed := l.flushedLSN
 	discarded := 0
 	lastValid := uint64(0)
 	keep := 0
@@ -404,10 +450,208 @@ scan:
 	if lastValid > 0 {
 		l.flushedLSN = lastValid
 	}
+	if lastValid < prevFlushed {
+		// The scan truncated below the pre-crash durable boundary: bytes this
+		// log acknowledged as flushed are gone (bit rot inside acked history).
+		// An ordinary torn tail never trips this — crash() already dropped
+		// everything above flushedLSN before the scan ran.
+		l.lostDurable = true
+		l.flushedLSN = lastValid
+	}
 	l.nextLSN = l.flushedLSN + 1
 	l.pendingBytes = 0
 	l.TornDiscards += int64(discarded)
 	return discarded
+}
+
+// LostDurable reports whether a Restart (or WipeDisk) detected the loss of
+// bytes this log had acknowledged as durable — the owner's partitions cannot
+// be recovered locally and must be rebuilt from replicas.
+func (l *Log) LostDurable() bool { return l.lostDurable }
+
+// ClearLostDurable acknowledges a durability loss after the owner rebuilt
+// its state from replicas.
+func (l *Log) ClearLostDurable() { l.lostDurable = false }
+
+// WipeDisk models total loss of the log medium: every segment — including
+// acked history — is gone, and LSNs restart from 1 (the rebuilt log is
+// renumbered; replicas re-sync from scratch afterwards). Two callers: the
+// chaos DestroyDisk fault wipes a crashed node's disk under it, and the
+// restart rebuild path wipes a live-again log whose Restart scan found acked
+// history rotted beyond local repair, before re-appending the replica's copy.
+// LostDurable is set so the restart path knows local recovery is impossible.
+func (l *Log) WipeDisk() {
+	l.epoch++ // fence any in-flight flush: its device write hit a dead medium
+	l.segs = nil
+	l.forceNew = false
+	l.flushing = false
+	l.flushedLSN = 0
+	l.nextLSN = 1
+	l.pendingBytes = 0
+	l.pin = 0
+	l.lostDurable = true
+	l.flushedSig.Fire()
+}
+
+// CheckFlushed CRC-scans the durable portion of every retained segment and
+// returns the LSNs of frames that no longer decode — bit rot inside acked
+// history. The walk uses the in-memory LSN-to-offset mapping, so damage to
+// one frame never hides the frames behind it (unlike Restart's byte scan,
+// which must truncate at the first bad frame).
+func (l *Log) CheckFlushed() []uint64 {
+	var bad []uint64
+	for _, s := range l.segs {
+		start := 0
+		for i, end := range s.ends {
+			lsn := s.firstLSN + uint64(i)
+			frame := s.buf[start:end]
+			start = end
+			if lsn > l.flushedLSN {
+				break
+			}
+			rec, n, err := decodeFrame(frame)
+			if err != nil || n != len(frame) || rec.LSN != lsn {
+				bad = append(bad, lsn)
+			}
+		}
+	}
+	return bad
+}
+
+// FrameBytes returns a copy of the raw frame stored at lsn (nil when the
+// record is not retained). The replication layer ships exactly these bytes.
+func (l *Log) FrameBytes(lsn uint64) []byte {
+	s, idx := l.locate(lsn)
+	if s == nil {
+		return nil
+	}
+	start := 0
+	if idx > 0 {
+		start = s.ends[idx-1]
+	}
+	return append([]byte{}, s.buf[start:s.ends[idx]]...)
+}
+
+// PatchFrame overwrites the frame stored at lsn with frame — the scrubber's
+// repair path, fed with the replica's copy of the original bytes. The patch
+// is refused unless frame is exactly the right length and decodes to a valid
+// record carrying lsn.
+func (l *Log) PatchFrame(lsn uint64, frame []byte) bool {
+	s, idx := l.locate(lsn)
+	if s == nil {
+		return false
+	}
+	start := 0
+	if idx > 0 {
+		start = s.ends[idx-1]
+	}
+	if len(frame) != s.ends[idx]-start {
+		return false
+	}
+	rec, n, err := decodeFrame(frame)
+	if err != nil || n != len(frame) || rec.LSN != lsn {
+		return false
+	}
+	copy(s.buf[start:s.ends[idx]], frame)
+	return true
+}
+
+// FlipFlushedBit flips one bit inside the payload of a durable, shippable
+// frame (chaos fault injection: bit rot in acked history, not the unflushed
+// tail Crash already damages). pick deterministically selects the victim
+// frame and the bit. Master-state and ship-wrapper frames are skipped — rot
+// there is equivalent to rot on a replica's copy of data history, which the
+// data-frame case already exercises. A non-nil eligible predicate further
+// restricts the candidates (the chaos harness limits rot to frames with a
+// surviving replica copy, since rotting the last copy models unrecoverable
+// media loss beyond the redundancy budget, not scrubber-repairable decay).
+// Returns the damaged LSN, or 0 when the log holds no candidate.
+func (l *Log) FlipFlushedBit(pick int, eligible func(lsn uint64) bool) uint64 {
+	type cand struct {
+		s     *logSegment
+		start int
+		end   int
+		lsn   uint64
+	}
+	var cands []cand
+	for _, s := range l.segs {
+		start := 0
+		for i, end := range s.ends {
+			lsn := s.firstLSN + uint64(i)
+			frame := s.buf[start:end]
+			st := start
+			start = end
+			if lsn > l.flushedLSN {
+				break
+			}
+			rec, _, err := decodeFrame(frame)
+			if err != nil || !Shippable(rec.Type) {
+				continue // already damaged, or a frame no replica holds
+			}
+			if eligible != nil && !eligible(lsn) {
+				continue
+			}
+			cands = append(cands, cand{s, st, end, lsn})
+		}
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	if pick < 0 {
+		pick = -pick
+	}
+	c := cands[pick%len(cands)]
+	payload := c.end - c.start - frameHeaderSize
+	bit := pick % (payload * 8)
+	c.s.buf[c.start+frameHeaderSize+bit/8] ^= 1 << (bit % 8)
+	return c.lsn
+}
+
+// VisitFrames walks every retained frame in LSN order, passing the decoded
+// record and its raw frame bytes to fn; fn returning false stops the walk.
+// The record's slices are copies, but the frame slice aliases the segment
+// buffer — fn must copy it if retained. Frames that no longer decode (bit rot
+// awaiting the scrubber) are skipped: the resync and rebuild paths that use
+// this walk must not propagate damage.
+func (l *Log) VisitFrames(fn func(rec *Record, frame []byte) bool) {
+	for _, s := range l.segs {
+		start := 0
+		for i, end := range s.ends {
+			lsn := s.firstLSN + uint64(i)
+			frame := s.buf[start:end]
+			start = end
+			rec, n, err := decodeFrame(frame)
+			if err != nil || n != len(frame) || rec.LSN != lsn {
+				continue
+			}
+			if !fn(&rec, frame) {
+				return
+			}
+		}
+	}
+}
+
+// locate finds the segment and in-segment index holding lsn.
+func (l *Log) locate(lsn uint64) (*logSegment, int) {
+	for _, s := range l.segs {
+		if len(s.ends) == 0 || lsn < s.firstLSN || lsn > s.lastLSN() {
+			continue
+		}
+		return s, int(lsn - s.firstLSN)
+	}
+	return nil, 0
+}
+
+// Shippable reports whether a record type belongs to the node's replicated
+// data stream. Master-state records replicate through the coordinator's own
+// protocol, and ship wrappers are follower-local bookkeeping — forwarding
+// either would nest the streams.
+func Shippable(t RecType) bool {
+	switch t {
+	case RecMState, RecMLease, RecMAck, RecDecision, RecShip:
+		return false
+	}
+	return true
 }
 
 // Down reports whether the log's node is power-failed.
@@ -435,6 +679,9 @@ func (l *Log) TruncateBefore(lsn uint64) {
 		s := l.segs[cut]
 		if len(s.ends) == 0 || s.lastLSN() >= lsn || s.lastLSN() > l.flushedLSN {
 			break
+		}
+		if l.pin > 0 && s.lastLSN() >= l.pin {
+			break // unshipped history: fenced by PinBefore
 		}
 		cut++
 	}
@@ -593,6 +840,22 @@ func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown b
 	// values, so the prepare images are redundant and skipped.
 	for i := range recs {
 		r := &recs[i]
+		if r.Type == RecBase {
+			// Recovery-base image: redo unconditionally (Txn = 0, logged at
+			// load/adoption time strictly before any DML on its key).
+			tgt, ok, rerr := resolve(r.Part)
+			if rerr != nil {
+				return redone, undone, skipped, rerr
+			}
+			if !ok {
+				continue
+			}
+			if err = tgt.RecoveryPut(p, r.Key, r.After); err != nil {
+				return redone, undone, skipped, err
+			}
+			redone++
+			continue
+		}
 		if isPrep(r.Type) {
 			d, decided := decisions[r.Txn]
 			if !decided || committed[r.Txn] {

@@ -171,6 +171,53 @@ func TestCheckpointAndTruncateRecyclesSegments(t *testing.T) {
 	}
 }
 
+// TestPinBeforeFencesTruncation pins the replication contract on checkpoint
+// truncation: history the shipper has not replicated yet (LSN >= the pin)
+// must survive a checkpoint's TruncateBefore, or a disk loss on the replica
+// that was still waiting for those frames would lose acked commits. Once the
+// shipper advances the pin past the old segments, the same truncation
+// reclaims them.
+func TestPinBeforeFencesTruncation(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	l.SetSegmentBytes(1) // seal after every record: one segment per LSN
+	for i := 0; i < 6; i++ {
+		l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte{byte('a' + i)}, After: []byte("v")})
+	}
+	var ck uint64
+	env.Spawn("ck", func(p *sim.Proc) { ck = l.Checkpoint(p) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Frames 3..6 are flushed but unshipped: fence them.
+	l.PinBefore(3)
+	l.TruncateBefore(ck)
+	recs, err := l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].LSN > 3 {
+		t.Fatalf("truncation dropped unshipped history: first retained LSN %v", recs)
+	}
+	for _, r := range recs[:len(recs)-1] {
+		if r.LSN >= 3 && r.Type != RecInsert {
+			t.Fatalf("fenced record %d lost its payload: %+v", r.LSN, r)
+		}
+	}
+	// Shipping catches up: the pin advances past the old segments and the
+	// pending truncation work becomes reclaimable.
+	l.PinBefore(ck)
+	l.TruncateBefore(ck)
+	recs, err = l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Type != RecCheckpoint {
+		t.Fatalf("records after pin release + truncate: %d", len(recs))
+	}
+}
+
 // TestCrashDiscardsUnflushedBytes pins the crash fence on the byte log: the
 // unflushed tail is gone, the durable prefix decodes, and LSNs continue
 // above the durable boundary after restart.
