@@ -546,7 +546,6 @@ func (c *Cluster) forceShip(p *sim.Proc, origin *DataNode) bool {
 // forever. The forced-ship retry loops call this so they make progress on
 // whatever replica set the crash schedule left them.
 func (c *Cluster) healStaleFollowers(p *sim.Proc, origin *DataNode) {
-	if true { return }
 	sh := origin.ship
 	for _, f := range c.followersOf(origin.ID) {
 		if origin.crashed {

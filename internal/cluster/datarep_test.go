@@ -210,6 +210,61 @@ func TestFollowerReadStalenessBound(t *testing.T) {
 	})
 }
 
+// TestForcedCommitHealsStaleFollowers pins the forceShip retry loop's heal
+// path: a crash schedule can interrupt a restart-epilogue resync (the
+// counterpart dies mid-transfer) and leave EVERY follower of an origin live
+// but stale once all nodes are finally up — with no restart pending, nothing
+// retries the resync. A forced commit on that origin must then heal the
+// replica set itself (healStaleFollowers) rather than spin forever waiting
+// for a durable follower that can never appear: stale followers are skipped
+// by queue delivery, so without the heal the retry loop is a livelock.
+func TestForcedCommitHealsStaleFollowers(t *testing.T) {
+	const n = 200
+	tc := newRepCluster(t, table.Physiological, 4, n)
+	defer tc.env.Close()
+	origin := tc.c.Nodes[0]
+
+	tc.run(t, func(p *sim.Proc) {
+		tc.put(t, p, origin, 1, "before")
+	})
+
+	// Reproduce the interrupted-resync end state directly (the schedule that
+	// creates it needs a crash landing inside each resync's network transfer;
+	// the state is what matters): every follower live but stale, its replica
+	// store gone, and no restart left to trigger a resync.
+	for _, f := range tc.c.followersOf(origin.ID) {
+		origin.ship.stale[f.ID] = true
+		f.stores[origin.ID] = newRepStore()
+	}
+
+	committed := false
+	tc.env.Spawn("commit", func(p *sim.Proc) {
+		tc.put(t, p, origin, 2, "after")
+		committed = true
+	})
+	// Bounded run: if the heal path regresses, the commit spins in forceShip
+	// forever — fail loudly at the deadline instead of hanging the test.
+	if err := tc.env.RunUntil(tc.env.Now() + time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !committed {
+		t.Fatal("forced commit still spinning after 1h of sim time: stale followers were never healed")
+	}
+
+	sh := origin.ship
+	for _, f := range tc.c.followersOf(origin.ID) {
+		if sh.stale[f.ID] {
+			t.Errorf("follower %d still stale after the forced commit", f.ID)
+		}
+		if sh.durable[f.ID] < sh.lastShippable {
+			t.Errorf("follower %d durable=%d < lastShippable=%d", f.ID, sh.durable[f.ID], sh.lastShippable)
+		}
+		if st := f.stores[origin.ID]; st == nil || len(st.frames) == 0 {
+			t.Errorf("follower %d replica store not re-seeded by the heal", f.ID)
+		}
+	}
+}
+
 // TestDiskLossDuringMigration is the migration half of the disk-loss
 // regression: the destination of an in-flight range move loses its entire
 // disk mid-transfer, restarts, and every key must still be reachable exactly
