@@ -9,7 +9,7 @@ BENCH_NEW      ?= bench-new.txt
 # Chaos harness: number of seeds swept by `make chaos` / `make chaos-tpcc`.
 SEEDS ?= 25
 
-.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-ship chaos-quick bench-quick bench-micro bench-baseline bench-compare check
+.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-ship chaos-rto chaos-quick bench-quick bench-micro bench-baseline bench-compare check
 
 all: check
 
@@ -53,13 +53,22 @@ chaos-ship:
 	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -disk 3
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -disk 3
 
+## chaos-rto: checkpoint-heavy sweep — extra mid-checkpoint power failures
+## per plan, so fuzzy-checkpoint fallback and the bounded-replay oracle
+## (restart work = delta since last checkpoint) dominate the run
+chaos-rto:
+	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -ckpt 3
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -ckpt 3
+
 ## chaos-quick: a short crash-anywhere sweep of both workloads, plus
-## coordinator-crash-heavy and disk-loss-heavy bursts (CI gate)
+## coordinator-crash-heavy, disk-loss-heavy, and mid-checkpoint-crash
+## bursts (CI gate)
 chaos-quick:
 	$(GO) run ./cmd/wattdb-chaos -seeds 6 -duration 25s
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 3 -duration 20s
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -coord 3
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -disk 3
+	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -ckpt 3
 
 ## check: tier-1 verification in one command (build + vet + race-enabled
 ## tests + a short crash-anywhere chaos sweep of both workloads)

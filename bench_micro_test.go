@@ -352,6 +352,7 @@ func BenchmarkChangedSince(b *testing.B) {
 			}
 			vs.StagePending(txn, key, false, []byte("v"))
 			vs.CommitKey(txn, key, nil, oracle.CommitTS(txn))
+			oracle.SettleCommit(txn)
 		}
 	})
 	if err := env.Run(); err != nil {
@@ -370,6 +371,7 @@ func BenchmarkChangedSince(b *testing.B) {
 		}
 		vs.StagePending(txn, key, false, []byte("v"))
 		vs.CommitKey(txn, key, nil, oracle.CommitTS(txn))
+		oracle.SettleCommit(txn)
 	})
 	if err := env.Run(); err != nil {
 		b.Fatal(err)

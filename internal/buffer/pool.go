@@ -43,6 +43,14 @@ type Frame struct {
 	ref   bool // clock reference bit
 	dead  bool
 
+	// recLSN is the page LSN captured when the frame last went clean→dirty:
+	// the oldest log record whose effect the durable page image may lack.
+	// The fuzzy checkpointer folds the minimum over still-dirty frames into
+	// its redo low-water mark; 0 means no logged modification is pending
+	// (fresh PinNew pages and structural writes leave it unset, which only
+	// makes the checkpoint more conservative).
+	recLSN uint64
+
 	// gen increments every time the frame is recycled for a new page, so
 	// holders that block (FlushSegment, FlushAll) can detect that the
 	// *Frame they remembered now buffers someone else's page.
@@ -80,8 +88,13 @@ type Pool struct {
 	clock    []*Frame // ring with nil holes left by dropped frames
 	hand     int
 	holes    int
-	free     *Frame // recycled frames, linked by nextFree
-	stats    Stats
+	// ckptHand/ckptSteps drive the fuzzy checkpointer's flush walk: a
+	// second clock cursor (independent of the eviction hand) plus the
+	// number of ring slots left in the current lap (see FlushDirtyBatch).
+	ckptHand  int
+	ckptSteps int
+	free      *Frame // recycled frames, linked by nextFree
+	stats     Stats
 
 	// walFlush, when set, is invoked before a dirty frame is written back
 	// so the log is durable up to the page LSN (the WAL rule).
@@ -130,6 +143,7 @@ func (bp *Pool) getFrame(id storage.PageID) *Frame {
 		f.state = frameIdle
 		f.ref = false
 		f.dead = false
+		f.recLSN = 0
 		f.gen++
 		clear(f.Data)
 		bp.stats.FrameReuses++
@@ -234,6 +248,9 @@ func (bp *Pool) Unpin(f *Frame, dirty bool) {
 	f.pins--
 	if dirty {
 		f.dirty = true
+		if f.recLSN == 0 {
+			f.recLSN = f.Data.LSN()
+		}
 		if bp.remote != nil {
 			bp.remote.Invalidate(f.ID)
 		}
@@ -326,6 +343,7 @@ func (bp *Pool) evict(p *sim.Proc, f *Frame) error {
 		}
 		bp.stats.Flushes++
 		f.dirty = false
+		f.recLSN = 0
 		f.state = frameIdle
 	}
 	if bp.remote != nil {
@@ -433,10 +451,78 @@ func (bp *Pool) FlushAll(p *sim.Proc) error {
 		}
 		bp.stats.Flushes++
 		f.dirty = false
+		f.recLSN = 0
 		f.state = frameIdle
 		f.cond.Fire()
 	}
 	return nil
+}
+
+// FlushDirtyBatch is the fuzzy checkpointer's flush walk: it advances a
+// persistent cursor around the clock ring — independent of the eviction
+// hand — writing back up to max dirty, unpinned, idle frames in place
+// (frames stay resident; only their dirt is shed, under the WAL rule).
+// done reports that the cursor completed a full lap of the ring, i.e.
+// every frame present when the lap started has been visited once; the
+// checkpointer sleeps between batches so foreground traffic runs ahead of
+// the walk, and stops at the lap boundary rather than chasing pages the
+// workload re-dirties behind it.
+func (bp *Pool) FlushDirtyBatch(p *sim.Proc, max int) (flushed int, done bool, err error) {
+	bp.compactClock()
+	if bp.ckptSteps <= 0 || bp.ckptSteps > len(bp.clock) {
+		bp.ckptSteps = len(bp.clock) // start a new lap over the current ring
+	}
+	for bp.ckptSteps > 0 {
+		if len(bp.clock) == 0 {
+			bp.ckptSteps = 0
+			break
+		}
+		if flushed >= max {
+			return flushed, false, nil
+		}
+		f := bp.clock[bp.ckptHand%len(bp.clock)]
+		bp.ckptHand++
+		bp.ckptSteps--
+		if f == nil || !f.dirty || f.pins > 0 || f.state != frameIdle {
+			continue
+		}
+		f.state = frameFlushing
+		if bp.walFlush != nil {
+			bp.walFlush(p, f.Data.LSN())
+		}
+		werr := bp.backend.WritePage(p, f.ID, f.Data)
+		f.state = frameIdle
+		f.cond.Fire()
+		if werr != nil {
+			return flushed, false, werr
+		}
+		bp.stats.Flushes++
+		f.dirty = false
+		f.recLSN = 0
+		flushed++
+	}
+	return flushed, true, nil
+}
+
+// DirtyRecLSNs returns, per segment, the minimum nonzero recLSN over the
+// still-dirty frames: the redo low-water mark contribution of each
+// segment's unflushed pages. A pure memory scan — no simulated time is
+// charged, and the map-order iteration is safe because min is
+// order-independent.
+func (bp *Pool) DirtyRecLSNs() map[storage.SegID]uint64 {
+	var mins map[storage.SegID]uint64
+	for _, f := range bp.frames {
+		if !f.dirty || f.recLSN == 0 {
+			continue
+		}
+		if mins == nil {
+			mins = make(map[storage.SegID]uint64)
+		}
+		if cur, ok := mins[f.ID.Seg]; !ok || f.recLSN < cur {
+			mins[f.ID.Seg] = f.recLSN
+		}
+	}
+	return mins
 }
 
 // DropSegment discards all frames of seg without flushing (used after a

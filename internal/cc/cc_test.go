@@ -40,6 +40,52 @@ func TestOracleWatermark(t *testing.T) {
 	}
 }
 
+// TestOracleUnsettledCapsSnapshots pins the visibility-before-durability
+// guard: a commit timestamp exists from CommitTS, but until SettleCommit (or
+// Abort) seals its fate, new snapshots are capped below it — a reader must
+// never observe a commit that a crash during the commit force would roll
+// back at restart.
+func TestOracleUnsettledCapsSnapshots(t *testing.T) {
+	o := NewOracle()
+	w := o.Begin(SnapshotIsolation)
+	cts := o.CommitTS(w)
+	if o.UnsettledCount() != 1 {
+		t.Fatalf("unsettled = %d, want 1", o.UnsettledCount())
+	}
+	r := o.Begin(SnapshotIsolation)
+	if r.Begin != cts-1 {
+		t.Fatalf("capped snapshot = %d, want %d (just below unsettled commit %d)", r.Begin, cts-1, cts)
+	}
+	if got := o.active[r.ID]; got != r.Begin {
+		t.Fatalf("active table holds %d, want the capped begin %d (GC watermark safety)", got, r.Begin)
+	}
+	o.SettleCommit(w)
+	if o.UnsettledCount() != 0 {
+		t.Fatal("settle did not deregister")
+	}
+	late := o.Begin(SnapshotIsolation)
+	if late.Begin <= cts {
+		t.Fatalf("post-settle snapshot = %d, want > %d", late.Begin, cts)
+	}
+
+	// The cap tracks the OLDEST unsettled commit across several, and an
+	// abort (fate sealed as rolled back) releases it like a settle.
+	w1, w2 := o.Begin(SnapshotIsolation), o.Begin(SnapshotIsolation)
+	c1 := o.CommitTS(w1)
+	c2 := o.CommitTS(w2)
+	if r := o.Begin(SnapshotIsolation); r.Begin != c1-1 {
+		t.Fatalf("snapshot = %d, want %d (below oldest of %d, %d)", r.Begin, c1-1, c1, c2)
+	}
+	o.Abort(w1)
+	if r := o.Begin(SnapshotIsolation); r.Begin != c2-1 {
+		t.Fatalf("snapshot after abort = %d, want %d", r.Begin, c2-1)
+	}
+	o.SettleCommit(w2)
+	if r := o.Begin(SnapshotIsolation); r.Begin <= c2 {
+		t.Fatalf("snapshot after all settled = %d, want > %d", r.Begin, c2)
+	}
+}
+
 func TestLockCompatibilityMatrix(t *testing.T) {
 	cases := []struct {
 		a, b LockMode
@@ -244,6 +290,7 @@ func TestMVCCSnapshotReadSeesOldVersion(t *testing.T) {
 
 		cts := o.CommitTS(writer)
 		newLeaf := vs.CommitKey(writer, "a", oldLeaf, cts)
+		o.SettleCommit(writer) // commit record "durable": later snapshots may see it
 		if newLeaf.TS != cts || string(newLeaf.Val) != "v2" {
 			t.Errorf("committed leaf = %+v", newLeaf)
 		}
@@ -340,6 +387,7 @@ func TestMVCCDeleteVisibility(t *testing.T) {
 		vs.StagePending(deleter, "k", true, nil)
 		cts := o.CommitTS(deleter)
 		tomb := vs.CommitKey(deleter, "k", leaf, cts)
+		o.SettleCommit(deleter)
 		if !tomb.Deleted {
 			t.Error("committed version should be a tombstone")
 		}
@@ -376,6 +424,7 @@ func TestMVCCGCFreesOldVersions(t *testing.T) {
 			}
 			vs.StagePending(w, "k", false, []byte("version-payload"))
 			nl := vs.CommitKey(w, "k", leaf, o.CommitTS(w))
+			o.SettleCommit(w)
 			leaf = &nl
 		}
 		if vs.VersionBytes() == 0 {
@@ -457,6 +506,7 @@ func TestChangedSinceRecentCommitSet(t *testing.T) {
 			}
 			vs.StagePending(txn, key, false, []byte("v"))
 			vs.CommitKey(txn, key, nil, o.CommitTS(txn))
+			o.SettleCommit(txn)
 		})
 		if err := env.Run(); err != nil {
 			t.Fatal(err)

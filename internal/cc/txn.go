@@ -96,12 +96,20 @@ type Oracle struct {
 	next   Timestamp
 	nextID TxnID
 	active map[TxnID]Timestamp
-	lease  Timestamp
+	// unsettled holds commit timestamps whose durability fate is not yet
+	// sealed: CommitTS hands out the timestamp at the commit point, but the
+	// commit record (and, under replication, its replica copy) becomes
+	// durable later. Until SettleCommit or Abort removes the entry, Begin
+	// caps every new snapshot below the oldest unsettled commit — no reader
+	// can observe a version that a crash during the commit force would roll
+	// back. Readers never block; they just get a slightly older snapshot.
+	unsettled map[TxnID]Timestamp
+	lease     Timestamp
 }
 
 // NewOracle returns an oracle starting at timestamp 1.
 func NewOracle() *Oracle {
-	return &Oracle{next: 1, active: make(map[TxnID]Timestamp)}
+	return &Oracle{next: 1, active: make(map[TxnID]Timestamp), unsettled: make(map[TxnID]Timestamp)}
 }
 
 func (o *Oracle) tick() Timestamp {
@@ -115,21 +123,43 @@ func (o *Oracle) tick() Timestamp {
 	return o.next
 }
 
-// Begin starts a transaction in the given mode.
+// Begin starts a transaction in the given mode. The snapshot is capped just
+// below the oldest unsettled commit (if any): a commit timestamp exists from
+// the moment CommitTS issues it, but the transaction only becomes recoverable
+// once its commit record is forced — handing a newer snapshot to a reader in
+// that window would let it observe a commit that a crash then rolls back.
+// The capped Begin (not the raw clock) is registered in the active table so
+// the GC watermark keeps protecting the versions this snapshot can read.
 func (o *Oracle) Begin(mode Mode) *Txn {
 	o.nextID++
-	t := &Txn{ID: o.nextID, Begin: o.tick(), Mode: mode, State: TxnActive}
+	begin := o.tick()
+	for _, cts := range o.unsettled {
+		if cts-1 < begin {
+			begin = cts - 1
+		}
+	}
+	t := &Txn{ID: o.nextID, Begin: begin, Mode: mode, State: TxnActive}
 	o.active[t.ID] = t.Begin
 	return t
 }
 
-// CommitTS assigns a commit timestamp to t and marks it committed.
+// CommitTS assigns a commit timestamp to t and marks it committed. The commit
+// is born unsettled: until the owning layer seals its durability fate with
+// SettleCommit (or rolls it back with Abort), no new snapshot will cover it.
 func (o *Oracle) CommitTS(t *Txn) Timestamp {
 	t.Commit = o.tick()
 	t.State = TxnCommitted
 	delete(o.active, t.ID)
+	o.unsettled[t.ID] = t.Commit
 	return t.Commit
 }
+
+// SettleCommit seals t's fate as durably committed: its commit record (and,
+// under replication, a replica copy) can no longer be lost to a crash, so new
+// snapshots may cover its commit timestamp. Callers invoke it exactly at
+// their force point — after the commit-record flush for a standalone commit,
+// after the decision record is durable for a distributed one.
+func (o *Oracle) SettleCommit(t *Txn) { delete(o.unsettled, t.ID) }
 
 // Leased returns the current lease ceiling (0: unbounded).
 func (o *Oracle) Leased() Timestamp { return o.lease }
@@ -183,15 +213,25 @@ func (o *Oracle) Failover(ceil Timestamp) {
 	o.lease = ceil
 }
 
-// Abort marks t aborted and deregisters it.
+// Abort marks t aborted and deregisters it. A transaction whose commit never
+// settled (the force failed and recovery is guaranteed to roll it back, or it
+// is provably gone from every replica) also leaves the unsettled set here:
+// its timestamp can never surface, so snapshots stop capping below it.
 func (o *Oracle) Abort(t *Txn) {
 	t.State = TxnAborted
 	delete(o.active, t.ID)
+	delete(o.unsettled, t.ID)
 }
 
-// Watermark returns the oldest begin timestamp among active transactions,
-// or the current clock if none are active. Versions older than two
-// generations below the watermark can never be read again.
+// Watermark returns the oldest snapshot any transaction — present or future
+// — can still hold: the minimum over active begin timestamps AND one below
+// every unsettled commit, falling back to the clock. The unsettled bound
+// matters because Begin caps new snapshots below the oldest unsettled
+// commit: while a commit's durability is in limbo (say, its node is down
+// mid-force), the next Begin may be far below the clock, and version GC
+// pruning to the active-only minimum would strand that snapshot on
+// already-collected history. Versions older than two generations below the
+// watermark can never be read again.
 func (o *Oracle) Watermark() Timestamp {
 	min := o.next
 	for _, ts := range o.active {
@@ -199,8 +239,17 @@ func (o *Oracle) Watermark() Timestamp {
 			min = ts
 		}
 	}
+	for _, cts := range o.unsettled {
+		if cts-1 < min {
+			min = cts - 1
+		}
+	}
 	return min
 }
 
 // ActiveCount returns the number of in-flight transactions.
 func (o *Oracle) ActiveCount() int { return len(o.active) }
+
+// UnsettledCount returns the number of commits whose durability fate is not
+// yet sealed (tests and diagnostics).
+func (o *Oracle) UnsettledCount() int { return len(o.unsettled) }

@@ -69,6 +69,12 @@ type Config struct {
 	// replicas; each disk-loss victim must rebuild all hosted partitions
 	// from its replica set, and the scrubber must repair every rot hit.
 	DiskFaults int
+	// CkptFaults is the number of guaranteed mid-checkpoint power failures
+	// in the plan. Every run takes periodic fuzzy checkpoints on all nodes;
+	// each of these crashes lands partway through one (including between the
+	// begin and end records) and the restart must fall back to the previous
+	// complete checkpoint pair.
+	CkptFaults int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +104,11 @@ func (c Config) withDefaults() Config {
 		c.DiskFaults = 0
 	} else if c.DiskFaults == 0 {
 		c.DiskFaults = 1
+	}
+	if c.CkptFaults < 0 {
+		c.CkptFaults = 0
+	} else if c.CkptFaults == 0 {
+		c.CkptFaults = 1
 	}
 	return c
 }
@@ -134,6 +145,17 @@ type Report struct {
 	RotInjected   int
 	ScrubRepairs  int
 	FollowerReads int
+	// Fuzzy-checkpoint / recovery-time counters: Checkpoints is the number
+	// of complete fuzzy checkpoints taken across all nodes, CkptCrashes the
+	// injected mid-checkpoint power failures, BoundedRestarts the restarts
+	// whose replay was bounded by a checkpoint redo point, ReplayBytes the
+	// framed log bytes replayed across all restarts, RecoveryTime the summed
+	// simulated power-on-to-ready time.
+	Checkpoints     int
+	CkptCrashes     int
+	BoundedRestarts int
+	ReplayBytes     int64
+	RecoveryTime    time.Duration
 
 	Faults     []string // executed fault schedule, in order
 	Violations []string // invariant violations (empty = PASS)
@@ -260,6 +282,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	h.spawnPowerSampler()
 	spawnReplicationDaemons(env, c, &h.stop)
+	spawnCheckpointers(env, c, &h.stop)
 	h.runner().spawnExecutor(buildPlan(cfg))
 
 	if err := env.RunUntil(cfg.Duration); err != nil {
@@ -282,6 +305,7 @@ func Run(cfg Config) (*Report, error) {
 					return
 				}
 				h.rep.Restarts++
+				noteRecovery(h.rep, h.violate, node)
 			})
 		}
 	}
@@ -293,6 +317,9 @@ func Run(cfg Config) (*Report, error) {
 		return h.rep, err
 	}
 	h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses = c.ReplicationStats()
+	for _, n := range c.Nodes {
+		h.rep.Checkpoints += n.Checkpoints
+	}
 
 	// Coordinator-failover oracles: after the drain the master must be
 	// available under some leader, and every recorded commit decision must
@@ -587,6 +614,8 @@ func (h *harness) stateHash(finalState string) string {
 		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
 	fmt.Fprintf(d, "rebuilds=%d scrubs=%d freads=%d disklosses=%d\n",
 		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
+	fmt.Fprintf(d, "ckpts=%d ckptcrashes=%d bounded=%d replaybytes=%d rto=%d\n",
+		h.rep.Checkpoints, h.rep.CkptCrashes, h.rep.BoundedRestarts, h.rep.ReplayBytes, h.rep.RecoveryTime)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

@@ -133,6 +133,46 @@ func TestChaosCoordFailoverDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosCkptCrashDeterministic piles mid-checkpoint power failures onto
+// one seed and requires (a) checkpoints completed and at least one crash
+// landed inside the checkpoint protocol, (b) at least one restart was
+// bounded by a complete checkpoint (replay from its redo point, not the log
+// head), (c) every invariant holds through the torn pairs, and (d) two runs
+// agree on the schedule, the recovery counters, and the state hash.
+func TestChaosCkptCrashDeterministic(t *testing.T) {
+	cfg := Config{Seed: 8, Scheme: table.Physiological, Duration: 40 * time.Second, CkptFaults: 3}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logReport(t, r1)
+	if !r1.Passed() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(r1.Violations, "\n"))
+	}
+	if r1.Checkpoints == 0 || r1.CkptCrashes == 0 {
+		t.Fatalf("no mid-checkpoint crash landed (checkpoints=%d ckptCrashes=%d)", r1.Checkpoints, r1.CkptCrashes)
+	}
+	if r1.BoundedRestarts == 0 {
+		t.Fatal("no restart was bounded by a complete checkpoint")
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateHash != r2.StateHash {
+		t.Errorf("state hash differs: %s vs %s", r1.StateHash, r2.StateHash)
+	}
+	if fmt.Sprint(r1.Faults) != fmt.Sprint(r2.Faults) {
+		t.Errorf("fault schedules differ:\nrun1: %v\nrun2: %v", r1.Faults, r2.Faults)
+	}
+	if r1.Checkpoints != r2.Checkpoints || r1.CkptCrashes != r2.CkptCrashes ||
+		r1.BoundedRestarts != r2.BoundedRestarts || r1.ReplayBytes != r2.ReplayBytes {
+		t.Errorf("recovery counters differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			r1.Checkpoints, r1.CkptCrashes, r1.BoundedRestarts, r1.ReplayBytes,
+			r2.Checkpoints, r2.CkptCrashes, r2.BoundedRestarts, r2.ReplayBytes)
+	}
+}
+
 func logReport(t *testing.T, rep *Report) {
 	t.Helper()
 	t.Logf("seed=%d scheme=%s hash=%s commits=%d aborts=%d failedOps=%d reads=%d scans=%d crashes=%d restarts=%d",

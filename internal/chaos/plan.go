@@ -24,6 +24,7 @@ const (
 	faultCrashCoord                   // power-fail whichever node is the acting coordinator
 	faultDestroyDisk                  // power-fail a node AND destroy its log medium (rebuild from replicas)
 	faultRotAcked                     // flip one bit inside a flushed frame of a live node's log
+	faultCkptCrash                    // power-fail a node partway through a fuzzy checkpoint
 )
 
 // faultEvent is one scheduled fault.
@@ -96,6 +97,11 @@ func buildPlan(cfg Config) []faultEvent {
 	for i := 0; i < cfg.DiskFaults; i++ {
 		plan = append(plan, diskFaultEvents(rng, window, cfg.Nodes)...)
 	}
+	// And cfg.CkptFaults mid-checkpoint power failures: with a checkpointer
+	// running on every node, each crash lands at a random step of an
+	// in-flight fuzzy checkpoint and the restart must fall back to the
+	// previous complete begin/end pair.
+	plan = append(plan, ckptCrashEvents(rng, window, cfg.Nodes, cfg.CkptFaults)...)
 
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
@@ -292,6 +298,8 @@ func (fr *faultRunner) spawnExecutor(plan []faultEvent) {
 				fr.migrate(ev, func() { migrating = false })
 			case faultDestroyDisk:
 				fr.execDestroy(ev)
+			case faultCkptCrash:
+				fr.execCkptCrash(ev)
 			case faultRotAcked:
 				n := fr.c.Nodes[ev.node]
 				if n.Down() {
@@ -374,7 +382,9 @@ func (fr *faultRunner) execCrash(ev faultEvent) {
 			fr.violate(fmt.Sprintf("restart of node %d left a corrupt log tail: %v", node.ID, it.Err()))
 		}
 		fr.rep.Restarts++
-		fr.logFault("node %d restarted (replay: %d redone, %d undone)", node.ID, redone, undone)
+		noteRecovery(fr.rep, fr.violate, node)
+		fr.logFault("node %d restarted (replay: %d redone, %d undone, %d bytes from redo %d, %v to ready)",
+			node.ID, redone, undone, node.LastRecovery.Bytes, node.LastRecovery.Redo, node.LastRecovery.Elapsed)
 		if fr.postRestart != nil {
 			fr.postRestart(p, node)
 		}
@@ -434,7 +444,9 @@ func (fr *faultRunner) execDestroy(ev faultEvent) {
 			fr.violate(fmt.Sprintf("rebuild of node %d left a corrupt log: %v", node.ID, it.Err()))
 		}
 		fr.rep.Restarts++
-		fr.logFault("node %d rebuilt from replicas (replay: %d redone, %d undone)", node.ID, redone, undone)
+		noteRecovery(fr.rep, fr.violate, node)
+		fr.logFault("node %d rebuilt from replicas (replay: %d redone, %d undone, %d bytes, %v to ready)",
+			node.ID, redone, undone, node.LastRecovery.Bytes, node.LastRecovery.Elapsed)
 		if fr.postRestart != nil {
 			fr.postRestart(p, node)
 		}

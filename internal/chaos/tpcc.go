@@ -96,6 +96,7 @@ func RunTPCC(cfg Config) (*Report, error) {
 		h.spawnWorker(w)
 	}
 	spawnReplicationDaemons(env, c, &h.stop)
+	spawnCheckpointers(env, c, &h.stop)
 	h.runner().spawnExecutor(buildTPCCPlan(cfg, tcfg))
 
 	if err := env.RunUntil(cfg.Duration); err != nil {
@@ -114,6 +115,7 @@ func RunTPCC(cfg Config) (*Report, error) {
 					return
 				}
 				h.rep.Restarts++
+				noteRecovery(h.rep, h.violate, node)
 			})
 		}
 	}
@@ -125,6 +127,9 @@ func RunTPCC(cfg Config) (*Report, error) {
 		return h.rep, err
 	}
 	h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses = c.ReplicationStats()
+	for _, n := range c.Nodes {
+		h.rep.Checkpoints += n.Checkpoints
+	}
 
 	// Coordinator-failover oracles (same contract as the KV harness).
 	if c.Master.Fenced() {
@@ -272,6 +277,8 @@ func buildTPCCPlan(cfg Config, tcfg tpcc.Config) []faultEvent {
 	for i := 0; i < cfg.DiskFaults; i++ {
 		plan = append(plan, diskFaultEvents(rng, window, cfg.Nodes)...)
 	}
+	// Guaranteed mid-checkpoint power failures (see buildPlan).
+	plan = append(plan, ckptCrashEvents(rng, window, cfg.Nodes, cfg.CkptFaults)...)
 	for i := 0; i < cfg.Faults; i++ {
 		at := window/10 + time.Duration(rng.Int63n(int64(window*8/10)))
 		switch rng.Intn(8) {
@@ -369,6 +376,8 @@ func (h *tpccHarness) stateHash(finalState string) string {
 		h.rep.Commits, h.rep.Aborts, h.rep.FailedOps, h.rep.Failovers, h.env.Now())
 	fmt.Fprintf(d, "rebuilds=%d scrubs=%d freads=%d disklosses=%d\n",
 		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
+	fmt.Fprintf(d, "ckpts=%d ckptcrashes=%d bounded=%d replaybytes=%d rto=%d\n",
+		h.rep.Checkpoints, h.rep.CkptCrashes, h.rep.BoundedRestarts, h.rep.ReplayBytes, h.rep.RecoveryTime)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

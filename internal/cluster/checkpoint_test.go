@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// TestCheckpointPowerFailSweep power-fails a node at every instrumented step
+// of the fuzzy checkpoint protocol in turn — before the flush walk, after
+// each flush batch, after the begin record, after the redo scan, with the
+// end record appended but volatile, and with the pair durable but truncation
+// pending. After each crash the node restarts and every acknowledged write
+// must read back; a torn begin/end pair must be invisible, so the restart
+// falls back to the last complete checkpoint (bounded replay). The sweep
+// ends when a round's checkpoint completes without reaching the armed step.
+func TestCheckpointPowerFailSweep(t *testing.T) {
+	tc := newTestCluster(t, table.Physiological, 2, 400)
+	defer tc.env.Close()
+	node := tc.c.Nodes[0]
+	master := tc.c.Master
+
+	expected := map[int64]string{}
+	commit := func(p *sim.Proc, k int64, val string) {
+		s := master.Begin(p, cc.SnapshotIsolation, node)
+		payload, _ := kvSchema().EncodeRow(table.Row{k, val})
+		if err := s.Put(p, "kv", ik(k), payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		expected[k] = val
+	}
+	verify := func(p *sim.Proc, round int) {
+		s := master.Begin(p, cc.SnapshotIsolation, node)
+		defer s.Abort(p)
+		for k, want := range expected {
+			raw, ok, err := s.Get(p, "kv", ik(k))
+			if err != nil {
+				t.Fatalf("round %d: key %d: %v", round, k, err)
+			}
+			if !ok {
+				t.Fatalf("round %d: committed key %d lost", round, k)
+			}
+			row, _ := kvSchema().DecodeRow(raw)
+			if got := row[1].(string); got != want {
+				t.Fatalf("round %d: key %d = %q, want %q", round, k, got, want)
+			}
+		}
+	}
+
+	// A first complete checkpoint for the crashed rounds to fall back to.
+	tc.run(t, func(p *sim.Proc) {
+		for i := int64(0); i < 20; i++ {
+			commit(p, i*3%200, fmt.Sprintf("base-%d", i))
+		}
+		st, err := tc.c.CheckpointNode(p, node, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.EndLSN == 0 {
+			t.Fatal("initial checkpoint did not complete")
+		}
+	})
+	ck0 := node.Log.LastCheckpoint()
+	if ck0 == nil {
+		t.Fatal("complete checkpoint invisible to LastCheckpoint")
+	}
+
+	completed := false
+	for step := 0; step < 64 && !completed; step++ {
+		step := step
+		tc.run(t, func(p *sim.Proc) {
+			// Fresh dirty state and log delta for this round's checkpoint.
+			for i := int64(0); i < 10; i++ {
+				k := (int64(step)*10 + i) * 3 % 200
+				commit(p, k, fmt.Sprintf("round-%d-%d", step, i))
+			}
+			tc.c.ArmCheckpointCrash(node, step)
+			if _, err := tc.c.CheckpointNode(p, node, 4); err != nil {
+				t.Fatal(err)
+			}
+			if !node.Down() {
+				// The protocol finished before the countdown: sweep complete.
+				tc.c.ArmCheckpointCrash(node, -1)
+				completed = true
+				verify(p, step)
+				return
+			}
+			if _, _, err := tc.c.RestartNode(p, node); err != nil {
+				t.Fatalf("step %d: restart: %v", step, err)
+			}
+			// The crashed round's pair is torn (or, for the late steps,
+			// already durable): restart must have used a complete
+			// checkpoint either way, never a half-written one.
+			if ck := node.Log.LastCheckpoint(); ck == nil || ck.Begin < ck0.Begin {
+				t.Fatalf("step %d: checkpoint regressed: %+v (had begin %d)", step, ck, ck0.Begin)
+			}
+			if !node.LastRecovery.Checkpointed {
+				t.Fatalf("step %d: restart ignored the complete checkpoint", step)
+			}
+			if node.LastRecovery.Redo == 0 {
+				t.Fatalf("step %d: replay started at the log head despite a checkpoint", step)
+			}
+			verify(p, step)
+		})
+	}
+	if !completed {
+		t.Fatal("sweep never reached a completed checkpoint (protocol grew beyond 64 steps?)")
+	}
+}

@@ -153,6 +153,12 @@ type DataNode struct {
 	lostParts []*table.Partition          // partitions to rebuild on restart, in ID order
 	bases     map[table.PartID][]basePair // recovery bases (bulk-load and adopted images)
 
+	// Fuzzy-checkpoint bookkeeping (see checkpoint.go).
+	deadBelow    uint64        // restart tail fence: unresolved txns below never resolve
+	ckptCrashIn  int           // armed checkpoint-crash countdown (-1: disarmed)
+	Checkpoints  int           // completed fuzzy checkpoints (chaos report)
+	LastRecovery RecoveryStats // last RestartNode's RTO breakdown
+
 	// Data replication (see datarep.go); nil unless enabled.
 	ship     *shipState        // origin role: frames queued for followers
 	stores   map[int]*repStore // follower role: replica stores by origin ID
@@ -161,12 +167,13 @@ type DataNode struct {
 
 func newDataNode(c *Cluster, id int) *DataNode {
 	n := &DataNode{
-		ID:      id,
-		HW:      hw.NewNode(c.Env, id, c.Cal, c.Net),
-		Locks:   cc.NewLockManager(c.Env),
-		cluster: c,
-		Parts:   make(map[table.PartID]*table.Partition),
-		bases:   make(map[table.PartID][]basePair),
+		ID:          id,
+		HW:          hw.NewNode(c.Env, id, c.Cal, c.Net),
+		Locks:       cc.NewLockManager(c.Env),
+		cluster:     c,
+		Parts:       make(map[table.PartID]*table.Partition),
+		bases:       make(map[table.PartID][]basePair),
+		ckptCrashIn: -1,
 	}
 	n.Pool = buffer.NewPool(c.Env, (*nodeBackend)(n), c.Cal.PageSize, c.Cal.BufferFrames)
 	n.Log = wal.NewLog(c.Env, wal.DiskDevice{Disk: n.HW.LogDisk()})

@@ -52,8 +52,15 @@ func (e ErrNodeDown) Error() string {
 }
 
 // basePair is one record of a partition's recovery base: a key and the
-// fully encoded tree value (a committed cc.Version image).
-type basePair struct{ key, val []byte }
+// fully encoded tree value (a committed cc.Version image). lsn is the durable
+// log position carrying the image — the RecBase append under data
+// replication, or the committed record a fuzzy checkpoint refreshed the pair
+// from; 0 when the image was never logged (unreplicated bulk load/adoption).
+// repairBaseLog re-appends only pairs above the restart's durable boundary.
+type basePair struct {
+	key, val []byte
+	lsn      uint64
+}
 
 // Down reports whether the node is power-failed.
 func (n *DataNode) Down() bool { return n.crashed }
@@ -63,10 +70,11 @@ func (n *DataNode) Down() bool { return n.crashed }
 // the shipped stream and a replica can rebuild the partition from log frames
 // alone (Append encodes immediately; key/val are borrowed).
 func (n *DataNode) addBase(id table.PartID, key, val []byte) {
-	n.bases[id] = append(n.bases[id], basePair{bytes.Clone(key), bytes.Clone(val)})
+	pair := basePair{key: bytes.Clone(key), val: bytes.Clone(val)}
 	if n.cluster.drep != nil {
-		n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: key, After: val})
+		pair.lsn = n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: key, After: val})
 	}
+	n.bases[id] = append(n.bases[id], pair)
 }
 
 // CrashNode power-fails a node instantly (no orderly shutdown) — including
@@ -151,13 +159,16 @@ func (c *Cluster) doCrash(n *DataNode, tear, flip int) int {
 // lost partition from its recovery base, resolve prepared-but-undecided
 // transactions against the coordinator (roll forward from the prepare-time
 // log or roll back under presumed abort), replay the durable WAL decoded
-// from its segment bytes (REDO committed work, UNDO losers), then atomically
-// swap the rebuilt partitions into the master's partition table and the
-// node's registry. It returns the replay counts.
+// from its segment bytes (REDO committed work, UNDO losers) — each hosted
+// partition from its last-checkpoint redo point, in parallel — then
+// atomically swap the rebuilt partitions into the master's partition table
+// and the node's registry. It returns the replay counts; n.LastRecovery
+// records the full RTO breakdown.
 func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err error) {
 	if !n.crashed {
 		return 0, 0, fmt.Errorf("cluster: restart of node %d, which is not crashed", n.ID)
 	}
+	started := p.Now()
 	n.HW.PowerOn(p)
 	// Salvage the damaged log's readable frames before Restart's byte scan
 	// truncates at the first bad frame: if the restart turns into a rebuild,
@@ -171,9 +182,23 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	// history (Restart found fewer valid frames than were flushed). The log
 	// is rebuilt from the replica set before anything reads it: the election
 	// below and every recovery pass must see the reconstructed history.
+	rebuilt := false
 	if c.drep != nil && (n.diskLost || n.Log.LostDurable()) {
 		c.rebuildFromReplicas(p, n, sv)
+		rebuilt = true
 	}
+	// The durable boundary as restored from disk (or rebuilt), BEFORE this
+	// restart appends anything: base pairs carrying a higher LSN lost their
+	// log record with the crash's volatile tail and must be re-logged
+	// (repairBaseLog).
+	recoverFloor := n.Log.FlushedLSN()
+	// The newest complete checkpoint bounds the replay: each hosted
+	// partition starts at its recorded redo low-water mark, with everything
+	// below covered by the refreshed recovery bases. A rebuilt log holds no
+	// checkpoint records (they never ship), so a rebuild falls back to full
+	// replay of the reconstructed history — which is exactly right, since
+	// the rebuilt bases are the shipped originals, not refreshed ones.
+	ck := n.Log.LastCheckpoint()
 	// A reviving replica-group member may complete a stalled election: its
 	// durable log (just recovered) is valid election input even though the
 	// node is still mid-restart.
@@ -212,11 +237,53 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 		return 0, 0, fmt.Errorf("cluster: node %d log scan: %w", n.ID, err)
 	}
 	inDoubt, decisions := c.resolveInDoubt(p, n, recs)
-	// Records for partitions that no longer exist (fully migrated away,
-	// dropped replicas) are skipped: their data lives elsewhere now. The
-	// replay is its own decode pass over the bytes, like ARIES' redo pass
-	// re-reading the analysis pass's input.
-	redone, undone, _, err = wal.RecoverPartial(p, n.Log.Iter(), targets, decisions)
+	// Replay hosted partitions in parallel: one simulation process per
+	// partition over one shared analysis pass, each starting at its
+	// checkpoint redo point (0 — the recovery base — when no checkpoint
+	// covers it). Records for partitions that no longer exist (fully
+	// migrated away, dropped replicas) simply match no replay and are
+	// skipped: their data lives elsewhere now. Spawn order, the merge
+	// below, and error selection all follow ascending partition ID, so the
+	// parallel replay stays deterministic for the chaos state hash.
+	a := wal.NewAnalysis(recs, decisions)
+	stats := make([]wal.ReplayStats, len(n.lostParts))
+	errs := make([]error, len(n.lostParts))
+	remaining := len(n.lostParts)
+	joined := sim.NewSignal(c.Env)
+	var minRedo uint64
+	var rst wal.ReplayStats
+	for i, old := range n.lostParts {
+		i, id, tgt := i, uint64(old.ID), replaced[old]
+		var from uint64
+		if ck != nil {
+			from = ck.PartRedo(id)
+		}
+		if i == 0 || from < minRedo {
+			minRedo = from
+		}
+		c.Env.Spawn(fmt.Sprintf("recover-%d-%d", n.ID, id), func(rp *sim.Proc) {
+			stats[i], errs[i] = a.ReplayPartition(rp, id, from, tgt)
+			remaining--
+			if remaining == 0 {
+				joined.Fire()
+			}
+		})
+	}
+	for remaining > 0 {
+		joined.Wait(p)
+	}
+	for i := range stats {
+		if errs[i] != nil && err == nil {
+			err = errs[i]
+		}
+		rst.Redone += stats[i].Redone
+		rst.Undone += stats[i].Undone
+		rst.Bytes += stats[i].Bytes
+		if m := stats[i].MinApplied; m != 0 && (rst.MinApplied == 0 || m < rst.MinApplied) {
+			rst.MinApplied = m
+		}
+	}
+	redone, undone = rst.Redone, rst.Undone
 	if err != nil {
 		return redone, undone, err
 	}
@@ -224,9 +291,18 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 
 	// Swap-in. No blocking calls below: routing flips from the dead
 	// partitions to the recovered ones in one simulation instant.
+	// Each recovered partition also gets its snapshot-serving horizon
+	// fenced at the current clock: recovery rebuilds only the newest
+	// committed image of every key (version chains died with the DRAM, and
+	// checkpointed bases fold superseded versions away), so a reader still
+	// holding an older snapshot — typically one capped below an unsettled
+	// commit that parked across this very outage — must get a retryable
+	// ErrSnapshotTooOld here instead of a silently missing version.
+	histFloor := c.Master.Oracle.Clock()
 	c.Master.rebind(replaced)
 	for _, old := range n.lostParts {
 		np := replaced[old]
+		np.RaiseHistoryFloor(histFloor)
 		n.Parts[np.ID] = np
 		for _, segID := range old.SegIDs() {
 			if h, ok := c.homes[segID]; ok && !h.moving {
@@ -258,9 +334,24 @@ func (c *Cluster) RestartNode(p *sim.Proc, n *DataNode) (redone, undone int, err
 	// the streams it follows are re-seeded, it is not stable storage for
 	// anyone else's rebuild.
 	if c.drep != nil {
-		c.repairBaseLog(p, n)
+		c.repairBaseLog(p, n, recoverFloor)
 		c.restartResync(p, n)
 		n.diskLost = false
+	}
+	// Everything below the current tail is settled history: a transaction
+	// with records down there and no commit or abort died with the crash and
+	// will never resolve. Later checkpoints use this fence so dead losers
+	// cannot pin the redo point (and retention) forever.
+	n.deadBelow = n.Log.TailLSN()
+	n.LastRecovery = RecoveryStats{
+		Checkpointed: ck != nil,
+		Redo:         minRedo,
+		Redone:       redone,
+		Undone:       undone,
+		Bytes:        rst.Bytes,
+		MinApplied:   rst.MinApplied,
+		Rebuild:      rebuilt,
+		Elapsed:      p.Now() - started,
 	}
 	return redone, undone, nil
 }

@@ -169,6 +169,12 @@ type repStore struct {
 	frames  map[uint64][]byte // raw frame retention: scrub repair + rebuild source
 	pending map[cc.TxnID][]stagedRep
 	parts   map[table.PartID]*replicaPart
+	// floor is the store's snapshot-serving horizon: base-image frames carry
+	// only the newest committed version of each key (superseded history is
+	// folded away at the origin), so a store seeded from them cannot resolve
+	// snapshots below the newest base timestamp it applied. Follower reads
+	// below the floor fall back to the owner.
+	floor cc.Timestamp
 }
 
 func newRepStore() *repStore {
@@ -206,6 +212,9 @@ func (st *repStore) applyFrame(lsn uint64, frame []byte) {
 	case wal.RecBase:
 		if v, err := table.DecodeValue(rec.After); err == nil {
 			st.part(table.PartID(rec.Part)).install(rec.Key, v)
+			if v.TS > st.floor {
+				st.floor = v.TS
+			}
 		}
 	case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
 		if v, err := table.DecodeValue(rec.After); err == nil {
@@ -702,11 +711,27 @@ func (c *Cluster) resyncFollower(p *sim.Proc, origin, f *DataNode) {
 		c.applyReset(f, origin)
 		sh.syncedGen[f.ID] = sh.rebuildGen
 	} else {
-		// Same generation: keep the retained wrappers, but start the
-		// in-memory store over so the re-applied stream rebuilds it in full
-		// (a crashed follower's store died with DRAM anyway; a live stale
-		// one may have missed deliveries).
-		f.stores[origin.ID] = newRepStore()
+		// Same generation: keep the retained wrappers and seed the fresh
+		// in-memory store from the follower's own durable copies first (a
+		// crashed follower's store died with DRAM; a live stale one may have
+		// missed deliveries). Seeding matters since fuzzy checkpoints: the
+		// origin's retained log may be truncated below the replica-durable
+		// boundary, so the frames collected above cover only the retained
+		// suffix — the follower's durable wrappers are the authoritative
+		// source for the prefix it already holds.
+		st := newRepStore()
+		own, _, gen := durableShippedFrames(f, origin.ID)
+		if gen == sh.rebuildGen {
+			lsns := make([]uint64, 0, len(own))
+			for lsn := range own {
+				lsns = append(lsns, lsn)
+			}
+			sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+			for _, lsn := range lsns {
+				st.applyFrame(lsn, own[lsn])
+			}
+		}
+		f.stores[origin.ID] = st
 	}
 	for _, it := range frames {
 		c.applyToFollower(f, origin, it.lsn, it.frame)
@@ -1037,13 +1062,14 @@ func (c *Cluster) rebuildFromReplicas(p *sim.Proc, n *DataNode, sv *ownSalvage) 
 			if err != nil {
 				continue
 			}
-			n.Log.Append(rec) // Append renumbers
+			nl := n.Log.Append(rec) // Append renumbers
 			if rec.Type == wal.RecBase {
 				// A wiped disk also lost the recovery bases; the shipped
 				// base images restore them (Append encoded already, so the
-				// decoded slices can be retained).
+				// decoded slices can be retained). The pair carries its
+				// renumbered append LSN, so repairBaseLog sees it covered.
 				id := table.PartID(rec.Part)
-				n.bases[id] = append(n.bases[id], basePair{rec.Key, rec.After})
+				n.bases[id] = append(n.bases[id], basePair{key: rec.Key, val: rec.After, lsn: nl})
 			}
 		}
 	}
@@ -1061,21 +1087,19 @@ func (c *Cluster) rebuildFromReplicas(p *sim.Proc, n *DataNode, sv *ownSalvage) 
 
 // repairBaseLog re-appends recovery-base records whose original appends were
 // lost with the unflushed tail of a crash — possible only in the window
-// between a migration's segment adoption and the move's base force. Durable
-// RecBase records are a per-partition prefix of the in-memory base list
-// (prefix flush), and a lost tail implies nothing durable follows it, so the
-// missing suffix re-appends at the tail without ever shadowing newer durable
-// DML on its keys (the adopted keys had none before adoption). Runs after
-// the recovery passes (this restart replayed the bases from memory) and
-// before the resyncs (which ship only the durable log).
-func (c *Cluster) repairBaseLog(p *sim.Proc, n *DataNode) {
-	have := make(map[table.PartID]int)
-	n.Log.VisitFrames(func(rec *wal.Record, frame []byte) bool {
-		if rec.Type == wal.RecBase {
-			have[table.PartID(rec.Part)]++
-		}
-		return true
-	})
+// between a migration's segment adoption and the move's base force. Each pair
+// remembers the LSN of the record carrying its image; one at or below the
+// restart's restored durable boundary is already covered (its record is
+// durable — or was absorbed below a checkpoint's redo point, where the
+// refreshed base itself is the durable carrier), while one above it lost its
+// append with the volatile tail and re-appends here. (The old prefix-count
+// comparison against retained RecBase records broke both under checkpoint
+// truncation — recycled records would re-append durable pairs at the tail,
+// shadowing newer DML on their keys — and under checkpoint base refresh,
+// which grows the in-memory list without logging.) Runs after the recovery
+// passes (this restart replayed the bases from memory) and before the
+// resyncs (which ship only the durable log).
+func (c *Cluster) repairBaseLog(p *sim.Proc, n *DataNode, durable uint64) {
 	ids := make([]table.PartID, 0, len(n.bases))
 	for id := range n.bases {
 		ids = append(ids, id)
@@ -1084,12 +1108,12 @@ func (c *Cluster) repairBaseLog(p *sim.Proc, n *DataNode) {
 	var last uint64
 	for _, id := range ids {
 		bps := n.bases[id]
-		from := have[id]
-		if from > len(bps) {
-			from = len(bps)
-		}
-		for _, bp := range bps[from:] {
-			last = n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: bp.key, After: bp.val})
+		for i := range bps {
+			if bps[i].lsn <= durable {
+				continue
+			}
+			last = n.Log.Append(wal.Record{Type: wal.RecBase, Part: uint64(id), Key: bps[i].key, After: bps[i].val})
+			bps[i].lsn = last
 		}
 	}
 	if last > 0 {

@@ -459,13 +459,17 @@ func (m *Master) RecordCount(p *sim.Proc, tableName string) (int, error) {
 }
 
 // appendCommitRecord writes and flushes a commit record on node's log. It
-// returns the record's LSN and whether it is actually durable — a power
-// failure during the force leaves the node's branch in doubt (prepared,
-// undecided locally).
+// returns the record's LSN and whether it is actually durable. Durability is
+// judged by the flushed boundary alone, not by whether the node is still up:
+// a power failure keeps everything at or below FlushedLSN on the platter, so
+// a record the group commit covered before the cut WILL be replayed by
+// restart recovery — reporting it non-durable would acknowledge an abort for
+// a transaction that then resurfaces. Only a record the crash caught above
+// the boundary is genuinely gone (restart rolls its transaction back).
 func appendCommitRecord(p *sim.Proc, node *DataNode, txn *cc.Txn) (uint64, bool) {
 	lsn := node.Log.Append(wal.Record{Txn: txn.ID, Type: wal.RecCommit})
 	node.Log.Flush(p, lsn)
-	return lsn, !node.Down() && node.Log.FlushedLSN() >= lsn
+	return lsn, node.Log.FlushedLSN() >= lsn
 }
 
 // rebind re-points every catalog reference at a restarted node's recovered

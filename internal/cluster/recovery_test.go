@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -180,6 +181,65 @@ func TestCrashRestartNode(t *testing.T) {
 			t.Fatalf("scan after restart saw %d records, want %d", count, n)
 		}
 		r.Abort(p)
+	})
+}
+
+// TestRecoveredPartitionFencesOldSnapshots pins the history-floor contract
+// the KV chaos oracle enforced the hard way: recovery rebuilds only the
+// newest committed image of every key (version chains die with DRAM), so a
+// snapshot taken before a crash must NOT read a recovered partition — it
+// could silently miss the superseded version it is entitled to. It gets a
+// retryable ErrSnapshotTooOld instead, and a fresh snapshot reads normally.
+func TestRecoveredPartitionFencesOldSnapshots(t *testing.T) {
+	tc := newTestCluster(t, table.Physiological, 2, 400)
+	defer tc.env.Close()
+	node := tc.c.Nodes[0]
+	master := tc.c.Master
+
+	tc.run(t, func(p *sim.Proc) {
+		write := func(k int64, val string) {
+			s := master.Begin(p, cc.SnapshotIsolation, node)
+			payload, _ := kvSchema().EncodeRow(table.Row{k, val})
+			if err := s.Put(p, "kv", ik(k), payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Commit(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(10, "v1")
+		// The old reader's snapshot covers v1 but not the overwrite below.
+		old := master.Begin(p, cc.SnapshotIsolation, tc.c.Nodes[1])
+		write(10, "v2")
+
+		tc.c.CrashNode(node)
+		if _, _, err := tc.c.RestartNode(p, node); err != nil {
+			t.Fatal(err)
+		}
+		// Recovery installed only v2; the version holding v1 is gone. The
+		// old snapshot must be refused — returning v2 would be a wrong
+		// read, returning "absent" a phantom delete.
+		_, _, err := old.Get(p, "kv", ik(10))
+		var tooOld table.ErrSnapshotTooOld
+		if !errors.As(err, &tooOld) {
+			t.Fatalf("pre-crash snapshot read of recovered partition: err=%v, want ErrSnapshotTooOld", err)
+		}
+		if serr := old.Scan(p, "kv", ik(0), ik(20), func(_, _ []byte) bool { return true }); !errors.As(serr, &tooOld) {
+			t.Fatalf("pre-crash snapshot scan of recovered partition: err=%v, want ErrSnapshotTooOld", serr)
+		}
+		old.Abort(p)
+
+		// A fresh snapshot is above the floor and reads the recovered state.
+		fresh := master.Begin(p, cc.SnapshotIsolation, tc.c.Nodes[1])
+		v, ok, err := fresh.Get(p, "kv", ik(10))
+		if err != nil || !ok {
+			t.Fatalf("fresh read after restart: ok=%v err=%v", ok, err)
+		}
+		row, _ := kvSchema().DecodeRow(v)
+		if row[1].(string) != "v2" {
+			t.Fatalf("fresh read = %q, want %q", row[1], "v2")
+		}
+		fresh.Abort(p)
 	})
 }
 

@@ -119,7 +119,10 @@ func (s *Session) followerFor(e *RangeEntry) *DataNode {
 		if f.Down() || origin.ship.stale[f.ID] {
 			continue
 		}
-		if st := f.stores[origin.ID]; st != nil && st.parts[e.Part.ID] != nil {
+		// A store seeded from base images holds no history below its floor;
+		// a snapshot down there must resolve at the owner (which applies its
+		// own recovery-horizon fence).
+		if st := f.stores[origin.ID]; st != nil && st.parts[e.Part.ID] != nil && st.floor <= s.Txn.Begin {
 			return f
 		}
 	}
@@ -183,8 +186,9 @@ func (s *Session) Get(p *sim.Proc, tableName string, key []byte) ([]byte, bool, 
 		origin := e.Owner
 		s.rpc(p, f, 32, 64)
 		// Re-fetch after the blocking trip: a crash or resync may have
-		// replaced the store meanwhile (fall back to the owner if so).
-		if st := f.stores[origin.ID]; st != nil {
+		// replaced the store — possibly with one re-seeded from base images
+		// whose floor now excludes this snapshot (fall back to the owner).
+		if st := f.stores[origin.ID]; st != nil && st.floor <= s.Txn.Begin {
 			if rp := st.parts[e.Part.ID]; rp != nil {
 				s.m.cluster.drep.FollowerReads++
 				v, ok := rp.get(key, s.Txn.Begin)
@@ -352,7 +356,7 @@ func (s *Session) followerScanPart(p *sim.Proc, e *RangeEntry, lo, hi []byte, fn
 	origin := e.Owner
 	s.rpc(p, f, 64, 256)
 	st := f.stores[origin.ID]
-	if st == nil {
+	if st == nil || st.floor > s.Txn.Begin {
 		return false // crash or resync replaced the store mid-trip
 	}
 	rp := st.parts[e.Part.ID]
@@ -528,8 +532,11 @@ func (s *Session) Commit(p *sim.Proc) error {
 	if distributed {
 		// The coordinator forces its decision record before any participant
 		// installs: from here the transaction commits everywhere, no matter
-		// which nodes fail when.
+		// which nodes fail when. That seals the durability fate — prepared
+		// branches roll forward from their forced prepare images — so the
+		// commit timestamp settles here and new snapshots may cover it.
 		s.m.recordDecision(p, s.Txn, commitTS, ordered)
+		s.m.Oracle.SettleCommit(s.Txn)
 	}
 
 	// Phase 2 / fast path: install writes and force commit records, in
@@ -575,7 +582,9 @@ func (s *Session) Commit(p *sim.Proc) error {
 		}
 		commitLSN, durable := appendCommitRecord(p, node, s.Txn)
 		if !durable {
-			// The node power-failed during the commit-record force.
+			// The power failure caught the commit record above the flushed
+			// boundary: it is gone from the platter, so restart recovery is
+			// guaranteed to roll this branch back.
 			if !distributed {
 				return ErrNodeDown{node.ID}
 			}
@@ -604,6 +613,13 @@ func (s *Session) Commit(p *sim.Proc) error {
 		if distributed {
 			s.m.ackDecision(s.Txn.ID, node.ID)
 		}
+	}
+	if !distributed {
+		// Single-node fate seals only now: the commit record is durable and,
+		// under replication, a replica holds the branch. Settling any earlier
+		// would let a snapshot observe a commit that a power failure during
+		// the force still rolls back at restart.
+		s.m.Oracle.SettleCommit(s.Txn)
 	}
 	s.releaseLocks()
 	s.Txn.DropUndo()

@@ -136,16 +136,20 @@ func Fig3(records int, ratios []int, seed int64) (Fig3Result, error) {
 				}
 			}
 		})
-		// Housekeeping: vacuum and checkpoint/truncate as a real deployment
-		// would (otherwise both schemes' storage grows without bound).
+		// Housekeeping: vacuum and fuzzy checkpoints as a real deployment
+		// would (otherwise both schemes' storage grows without bound). The
+		// checkpoint truncates by its redo point — never past a dirty page's
+		// recLSN or an in-flight transaction's first record — instead of the
+		// raw flush-everything checkpoint LSN.
 		for _, n := range []*cluster.DataNode{c.Nodes[0], c.Nodes[1]} {
 			n.StartVacuum(2 * time.Second)
 			node := n
 			env.Spawn("checkpointer", func(p *sim.Proc) {
 				for !moveDone {
 					p.Sleep(2 * time.Second)
-					ck := node.Log.Checkpoint(p)
-					node.Log.TruncateBefore(ck)
+					if _, err := c.CheckpointNode(p, node, 0); err != nil {
+						return
+					}
 				}
 			})
 		}

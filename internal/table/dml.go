@@ -34,6 +34,9 @@ func (pt *Partition) Lookup(p *sim.Proc, txn *cc.Txn, key []byte) ([]byte, Looku
 	if err := pt.down(); err != nil {
 		return nil, LookupAbsent, err
 	}
+	if err := pt.tooOld(txn); err != nil {
+		return nil, LookupAbsent, err
+	}
 	pt.stats.Reads++
 	pt.deps.compute(p, pt.deps.CPUPerOp)
 	if txn.Mode == cc.Locking {
@@ -219,6 +222,9 @@ func (pt *Partition) ScanWithTombstones(p *sim.Proc, txn *cc.Txn, lo, hi []byte,
 
 func (pt *Partition) scan(p *sim.Proc, txn *cc.Txn, lo, hi []byte, fn func(key, payload []byte, deleted bool) bool) error {
 	if err := pt.down(); err != nil {
+		return err
+	}
+	if err := pt.tooOld(txn); err != nil {
 		return err
 	}
 	if txn.Mode == cc.Locking {

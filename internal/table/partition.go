@@ -129,6 +129,23 @@ func (e ErrPartitionDown) Error() string {
 	return fmt.Sprintf("table: partition %d is down (node power-failed)", e.Part)
 }
 
+// ErrSnapshotTooOld is returned for snapshot reads below the partition's
+// recovery horizon. Version chains are volatile — they die with the node's
+// DRAM — so a recovered partition holds only the newest committed image of
+// each key as of recovery; a snapshot older than that could need a superseded
+// version that no longer exists, and answering "absent" would be a silent
+// consistency violation. Callers treat this like any transient fault: abort
+// and retry with a fresh snapshot.
+type ErrSnapshotTooOld struct {
+	Part  PartID
+	Snap  cc.Timestamp
+	Floor cc.Timestamp
+}
+
+func (e ErrSnapshotTooOld) Error() string {
+	return fmt.Sprintf("table: partition %d snapshot %d below recovery horizon %d", e.Part, e.Snap, e.Floor)
+}
+
 // Partition is one horizontal slice of a table, living on a single node.
 type Partition struct {
 	ID     PartID
@@ -164,6 +181,11 @@ type Partition struct {
 	// failure: all operations return ErrPartitionDown until the node
 	// restarts and swaps in a recovered replacement partition.
 	failed bool
+
+	// histFloor is the snapshot-serving horizon: recovery installs only the
+	// newest committed image per key, so snapshot reads below the floor get
+	// ErrSnapshotTooOld instead of a potentially wrong "absent".
+	histFloor cc.Timestamp
 }
 
 // NewPartition creates an empty partition.
@@ -205,6 +227,30 @@ func (pt *Partition) Failed() bool { return pt.failed }
 func (pt *Partition) down() error {
 	if pt.failed {
 		return ErrPartitionDown{pt.ID}
+	}
+	return nil
+}
+
+// RaiseHistoryFloor lifts the snapshot-serving horizon to ts (never lowers
+// it). Recovery calls it after rebuilding the partition from its base and the
+// log: everything at or above ts reads the newest image of every key and
+// resolves correctly; anything below might need pre-crash history that died
+// with the DRAM.
+func (pt *Partition) RaiseHistoryFloor(ts cc.Timestamp) {
+	if ts > pt.histFloor {
+		pt.histFloor = ts
+	}
+}
+
+// HistoryFloor returns the snapshot-serving horizon (0: full history).
+func (pt *Partition) HistoryFloor() cc.Timestamp { return pt.histFloor }
+
+// tooOld rejects snapshot reads below the recovery horizon. Locking-mode
+// readers are exempt: they read the current committed state straight from the
+// leaf, which recovery reconstructs exactly.
+func (pt *Partition) tooOld(txn *cc.Txn) error {
+	if txn.Mode == cc.SnapshotIsolation && txn.Begin < pt.histFloor {
+		return ErrSnapshotTooOld{Part: pt.ID, Snap: txn.Begin, Floor: pt.histFloor}
 	}
 	return nil
 }

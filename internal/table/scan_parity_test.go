@@ -107,6 +107,12 @@ func TestLockingScanSeesCommittedInstallingWrite(t *testing.T) {
 		if w2.State != cc.TxnCommitted {
 			t.Fatal("writer not committed yet; the gate did not park the install")
 		}
+		// Model the decided-then-installing window of a distributed commit:
+		// the fate is sealed (decision record durable) while the tree install
+		// is still in flight. Without the settle the reader's snapshot would
+		// be capped below the not-yet-durable commit and correctly miss it —
+		// the parity property under test only applies to settled commits.
+		oracle.SettleCommit(w2)
 
 		r := oracle.Begin(cc.Locking)
 		err := pt.Scan(p, r, nil, nil, func(k, v []byte) bool {

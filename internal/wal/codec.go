@@ -75,7 +75,7 @@ func DecodeRecord(buf []byte) (Record, []byte, error) {
 		Part: binary.LittleEndian.Uint64(buf[24:32]),
 		Type: RecType(buf[32]),
 	}
-	if r.Type > RecShip {
+	if r.Type > RecCkptEnd {
 		return Record{}, nil, fmt.Errorf("wal: unknown record type %d", buf[32])
 	}
 	flags := buf[33]

@@ -96,11 +96,18 @@ func FuzzTornTailRecovery(f *testing.F) {
 	}
 	r1 := Record{LSN: 1, Type: RecInsert, Txn: 1, Part: 2, Key: []byte("k"), After: []byte("v")}
 	r2 := Record{LSN: 2, Type: RecCommit, Txn: 1}
+	// A fuzzy-checkpoint pair: the crash states around its end record are
+	// exactly the torn-pair fallback LastCheckpoint must survive.
+	cb := Record{LSN: 3, Type: RecCkptBegin}
+	ce := Record{LSN: 4, Type: RecCkptEnd, Part: 3,
+		After: EncodeCheckpoint(nil, &Checkpoint{Begin: 3, Redo: 1, Parts: []CkptPart{{ID: 2, Redo: 1}}})}
 	f.Add(frame(r1, r2), []byte{}, -1)
 	f.Add(frame(r1, r2), frame(r2)[:5], -1)       // torn final record
 	f.Add(frame(r1), frame(r2), 12)               // bit-flipped complete frame
 	f.Add([]byte{}, []byte{0xFF, 0x00, 0xAB}, -1) // garbage-only log
 	f.Add(frame(r1, r2), bytes.Repeat([]byte{0}, 64), -1)
+	f.Add(frame(r1, r2, cb, ce), frame(ce)[:9], -1) // torn checkpoint-end record
+	f.Add(frame(r1, r2, cb), frame(ce), 40)         // bit-flipped checkpoint end
 
 	f.Fuzz(func(t *testing.T, valid []byte, tail []byte, flip int) {
 		// Only a frame-aligned valid part models a durable prefix.
@@ -134,6 +141,54 @@ func FuzzTornTailRecovery(f *testing.F) {
 		if vp < len(buf) {
 			if _, _, err := decodeFrame(buf[vp:]); err == nil {
 				t.Fatalf("valid frame at %d beyond the reported prefix %d", vp, vp)
+			}
+		}
+	})
+}
+
+// FuzzCheckpointCodec checks the checkpoint payload codec both ways: an
+// encoded Checkpoint must round-trip exactly, and arbitrary bytes must be
+// rejected with an error — never a panic or a giant allocation — since
+// restart feeds LastCheckpoint whatever a crash left in a RecCkptEnd record.
+func FuzzCheckpointCodec(f *testing.F) {
+	f.Add(uint64(3), uint64(1), uint64(2), uint64(1), uint64(9), uint64(4), []byte{})
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), []byte{})
+	f.Add(uint64(7), uint64(5), uint64(1), uint64(5), uint64(2), uint64(6),
+		EncodeCheckpoint(nil, &Checkpoint{Begin: 7, Redo: 5}))
+	f.Add(uint64(1), uint64(1), uint64(1), uint64(1), uint64(1), uint64(1),
+		bytes.Repeat([]byte{0xFF}, ckptHeaderSize)) // implausible entry counts
+	f.Fuzz(func(t *testing.T, begin, redo, partID, partRedo, txn, first uint64, raw []byte) {
+		ck := Checkpoint{
+			Begin: begin,
+			Redo:  redo,
+			Parts: []CkptPart{{ID: partID, Redo: partRedo}},
+			Txns:  []CkptTxn{{Txn: cc.TxnID(txn), First: first}},
+		}
+		enc := EncodeCheckpoint(nil, &ck)
+		dec, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if dec.Begin != ck.Begin || dec.Redo != ck.Redo ||
+			len(dec.Parts) != 1 || dec.Parts[0] != ck.Parts[0] ||
+			len(dec.Txns) != 1 || dec.Txns[0] != ck.Txns[0] {
+			t.Fatalf("round trip mismatch: %+v vs %+v", dec, ck)
+		}
+		if dec.PartRedo(partID) != partRedo {
+			t.Fatalf("PartRedo(%d) = %d, want %d", partID, dec.PartRedo(partID), partRedo)
+		}
+		// Decoding is canonical: any trailing or missing byte is corruption.
+		if _, err := DecodeCheckpoint(enc[:len(enc)-1]); err == nil {
+			t.Fatal("truncated payload accepted")
+		}
+		if _, err := DecodeCheckpoint(append(bytes.Clone(enc), 0)); err == nil {
+			t.Fatal("oversized payload accepted")
+		}
+		// Arbitrary bytes: error or a structurally sound checkpoint.
+		if ck2, err := DecodeCheckpoint(raw); err == nil {
+			if len(ck2.Parts) > maxCkptEntries || len(ck2.Txns) > maxCkptEntries {
+				t.Fatalf("decoder accepted implausible entry counts: %d parts, %d txns",
+					len(ck2.Parts), len(ck2.Txns))
 			}
 		}
 	})

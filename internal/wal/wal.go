@@ -59,13 +59,27 @@ const (
 	// partitions); the follower's in-memory replica store is rebuilt from
 	// these wrappers on restart.
 	RecShip
+
+	// Fuzzy-checkpoint records. A checkpoint is a begin/end pair:
+	// RecCkptBegin marks the instant the checkpointer scanned the log and
+	// refreshed the partition recovery bases, and RecCkptEnd carries the
+	// EncodeCheckpoint payload (per-partition redo low-water marks) that
+	// lets the next restart start replay at the redo point instead of the
+	// log head. A checkpoint counts only once its end record is durable: a
+	// restart that finds the end missing or torn falls back to the previous
+	// complete pair. Both are node-local bookkeeping: a rebuilt log replays
+	// full history from the replicas' wrappers, so neither ships (and a
+	// shipped payload's LSNs would dangle after rebuild renumbering).
+	RecCkptBegin // begin marker (no payload)
+	RecCkptEnd   // After = EncodeCheckpoint payload; Part = begin LSN
 )
 
 // String returns the type's display name.
 func (t RecType) String() string {
 	return [...]string{"update", "insert", "delete", "commit", "abort", "checkpoint",
 		"segmove", "prepare", "prepdml", "prepdel", "decision",
-		"mstate", "mlease", "mack", "base", "ship"}[t]
+		"mstate", "mlease", "mack", "base", "ship",
+		"ckptbegin", "ckptend"}[t]
 }
 
 // Record is one logical log record. For ordinary DML, Before and After carry
@@ -644,11 +658,15 @@ func (l *Log) locate(lsn uint64) (*logSegment, int) {
 
 // Shippable reports whether a record type belongs to the node's replicated
 // data stream. Master-state records replicate through the coordinator's own
-// protocol, and ship wrappers are follower-local bookkeeping — forwarding
-// either would nest the streams.
+// protocol, ship wrappers are follower-local bookkeeping — forwarding either
+// would nest the streams — and checkpoint records (begin/end) describe this
+// log's local truncation state: a replica rebuilds from the full shipped
+// history and never needs them, and shipping them would let a rebuilt log
+// carry checkpoint payloads whose LSNs dangle after renumbering.
 func Shippable(t RecType) bool {
 	switch t {
-	case RecMState, RecMLease, RecMAck, RecDecision, RecShip:
+	case RecMState, RecMLease, RecMAck, RecDecision, RecShip,
+		RecCkptBegin, RecCkptEnd:
 		return false
 	}
 	return true
@@ -785,8 +803,15 @@ func Recover(p *sim.Proc, it *Iterator, targets map[uint64]Target) (redone, undo
 	if err != nil {
 		return 0, 0, err
 	}
-	redone, undone, _, err = replay(p, recs, targets, false, nil)
-	return redone, undone, err
+	a := NewAnalysis(recs, nil)
+	st, err := a.apply(p, func(part uint64) (Target, bool, error) {
+		tgt, ok := targets[part]
+		if !ok {
+			return nil, false, fmt.Errorf("wal: recovery for unknown partition %d", part)
+		}
+		return tgt, true, nil
+	}, func(uint64) uint64 { return 0 })
+	return st.Redone, st.Undone, err
 }
 
 // RecoverPartial is Recover for a node restart where some logged partitions
@@ -802,84 +827,149 @@ func RecoverPartial(p *sim.Proc, it *Iterator, targets map[uint64]Target, decisi
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return replay(p, recs, targets, true, decisions)
-}
-
-func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown bool, decisions map[cc.TxnID]Decision) (redone, undone, skipped int, err error) {
-	committed := make(map[cc.TxnID]bool)
-	for i := range recs {
-		if recs[i].Type == RecCommit {
-			committed[recs[i].Txn] = true
-		}
-	}
-	winner := func(id cc.TxnID) bool {
-		if committed[id] {
-			return true
-		}
-		_, decided := decisions[id]
-		return decided
-	}
-	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
-	isPrep := func(t RecType) bool { return t == RecPrepDML || t == RecPrepDel }
-	resolve := func(part uint64) (Target, bool, error) {
+	a := NewAnalysis(recs, decisions)
+	st, err := a.apply(p, func(part uint64) (Target, bool, error) {
 		tgt, ok := targets[part]
 		if !ok {
-			if skipUnknown {
-				skipped++
-				return nil, false, nil
-			}
-			return nil, false, fmt.Errorf("wal: recovery for unknown partition %d", part)
+			skipped++
+			return nil, false, nil
 		}
 		return tgt, true, nil
-	}
+	}, func(uint64) uint64 { return 0 })
+	return st.Redone, st.Undone, skipped, err
+}
 
-	// Redo winners forward. A decided-commit transaction without a local
-	// commit record (a rolled-forward in-doubt branch) installs its
-	// prepare-time images at the decided timestamp; when the commit record
-	// is durable the preceding phase-two records already carry the final
-	// values, so the prepare images are redundant and skipped.
+// Analysis is the shared analysis pass over a restart log: the records and
+// the commit set plus coordinator decisions that classify every transaction
+// as winner or loser. One Analysis feeds every per-partition replay of a
+// restart, so concurrent partition replays (one sim proc each) never repeat
+// the scan.
+type Analysis struct {
+	recs      []Record
+	committed map[cc.TxnID]bool
+	decisions map[cc.TxnID]Decision
+}
+
+// NewAnalysis scans recs once and returns the shared replay classification.
+func NewAnalysis(recs []Record, decisions map[cc.TxnID]Decision) *Analysis {
+	a := &Analysis{recs: recs, committed: make(map[cc.TxnID]bool), decisions: decisions}
 	for i := range recs {
-		r := &recs[i]
+		if recs[i].Type == RecCommit {
+			a.committed[recs[i].Txn] = true
+		}
+	}
+	return a
+}
+
+func (a *Analysis) winner(id cc.TxnID) bool {
+	if a.committed[id] {
+		return true
+	}
+	_, decided := a.decisions[id]
+	return decided
+}
+
+// ReplayStats reports one replay's work, so restart paths can expose how
+// much log a recovery actually touched (the chaos RTO oracle asserts it is
+// bounded by the delta since the last checkpoint).
+type ReplayStats struct {
+	Redone, Undone int
+	Bytes          int64  // framed bytes of every record applied
+	MinApplied     uint64 // lowest LSN applied (0 = nothing applied)
+}
+
+func (s *ReplayStats) count(r *Record, redo bool) {
+	if redo {
+		s.Redone++
+	} else {
+		s.Undone++
+	}
+	s.Bytes += r.FrameSize()
+	if s.MinApplied == 0 || r.LSN < s.MinApplied {
+		s.MinApplied = r.LSN
+	}
+}
+
+// ReplayPartition replays one partition's records from its checkpoint redo
+// low-water mark: every record below from is covered by the refreshed
+// recovery base and skipped, so replay work is bounded by the delta since
+// the checkpoint instead of the full retained history. from = 0 replays
+// everything (no checkpoint, or a partition the checkpoint never saw).
+func (a *Analysis) ReplayPartition(p *sim.Proc, part, from uint64, tgt Target) (ReplayStats, error) {
+	return a.apply(p, func(pt uint64) (Target, bool, error) {
+		if pt != part {
+			return nil, false, nil
+		}
+		return tgt, true, nil
+	}, func(uint64) uint64 { return from })
+}
+
+// apply is the replay engine shared by Recover, RecoverPartial, and the
+// per-partition restart path. resolve maps a partition to its target (or
+// skips it); from gives each partition's redo start point.
+//
+// The redo filter is sound because a checkpoint lets nothing fall below
+// the redo point uncovered: a key whose latest committed image (DML or
+// base record) sits below was absorbed into the in-memory recovery base
+// the restart pre-applies, and a transaction unresolved at checkpoint time
+// pins the redo point at its first LSN, so every record a restart could
+// need to roll forward — or undo — sits at or above from.
+func (a *Analysis) apply(p *sim.Proc, resolve func(part uint64) (Target, bool, error), from func(part uint64) uint64) (st ReplayStats, err error) {
+	isDML := func(t RecType) bool { return t == RecUpdate || t == RecInsert || t == RecDelete }
+	isPrep := func(t RecType) bool { return t == RecPrepDML || t == RecPrepDel }
+
+	// Redo winners forward. Base images redo unconditionally (Txn = 0; a
+	// bulk-load base precedes any DML on its keys, and a segment-adoption
+	// base — which may supersede older DML — lands at its append position,
+	// so pure LSN order converges every key to its latest committed value).
+	// A decided-commit transaction without a local commit record (a
+	// rolled-forward in-doubt branch) installs its prepare-time images at
+	// the decided timestamp; when the commit record is durable the
+	// preceding phase-two records already carry the final values, so the
+	// prepare images are redundant and skipped.
+	for i := range a.recs {
+		r := &a.recs[i]
+		if r.LSN < from(r.Part) {
+			continue
+		}
 		if r.Type == RecBase {
-			// Recovery-base image: redo unconditionally (Txn = 0, logged at
-			// load/adoption time strictly before any DML on its key).
 			tgt, ok, rerr := resolve(r.Part)
 			if rerr != nil {
-				return redone, undone, skipped, rerr
+				return st, rerr
 			}
 			if !ok {
 				continue
 			}
 			if err = tgt.RecoveryPut(p, r.Key, r.After); err != nil {
-				return redone, undone, skipped, err
+				return st, err
 			}
-			redone++
+			st.count(r, true)
 			continue
 		}
 		if isPrep(r.Type) {
-			d, decided := decisions[r.Txn]
-			if !decided || committed[r.Txn] {
+			d, decided := a.decisions[r.Txn]
+			if !decided || a.committed[r.Txn] {
 				continue
 			}
 			tgt, ok, rerr := resolve(r.Part)
 			if rerr != nil {
-				return redone, undone, skipped, rerr
+				return st, rerr
 			}
 			if !ok {
 				continue
 			}
 			if err = tgt.RecoveryInstall(p, r.Key, r.After, d.TS, r.Type == RecPrepDel); err != nil {
-				return redone, undone, skipped, err
+				return st, err
 			}
-			redone++
+			st.count(r, true)
 			continue
 		}
-		if !isDML(r.Type) || !winner(r.Txn) {
+		if !isDML(r.Type) || !a.winner(r.Txn) {
 			continue
 		}
 		tgt, ok, rerr := resolve(r.Part)
 		if rerr != nil {
-			return redone, undone, skipped, rerr
+			return st, rerr
 		}
 		if !ok {
 			continue
@@ -890,22 +980,24 @@ func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown b
 			err = tgt.RecoveryDelete(p, r.Key)
 		}
 		if err != nil {
-			return redone, undone, skipped, err
+			return st, err
 		}
-		redone++
+		st.count(r, true)
 	}
 	// Undo losers backward (anything neither committed locally nor decided
 	// committed by the coordinator). Prepare-time images are never undone:
 	// nothing was installed before the commit point, so there is nothing to
-	// compensate.
-	for i := len(recs) - 1; i >= 0; i-- {
-		r := &recs[i]
-		if !isDML(r.Type) || winner(r.Txn) {
+	// compensate. A loser below the redo filter is a dead one from before
+	// an earlier restart — its effects were never replayed into the fresh
+	// partition, so there is nothing to undo there either.
+	for i := len(a.recs) - 1; i >= 0; i-- {
+		r := &a.recs[i]
+		if !isDML(r.Type) || a.winner(r.Txn) || r.LSN < from(r.Part) {
 			continue
 		}
 		tgt, ok, rerr := resolve(r.Part)
 		if rerr != nil {
-			return redone, undone, skipped, rerr
+			return st, rerr
 		}
 		if !ok {
 			continue
@@ -916,9 +1008,9 @@ func replay(p *sim.Proc, recs []Record, targets map[uint64]Target, skipUnknown b
 			err = tgt.RecoveryDelete(p, r.Key)
 		}
 		if err != nil {
-			return redone, undone, skipped, err
+			return st, err
 		}
-		undone++
+		st.count(r, false)
 	}
-	return redone, undone, skipped, nil
+	return st, nil
 }

@@ -218,6 +218,106 @@ func TestPinBeforeFencesTruncation(t *testing.T) {
 	}
 }
 
+// TestLastCheckpointTornPairFallback pins the crash contract of fuzzy
+// checkpoints: only a complete, durable RecCkptBegin/RecCkptEnd pair counts.
+// A crash between begin and end — or one that tears or fails to flush the
+// end record — must fall back to the previous complete checkpoint, never to
+// the half-written one.
+func TestLastCheckpointTornPairFallback(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	force := func(lsn uint64) {
+		env.Spawn("flush", func(p *sim.Proc) { l.Flush(p, lsn) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.LastCheckpoint() != nil {
+		t.Fatal("empty log reported a checkpoint")
+	}
+	l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte("a"), After: []byte("1")})
+
+	// First complete pair.
+	b1 := l.Append(Record{Type: RecCkptBegin})
+	e1 := l.Append(Record{Type: RecCkptEnd, Part: b1,
+		After: EncodeCheckpoint(nil, &Checkpoint{Begin: b1, Redo: b1, Parts: []CkptPart{{ID: 7, Redo: b1}}})})
+	force(e1)
+	ck := l.LastCheckpoint()
+	if ck == nil || ck.Begin != b1 || ck.PartRedo(7) != b1 {
+		t.Fatalf("complete pair not found: %+v", ck)
+	}
+
+	// A dangling begin (crash before the end record) must not advance it.
+	b2 := l.Append(Record{Type: RecCkptBegin})
+	force(b2)
+	if ck := l.LastCheckpoint(); ck == nil || ck.Begin != b1 {
+		t.Fatalf("dangling begin advanced the checkpoint: %+v", ck)
+	}
+
+	// An end record with a torn (undecodable) payload is ignored.
+	bad := l.Append(Record{Type: RecCkptEnd, Part: b2, After: []byte{1, 2, 3}})
+	force(bad)
+	if ck := l.LastCheckpoint(); ck == nil || ck.Begin != b1 {
+		t.Fatalf("torn end payload advanced the checkpoint: %+v", ck)
+	}
+
+	// An end record claiming an older begin (a later begin intervened) does
+	// not pair up either: the scan between b2 and this end is incomplete.
+	stale := l.Append(Record{Type: RecCkptEnd, Part: b1,
+		After: EncodeCheckpoint(nil, &Checkpoint{Begin: b1, Redo: b1})})
+	force(stale)
+	if ck := l.LastCheckpoint(); ck == nil || ck.Begin != b1 {
+		t.Fatalf("stale end advanced the checkpoint: %+v", ck)
+	}
+
+	// A complete second pair is invisible while its end record sits in the
+	// unflushed tail (a crash now would tear it off the platter)...
+	e2 := l.Append(Record{Type: RecCkptEnd, Part: b2,
+		After: EncodeCheckpoint(nil, &Checkpoint{Begin: b2, Redo: b2, Parts: []CkptPart{{ID: 7, Redo: b2}}})})
+	if ck := l.LastCheckpoint(); ck == nil || ck.Begin != b1 {
+		t.Fatalf("unflushed end already visible: %+v", ck)
+	}
+	// ...and wins once durable.
+	force(e2)
+	if ck := l.LastCheckpoint(); ck == nil || ck.Begin != b2 || ck.PartRedo(7) != b2 {
+		t.Fatalf("durable second pair not selected: %+v", ck)
+	}
+}
+
+// TestTruncateBeforeExactPinBoundary pins the off-by-one contract between
+// the shipper's fence and checkpoint truncation: PinBefore(p) means "LSNs
+// >= p are not replicated yet", so a segment ending exactly at p-1 is
+// reclaimable while one ending exactly at p must survive.
+func TestTruncateBeforeExactPinBoundary(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	l := NewLog(env, &countingDevice{})
+	l.SetSegmentBytes(1) // seal after every record: one segment per LSN
+	var last uint64
+	for i := 0; i < 6; i++ {
+		last = l.Append(Record{Type: RecInsert, Txn: 1, Key: []byte{byte('a' + i)}, After: []byte("v")})
+	}
+	env.Spawn("flush", func(p *sim.Proc) { l.Flush(p, last) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	const pin = 4
+	l.PinBefore(pin)
+	l.TruncateBefore(last) // checkpoint wants everything below `last` gone
+	recs, err := l.Iter().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("truncation emptied the log")
+	}
+	// LSN pin-1 = 3 sits in a segment wholly below the fence: reclaimed.
+	if first := recs[0].LSN; first != pin {
+		t.Fatalf("first retained LSN = %d, want exactly the pin %d (pin-1 reclaimable, pin fenced)", first, pin)
+	}
+}
+
 // TestCrashDiscardsUnflushedBytes pins the crash fence on the byte log: the
 // unflushed tail is gone, the durable prefix decodes, and LSNs continue
 // above the durable boundary after restart.
