@@ -1,7 +1,7 @@
 GO ?= go
 
 # Micro-benchmarks compared by bench-baseline / bench-compare.
-BENCH_PATTERN  ?= BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkScanPipeline|BenchmarkTableScanBatch|BenchmarkChangedSince|BenchmarkGroupCommit|BenchmarkEncodeKeyPrefix
+BENCH_PATTERN  ?= BenchmarkSimWakeup|BenchmarkPoolPinHit|BenchmarkCursorScan|BenchmarkScanPipeline|BenchmarkTableScanBatch|BenchmarkChangedSince|BenchmarkGroupCommit|BenchmarkEncodeKeyPrefix|BenchmarkHashJoin|BenchmarkMergeJoin|BenchmarkExchangeParallelScan
 BENCH_COUNT    ?= 10
 BENCH_BASELINE ?= bench-baseline.txt
 BENCH_NEW      ?= bench-new.txt
@@ -9,7 +9,7 @@ BENCH_NEW      ?= bench-new.txt
 # Chaos harness: number of seeds swept by `make chaos` / `make chaos-tpcc`.
 SEEDS ?= 25
 
-.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-ship chaos-rto chaos-quick bench-quick bench-micro bench-baseline bench-compare check
+.PHONY: all build test test-race vet chaos chaos-tpcc chaos-coord chaos-ship chaos-rto chaos-htap chaos-quick bench-quick bench-micro bench-analytics bench-baseline bench-compare check
 
 all: check
 
@@ -60,15 +60,24 @@ chaos-rto:
 	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -ckpt 3
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -ckpt 3
 
+## chaos-htap: analytics-heavy sweep — extra concurrent HTAP readers run
+## validated scan-aggregate snapshot queries (half with the follower-read
+## offloading hint) while the full fault plan executes
+chaos-htap:
+	$(GO) run ./cmd/wattdb-chaos -seeds $(SEEDS) -htap 4
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds $(SEEDS) -htap 4
+
 ## chaos-quick: a short crash-anywhere sweep of both workloads, plus
-## coordinator-crash-heavy, disk-loss-heavy, and mid-checkpoint-crash
-## bursts (CI gate)
+## coordinator-crash-heavy, disk-loss-heavy, mid-checkpoint-crash, and
+## HTAP-analytics bursts (CI gate)
 chaos-quick:
 	$(GO) run ./cmd/wattdb-chaos -seeds 6 -duration 25s
 	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 3 -duration 20s
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -coord 3
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -disk 3
 	$(GO) run ./cmd/wattdb-chaos -seeds 4 -duration 25s -ckpt 3
+	$(GO) run ./cmd/wattdb-chaos -seeds 3 -duration 25s -htap 4
+	$(GO) run ./cmd/wattdb-chaos -tpcc -seeds 2 -duration 20s -htap 4
 
 ## check: tier-1 verification in one command (build + vet + race-enabled
 ## tests + a short crash-anywhere chaos sweep of both workloads)
@@ -81,6 +90,15 @@ bench-quick:
 ## bench-micro: hot-path micro-benchmarks with allocation counts
 bench-micro:
 	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run '^$$' .
+
+## bench-analytics: the HTAP study (analytics placement vs OLTP
+## interference) plus the analytical operator micro-benchmarks — joins must
+## report 0 allocs/op and the exchange's sim-us/drain must shrink linearly
+## with partitions
+bench-analytics:
+	$(GO) test ./internal/chbench/ -v
+	$(GO) test -bench='BenchmarkFigHTAP' -benchtime=1x -run '^$$' -v .
+	$(GO) test -bench='BenchmarkHashJoin|BenchmarkMergeJoin|BenchmarkExchangeParallelScan' -benchmem -run '^$$' .
 
 ## bench-baseline: record the micro-benchmark baseline bench-compare diffs
 ## against (run it on the old code before starting a change)

@@ -1,6 +1,7 @@
 package wattdb_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -329,6 +330,262 @@ func BenchmarkScanPipeline(b *testing.B) {
 	})
 	if err := env.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchSource replays a pre-built batch in vector-sized slices — the join
+// benchmarks' input operator. It declares its ordering so merge joins can
+// assert sorted inputs.
+type benchSource struct {
+	data   *table.Batch
+	vector int
+	ord    []int
+
+	out *table.Batch
+	pos int
+}
+
+func (s *benchSource) Open(*sim.Proc) error {
+	if s.out == nil {
+		s.out = table.NewBatch(s.data.Schema)
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *benchSource) Next(*sim.Proc) (*table.Batch, error) {
+	if s.pos >= s.data.Len() {
+		return nil, nil
+	}
+	end := s.pos + s.vector
+	if end > s.data.Len() {
+		end = s.data.Len()
+	}
+	s.out.Reset()
+	for i := s.pos; i < end; i++ {
+		s.out.AppendFrom(s.data, i)
+	}
+	s.pos = end
+	return s.out, nil
+}
+
+func (s *benchSource) Close(*sim.Proc) {}
+
+func (s *benchSource) Ordering() []int { return s.ord }
+
+// joinInputs builds a 1024-row build/left side and an 8192-row probe/right
+// side whose keys all match (8 probe rows per build key), both in key order.
+func joinInputs(b *testing.B) (*sim.Env, *hw.Node, *table.Batch, *table.Batch) {
+	env := sim.NewEnv(1)
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	node := hw.NewNode(env, 1, cal, net)
+	node.ForceActive()
+	ls := &table.Schema{
+		ID: 1, Name: "L", KeyCols: 1,
+		Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "lv", Type: table.ColFloat64}},
+	}
+	rs := &table.Schema{
+		ID: 2, Name: "R", KeyCols: 1,
+		Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "rv", Type: table.ColString}},
+	}
+	const buildN, probeN = 1024, 8192
+	left := table.NewBatch(ls)
+	for i := 0; i < buildN; i++ {
+		if err := left.AppendRow(table.Row{int64(i), float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	right := table.NewBatch(rs)
+	for i := 0; i < probeN; i++ {
+		if err := right.AppendRow(table.Row{int64(i / (probeN / buildN)), "payload"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return env, node, left, right
+}
+
+// BenchmarkHashJoin measures the vectorized hash join: 1k-row build side,
+// 8k-row probe, every probe row matching (ns/op is per joined output row).
+// Must report 0 allocs/op in steady state (regression-guarded by
+// TestHashJoinProbeZeroAlloc in internal/exec).
+func BenchmarkHashJoin(b *testing.B) {
+	env, node, left, right := joinInputs(b)
+	defer env.Close()
+	join := &exec.HashJoin{
+		Build:     &benchSource{data: left, vector: 64},
+		Probe:     &benchSource{data: right, vector: 64},
+		Node:      node,
+		BuildKeys: []int{0},
+		ProbeKeys: []int{0},
+		CPUPerRow: time.Microsecond,
+		Vector:    64,
+	}
+	env.Spawn("bench", func(p *sim.Proc) {
+		warm, err := exec.Drain(p, join)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if warm != right.Len() {
+			b.Errorf("joined %d rows, want %d", warm, right.Len())
+			return
+		}
+		b.ResetTimer()
+		joined := 0
+		for joined < b.N {
+			n, err := exec.Drain(p, join)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			joined += n
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMergeJoin measures the merge join over pre-ordered inputs: same
+// shape as BenchmarkHashJoin, with both sides key-sorted and the ordering
+// asserted from plan metadata (ns/op is per joined output row). Must report
+// 0 allocs/op in steady state (TestMergeJoinZeroAlloc).
+func BenchmarkMergeJoin(b *testing.B) {
+	env, node, left, right := joinInputs(b)
+	defer env.Close()
+	join := &exec.MergeJoin{
+		Left:      &benchSource{data: left, vector: 64, ord: []int{0}},
+		Right:     &benchSource{data: right, vector: 64, ord: []int{0}},
+		Node:      node,
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+		CPUPerRow: time.Microsecond,
+		Vector:    64,
+	}
+	env.Spawn("bench", func(p *sim.Proc) {
+		warm, err := exec.Drain(p, join)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if warm != right.Len() {
+			b.Errorf("joined %d rows, want %d", warm, right.Len())
+			return
+		}
+		b.ResetTimer()
+		joined := 0
+		for joined < b.N {
+			n, err := exec.Drain(p, join)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			joined += n
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExchangeParallelScan measures the scatter-gather merge: 8k rows
+// split over 1/2/4/8 partitions, each on its own node, drained through the
+// exchange (ns/op is per merged row). The sim-us/drain metric is the
+// virtual time one drain takes — it must shrink as partitions are added
+// (the 4-partition >= 2x speedup is regression-guarded by
+// TestExchangeParallelScanSpeedup in internal/exec).
+func BenchmarkExchangeParallelScan(b *testing.B) {
+	const totalRows = 8192
+	for _, nparts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parts-%d", nparts), func(b *testing.B) {
+			env := sim.NewEnv(1)
+			defer env.Close()
+			cal := hw.TestCalibration()
+			net := hw.NewNetwork(env, cal)
+			oracle := cc.NewOracle()
+			schema := &table.Schema{
+				ID: 1, Name: "sharded", KeyCols: 1,
+				Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "v", Type: table.ColInt64}},
+			}
+			rowsPer := totalRows / nparts
+			var parts []*table.Partition
+			for i := 0; i < nparts; i++ {
+				node := hw.NewNode(env, i+1, cal, net)
+				node.ForceActive()
+				deps := table.Deps{
+					Env:         env,
+					Oracle:      oracle,
+					Locks:       cc.NewLockManager(env),
+					Log:         wal.NewLog(env, benchNullDevice{}),
+					Factory:     &benchFactory{pageSize: 4096, segPages: 256},
+					LockTimeout: time.Second,
+					PageSize:    4096,
+					Compute:     node.Compute,
+					CPUPerOp:    cal.CPUBTreeOp,
+					CPUPerTuple: cal.CPUTupleScan,
+				}
+				parts = append(parts, table.NewPartition(table.PartID(i+1), schema, table.Physiological, nil, nil, deps))
+			}
+			env.Spawn("load", func(p *sim.Proc) {
+				for i, part := range parts {
+					txn := oracle.Begin(cc.SnapshotIsolation)
+					for j := 0; j < rowsPer; j++ {
+						k := int64(i*rowsPer + j)
+						key, _ := schema.Key(table.Row{k, k * 2})
+						payload, _ := schema.EncodeRow(table.Row{k, k * 2})
+						if err := part.Put(p, txn, key, payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := table.CommitTxn(p, txn, part); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+			txn := oracle.Begin(cc.SnapshotIsolation)
+			var plans []exec.Operator
+			for _, part := range parts {
+				plans = append(plans, &exec.TableScan{Part: part, Txn: txn, Vector: 64})
+			}
+			ex := &exec.Exchange{Plans: plans, Env: env}
+			var simPerDrain time.Duration
+			env.Spawn("bench", func(p *sim.Proc) {
+				warm, err := exec.Drain(p, ex) // warm the free list and workers
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if warm != totalRows {
+					b.Errorf("drained %d rows, want %d", warm, totalRows)
+					return
+				}
+				b.ResetTimer()
+				start := env.Now()
+				drained, drains := 0, 0
+				for drained < b.N {
+					n, err := exec.Drain(p, ex)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					drained += n
+					drains++
+				}
+				if drains > 0 {
+					simPerDrain = (env.Now() - start) / time.Duration(drains)
+				}
+			})
+			if err := env.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(simPerDrain.Microseconds()), "sim-us/drain")
+		})
 	}
 }
 

@@ -175,6 +175,44 @@ func BenchmarkFig7Breakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkFigHTAP regenerates the HTAP interference study: the CH-style
+// analytics aggregate co-located with an OLTP home vs offloaded to a spare
+// (follower snapshot reads) vs partition-parallel through the exchange. The
+// paper's offloading shape must reproduce: offloaded analytics out-runs
+// co-located while the OLTP tail improves.
+func BenchmarkFigHTAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FigHTAP(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.String())
+			base := res.Row(experiments.HTAPBaseline)
+			co := res.Row(experiments.HTAPColocated)
+			off := res.Row(experiments.HTAPOffloaded)
+			par := res.Row(experiments.HTAPParallel)
+			if off.AnalyticsQPS <= co.AnalyticsQPS {
+				b.Errorf("offloaded analytics (%.2f q/s) should beat co-located (%.2f q/s)",
+					off.AnalyticsQPS, co.AnalyticsQPS)
+			}
+			if off.OLTPp99Ms >= co.OLTPp99Ms {
+				b.Errorf("offloading should improve OLTP p99 (%.1f ms vs co-located %.1f ms)",
+					off.OLTPp99Ms, co.OLTPp99Ms)
+			}
+			if off.FollowerReads == 0 {
+				b.Error("offloaded mode never used a follower snapshot read")
+			}
+			b.ReportMetric(base.OLTPp99Ms, "base-p99-ms")
+			b.ReportMetric(co.OLTPp99Ms, "coloc-p99-ms")
+			b.ReportMetric(off.OLTPp99Ms, "offload-p99-ms")
+			b.ReportMetric(co.AnalyticsQPS, "coloc-q/s")
+			b.ReportMetric(off.AnalyticsQPS, "offload-q/s")
+			b.ReportMetric(par.AnalyticsQPS, "parallel-q/s")
+		}
+	}
+}
+
 // BenchmarkFig8Helpers regenerates Fig. 8: physiological rebalancing with
 // helper nodes (log shipping + rDMA buffering).
 func BenchmarkFig8Helpers(b *testing.B) {

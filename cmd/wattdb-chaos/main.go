@@ -30,6 +30,7 @@ func main() {
 	coord := flag.Int("coord", 0, "extra random coordinator power-fails (default 1; every plan also crashes the leader mid-migration)")
 	disk := flag.Int("disk", 0, "extra disk-loss + acked-rot fault pairs (default 1; every plan already destroys one disk and bit-rots one flushed frame)")
 	ckpt := flag.Int("ckpt", 0, "extra mid-checkpoint crash faults (default 1; every plan already power-fails one node partway through a fuzzy checkpoint)")
+	htap := flag.Int("htap", 0, "concurrent HTAP analytics readers running validated scan-aggregate snapshot queries (default 1; -1 disables)")
 	tpccMode := flag.Bool("tpcc", false, "run the TPC-C workload with the warehouse-invariant oracle (ignores -keys)")
 	verbose := flag.Bool("v", false, "print the fault schedule of every run")
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 			CoordFaults: *coord,
 			DiskFaults:  *disk,
 			CkptFaults:  *ckpt,
+			HTAP:        *htap,
 		}
 		run := chaos.Run
 		if *tpccMode {
@@ -92,10 +94,10 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d leader=%d disk=%d ckpt=%d) restarts=%d failovers=%d rebuilds=%d scrubs=%d freads=%d ckpts=%d bounded=%d replay=%dB rto=%v\n",
+		fmt.Printf("seed=%-4d scheme=%-13s %s hash=%s sim=%5.1fs commits=%d aborts=%d failedOps=%d crashes=%d (torn=%d flips=%d leader=%d disk=%d ckpt=%d) restarts=%d failovers=%d rebuilds=%d scrubs=%d freads=%d ckpts=%d bounded=%d replay=%dB rto=%v htapq=%d htaprows=%d\n",
 			s, scheme, status, rep.StateHash, rep.SimTime.Seconds(),
 			rep.Commits, rep.Aborts, rep.FailedOps, rep.Crashes, rep.TornCrashes, rep.BitFlips, rep.LeaderCrashes, rep.DiskLosses, rep.CkptCrashes, rep.Restarts, rep.Failovers,
-			rep.Rebuilds, rep.ScrubRepairs, rep.FollowerReads, rep.Checkpoints, rep.BoundedRestarts, rep.ReplayBytes, rep.RecoveryTime)
+			rep.Rebuilds, rep.ScrubRepairs, rep.FollowerReads, rep.Checkpoints, rep.BoundedRestarts, rep.ReplayBytes, rep.RecoveryTime, rep.AnalyticsQueries, rep.AnalyticsRows)
 		if *verbose || !rep.Passed() {
 			for _, f := range rep.Faults {
 				fmt.Printf("    %s\n", f)
@@ -131,6 +133,9 @@ func main() {
 			}
 			if *ckpt != 0 {
 				repro += fmt.Sprintf(" -ckpt %d", *ckpt)
+			}
+			if *htap != 0 {
+				repro += fmt.Sprintf(" -htap %d", *htap)
 			}
 			fmt.Printf("    reproduce: %s\n", repro)
 		}

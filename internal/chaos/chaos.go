@@ -75,6 +75,14 @@ type Config struct {
 	// begin and end records) and the restart must fall back to the previous
 	// complete checkpoint pair.
 	CkptFaults int
+	// HTAP is the number of concurrent analytics readers running
+	// scan-aggregate snapshot queries alongside the OLTP workload while the
+	// fault plan executes — the HTAP interference path. Even-numbered
+	// readers set the PreferFollower offloading hint so replica snapshot
+	// reads are exercised under faults. KV readers validate every observed
+	// row against the oracle at their snapshot; TPC-C readers check
+	// snapshot-internal warehouse invariants. -1 disables.
+	HTAP int
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +117,11 @@ func (c Config) withDefaults() Config {
 		c.CkptFaults = 0
 	} else if c.CkptFaults == 0 {
 		c.CkptFaults = 1
+	}
+	if c.HTAP < 0 {
+		c.HTAP = 0
+	} else if c.HTAP == 0 {
+		c.HTAP = 1
 	}
 	return c
 }
@@ -156,6 +169,11 @@ type Report struct {
 	BoundedRestarts int
 	ReplayBytes     int64
 	RecoveryTime    time.Duration
+	// HTAP analytics counters: AnalyticsQueries is the number of completed
+	// scan-aggregate snapshot queries the online readers ran, AnalyticsRows
+	// the rows they aggregated.
+	AnalyticsQueries int
+	AnalyticsRows    int64
 
 	Faults     []string // executed fault schedule, in order
 	Violations []string // invariant violations (empty = PASS)
@@ -276,9 +294,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 	c.SetupReplicationDrain()
 
-	// Workload, fault plan, power sampler, and replication daemons.
+	// Workload, analytics readers, fault plan, power sampler, and
+	// replication daemons.
 	for w := 0; w < cfg.Workers; w++ {
 		h.spawnWorker(w)
+	}
+	for q := 0; q < cfg.HTAP; q++ {
+		h.spawnAnalytics(q)
 	}
 	h.spawnPowerSampler()
 	spawnReplicationDaemons(env, c, &h.stop)
@@ -457,6 +479,52 @@ func (h *harness) runTxn(p *sim.Proc, w int, rng *rand.Rand, seq *int, home *clu
 	}
 }
 
+// spawnAnalytics starts one HTAP reader: a loop of full-table
+// scan-aggregate snapshot queries running concurrently with the OLTP
+// workload and the fault plan. Even-numbered readers set the
+// PreferFollower offloading hint, so replica snapshot reads are exercised
+// while crashes, disk losses, and migrations land. Every observed row is
+// recorded as a scan observation and validated against the oracle at the
+// reader's snapshot, exactly like the workload's range scans — an
+// analytics query that surfaces a torn or stale row is an invariant break,
+// wherever it was served from.
+func (h *harness) spawnAnalytics(q int) {
+	rng := rand.New(rand.NewSource(h.cfg.Seed*2_000_003 + int64(q)))
+	h.env.Spawn(fmt.Sprintf("chaos-htap-%d", q), func(p *sim.Proc) {
+		p.Sleep(time.Duration(7+5*q) * time.Millisecond) // desynchronize
+		for !h.stop && p.Now() < h.stopAt {
+			home := h.aliveNode(rng)
+			if home == nil {
+				p.Sleep(50 * time.Millisecond)
+				continue
+			}
+			s := h.master.Begin(p, cc.SnapshotIsolation, home)
+			s.PreferFollower = q%2 == 0
+			obs := scanObs{at: p.Now(), snap: s.Txn.Begin, lo: 0, hi: int64(h.cfg.Keys)}
+			err := s.Scan(p, "kv", nil, nil, func(kb, v []byte) bool {
+				k, _, _ := keycodec.DecodeInt64(kb)
+				row, derr := h.schema.DecodeRow(v)
+				if derr != nil {
+					h.violate(fmt.Sprintf("htap@%v key %d: undecodable payload: %v", p.Now(), k, derr))
+					return false
+				}
+				obs.keys = append(obs.keys, k)
+				obs.vals = append(obs.vals, row[1].(string))
+				return true
+			})
+			s.Abort(p)
+			if err != nil {
+				h.rep.FailedOps++
+			} else {
+				h.scans = append(h.scans, obs)
+				h.rep.AnalyticsQueries++
+				h.rep.AnalyticsRows += int64(len(obs.keys))
+			}
+			p.Sleep(time.Duration(40+rng.Intn(60)) * time.Millisecond)
+		}
+	})
+}
+
 // failOp aborts a transaction that hit a fault (down node, conflict,
 // timeout) and counts it; partial observations of the transaction are kept
 // only for reads that succeeded, which remain valid snapshot reads.
@@ -616,6 +684,7 @@ func (h *harness) stateHash(finalState string) string {
 		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
 	fmt.Fprintf(d, "ckpts=%d ckptcrashes=%d bounded=%d replaybytes=%d rto=%d\n",
 		h.rep.Checkpoints, h.rep.CkptCrashes, h.rep.BoundedRestarts, h.rep.ReplayBytes, h.rep.RecoveryTime)
+	fmt.Fprintf(d, "htapq=%d htaprows=%d\n", h.rep.AnalyticsQueries, h.rep.AnalyticsRows)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

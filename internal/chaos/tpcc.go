@@ -95,6 +95,9 @@ func RunTPCC(cfg Config) (*Report, error) {
 	for w := 0; w < cfg.Workers; w++ {
 		h.spawnWorker(w)
 	}
+	for q := 0; q < cfg.HTAP; q++ {
+		h.spawnAnalytics(q)
+	}
 	spawnReplicationDaemons(env, c, &h.stop)
 	spawnCheckpointers(env, c, &h.stop)
 	h.runner().spawnExecutor(buildTPCCPlan(cfg, tcfg))
@@ -238,6 +241,154 @@ func (h *tpccHarness) spawnWorker(w int) {
 	})
 }
 
+// spawnAnalytics starts one HTAP reader over the TPC-C schema: each query
+// picks a random district and runs the order/order-line/new-order scans of
+// a CH-style aggregate inside one snapshot. The cumulative model cannot
+// time-align a mid-run snapshot, so the reader checks the invariants that
+// must hold *within* any single snapshot regardless of what has committed:
+// every visible order id is below the district's D_NEXT_O_ID, every
+// visible order's ORDER_LINE count equals its O_OL_CNT (a torn NewOrder is
+// visible otherwise), and every NEW_ORDER entry references a visible
+// order. Even-numbered readers set the PreferFollower offloading hint so
+// replica snapshot reads run under the fault plan.
+func (h *tpccHarness) spawnAnalytics(q int) {
+	rng := rand.New(rand.NewSource(h.cfg.Seed*2_000_003 + int64(q)))
+	h.env.Spawn(fmt.Sprintf("tpcc-chaos-htap-%d", q), func(p *sim.Proc) {
+		p.Sleep(time.Duration(7+5*q) * time.Millisecond) // desynchronize
+		for !h.stop && p.Now() < h.stopAt {
+			w := 1 + rng.Intn(h.tcfg.Warehouses)
+			d := 1 + rng.Intn(h.tcfg.DistrictsPerW)
+			home := h.homeFor(w, rng)
+			if home == nil {
+				p.Sleep(50 * time.Millisecond)
+				continue
+			}
+			s := h.master.Begin(p, ccSnapshot, home)
+			s.PreferFollower = q%2 == 0
+			if !h.analyticsQuery(p, s, int64(w), int64(d)) {
+				h.rep.FailedOps++
+			}
+			s.Abort(p)
+			p.Sleep(time.Duration(40+rng.Intn(60)) * time.Millisecond)
+		}
+	})
+}
+
+// analyticsQuery runs one district's snapshot aggregate and checks its
+// internal invariants. It returns false when a fault aborted the query
+// (down node, timeout) — invariant breaks go through violate instead.
+func (h *tpccHarness) analyticsQuery(p *sim.Proc, s *cluster.Session, w, d int64) bool {
+	dS := h.dep.Schemas[tpcc.TDistrict]
+	oS := h.dep.Schemas[tpcc.TOrders]
+	olS := h.dep.Schemas[tpcc.TOrderLine]
+	noS := h.dep.Schemas[tpcc.TNewOrder]
+
+	dKey, err := dS.EncodeKeyPrefix(w, d)
+	if err != nil {
+		h.violate(fmt.Sprintf("htap: district key [%d,%d]: %v", w, d, err))
+		return false
+	}
+	raw, ok, err := s.Get(p, tpcc.TDistrict, dKey)
+	if err != nil || !ok {
+		return false
+	}
+	dRow, derr := dS.DecodeRow(raw)
+	if derr != nil {
+		h.violate(fmt.Sprintf("htap@%v district[%d,%d]: undecodable row: %v", p.Now(), w, d, derr))
+		return false
+	}
+	nextO := dRow[5].(int64)
+	rows := int64(1)
+
+	lo, _ := oS.EncodeKeyPrefix2(w, d)
+	hi, _ := oS.EncodeKeyPrefix2(w, d+1)
+	olCnt := map[int64]int64{} // visible orders -> O_OL_CNT
+	err = s.Scan(p, tpcc.TOrders, lo, hi, func(_, payload []byte) bool {
+		row, derr := oS.DecodeRow(payload)
+		if derr != nil {
+			h.violate(fmt.Sprintf("htap@%v orders[%d,%d]: undecodable row: %v", p.Now(), w, d, derr))
+			return false
+		}
+		o := row[2].(int64)
+		if o >= nextO {
+			h.violate(fmt.Sprintf("htap@%v orders[%d,%d] snap %d: order %d visible but D_NEXT_O_ID=%d",
+				p.Now(), w, d, s.Txn.Begin, o, nextO))
+		}
+		if _, dup := olCnt[o]; dup {
+			h.violate(fmt.Sprintf("htap@%v orders[%d,%d] snap %d: order %d returned twice (doubly owned)",
+				p.Now(), w, d, s.Txn.Begin, o))
+		}
+		olCnt[o] = row[6].(int64)
+		rows++
+		return true
+	})
+	if err != nil {
+		return false
+	}
+
+	olLo, _ := olS.EncodeKeyPrefix2(w, d)
+	olHi, _ := olS.EncodeKeyPrefix2(w, d+1)
+	lineCount := map[int64]int64{}
+	err = s.Scan(p, tpcc.TOrderLine, olLo, olHi, func(_, payload []byte) bool {
+		row, derr := olS.DecodeRow(payload)
+		if derr != nil {
+			h.violate(fmt.Sprintf("htap@%v order_line[%d,%d]: undecodable row: %v", p.Now(), w, d, derr))
+			return false
+		}
+		lineCount[row[2].(int64)]++
+		rows++
+		return true
+	})
+	if err != nil {
+		return false
+	}
+	orderIDs := make([]int64, 0, len(olCnt))
+	for o := range olCnt {
+		orderIDs = append(orderIDs, o)
+	}
+	sortInt64s(orderIDs)
+	for _, o := range orderIDs {
+		if got, want := lineCount[o], olCnt[o]; got != want {
+			h.violate(fmt.Sprintf("htap@%v order_line[%d,%d] snap %d: order %d has %d lines, O_OL_CNT=%d (torn NewOrder visible)",
+				p.Now(), w, d, s.Txn.Begin, o, got, want))
+		}
+	}
+	lineIDs := make([]int64, 0, len(lineCount))
+	for o := range lineCount {
+		lineIDs = append(lineIDs, o)
+	}
+	sortInt64s(lineIDs)
+	for _, o := range lineIDs {
+		if _, ok := olCnt[o]; !ok {
+			h.violate(fmt.Sprintf("htap@%v order_line[%d,%d] snap %d: %d lines for order %d with no ORDERS row",
+				p.Now(), w, d, s.Txn.Begin, lineCount[o], o))
+		}
+	}
+
+	noLo, _ := noS.EncodeKeyPrefix2(w, d)
+	noHi, _ := noS.EncodeKeyPrefix2(w, d+1)
+	err = s.Scan(p, tpcc.TNewOrder, noLo, noHi, func(_, payload []byte) bool {
+		row, derr := noS.DecodeRow(payload)
+		if derr != nil {
+			h.violate(fmt.Sprintf("htap@%v new_order[%d,%d]: undecodable row: %v", p.Now(), w, d, derr))
+			return false
+		}
+		o := row[2].(int64)
+		if _, ok := olCnt[o]; !ok {
+			h.violate(fmt.Sprintf("htap@%v new_order[%d,%d] snap %d: pending order %d has no ORDERS row",
+				p.Now(), w, d, s.Txn.Begin, o))
+		}
+		rows++
+		return true
+	})
+	if err != nil {
+		return false
+	}
+	h.rep.AnalyticsQueries++
+	h.rep.AnalyticsRows += rows
+	return true
+}
+
 // buildTPCCPlan derives the fault schedule from the seed alone. Every plan
 // migrates warehouse 2 off node 0 and power-fails the migration target while
 // the move is in flight, plus cfg.Faults random crash/stall/spike/migrate
@@ -378,6 +529,7 @@ func (h *tpccHarness) stateHash(finalState string) string {
 		h.rep.Rebuilds, h.rep.ScrubRepairs, h.rep.FollowerReads, h.rep.DiskLosses)
 	fmt.Fprintf(d, "ckpts=%d ckptcrashes=%d bounded=%d replaybytes=%d rto=%d\n",
 		h.rep.Checkpoints, h.rep.CkptCrashes, h.rep.BoundedRestarts, h.rep.ReplayBytes, h.rep.RecoveryTime)
+	fmt.Fprintf(d, "htapq=%d htaprows=%d\n", h.rep.AnalyticsQueries, h.rep.AnalyticsRows)
 	d.Write([]byte(finalState))
 	return fmt.Sprintf("%x", d.Sum(nil))[:16]
 }

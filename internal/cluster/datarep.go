@@ -110,6 +110,12 @@ func (n *DataNode) DiskLost() bool { return n.diskLost }
 type shipItem struct {
 	lsn   uint64
 	frame []byte // stable copy (the append hook clones the segment alias)
+	// vis is the version timestamp the frame carries (DML installs, base
+	// images), or zero for frames without one (commit/abort/prepare
+	// records). followerFor's snapshot gate compares it against the
+	// reader's snapshot: an undelivered frame whose version timestamp
+	// exceeds the snapshot cannot hold anything visible at it.
+	vis cc.Timestamp
 }
 
 // shipState is a node's origin-side replication state.
@@ -152,6 +158,23 @@ type shipState struct {
 	// commits vs. resyncs); contenders wait on drained.
 	draining bool
 	drained  *sim.Signal
+}
+
+// visibleBelow reports whether any queued (undelivered) frame carries a
+// version at or below snap — the only frames whose absence from a replica
+// store could change what a snapshot read at snap returns. Queued MVCC
+// install frames are stamped with their commit timestamp, which the
+// monotone oracle issued after every existing snapshot, so live analytics
+// snapshots are not blocked by unrelated in-flight write traffic;
+// locking-mode eager writes (stamped with the transaction's begin
+// timestamp) and mid-run base images keep blocking until delivered.
+func (sh *shipState) visibleBelow(snap cc.Timestamp) bool {
+	for _, it := range sh.queue {
+		if it.vis != 0 && it.vis <= snap {
+			return true
+		}
+	}
+	return false
 }
 
 // stagedRep is one replicated DML image buffered until its commit arrives.
@@ -330,7 +353,14 @@ func (c *Cluster) EnableDataReplication(replicas int) {
 			}
 			sh := node.ship
 			sh.lastShippable = rec.LSN
-			sh.queue = append(sh.queue, shipItem{lsn: rec.LSN, frame: bytes.Clone(frame)})
+			var vis cc.Timestamp
+			switch rec.Type {
+			case wal.RecInsert, wal.RecUpdate, wal.RecDelete, wal.RecBase:
+				if v, err := table.DecodeValue(rec.After); err == nil {
+					vis = v.TS
+				}
+			}
+			sh.queue = append(sh.queue, shipItem{lsn: rec.LSN, frame: bytes.Clone(frame), vis: vis})
 			if len(sh.queue) == 1 {
 				sh.updatePin(node.Log)
 			}

@@ -34,6 +34,14 @@ type Session struct {
 	// an eligible replica under data replication (so both paths stay
 	// exercised and the owner keeps roughly half the load).
 	reads int
+
+	// PreferFollower is the analytics offloading hint: a read-only snapshot
+	// session that sets it skips the owner/replica alternation and serves
+	// every eligible read from a follower store, keeping scans off the
+	// primaries entirely. Only the load-balancing heuristic is bypassed —
+	// all safety gates (snapshot coverage, in-flight commits, sync state)
+	// still apply, and ineligible reads fall back to the owner as usual.
+	PreferFollower bool
 }
 
 // Begin starts a transaction executing at home. The timestamp comes from
@@ -105,12 +113,15 @@ func (s *Session) followerFor(e *RangeEntry) *DataNode {
 		return nil
 	}
 	s.reads++
-	if s.reads%2 == 0 || e.OldPart != nil {
-		return nil // owner's turn, or a migration is in flight (dual copies)
+	if e.OldPart != nil {
+		return nil // a migration is in flight (dual copies)
+	}
+	if s.reads%2 == 0 && !s.PreferFollower {
+		return nil // owner's turn
 	}
 	origin := e.Owner
-	if origin.Down() || len(origin.ship.queue) > 0 {
-		return nil // undelivered frames could hold versions below the snapshot
+	if origin.Down() || origin.ship.visibleBelow(s.Txn.Begin) {
+		return nil // an undelivered frame holds a version below the snapshot
 	}
 	if c.drep.inflightBelow(origin.ID, s.Txn.Begin) {
 		return nil // a commit at or below the snapshot is not yet replicated

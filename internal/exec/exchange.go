@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"fmt"
+
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// Exchange is the scatter-gather operator behind partition-parallel plans:
+// Open spawns one worker process per subplan (typically one per partition,
+// remote legs wrapped in Remote so wire bytes are priced), each draining its
+// plan into a shared bounded channel; Next merges the streams in arrival
+// order. Workers deep-copy every batch into a recycled free list before it
+// crosses the process boundary — a subplan's reused batch never escapes its
+// producing process, and the merged stream honours the standard ownership
+// contract (the returned batch is valid until the consumer's next
+// Next/Close, then recycled). Steady state allocates nothing per row; the
+// per-Open cost is the worker process spawns.
+//
+// The simulation kernel is cooperative and deterministic: workers are
+// spawned in subplan order and interleave at the same virtual-time points
+// for a given seed, so the merged arrival order is reproducible.
+type Exchange struct {
+	Plans []Operator // one subplan per partition, already node-placed
+	Env   *sim.Env
+	Depth int // channel capacity (default 2·len(Plans))
+
+	ch        *sim.Chan[exchResult]
+	cancelled *bool
+	free      *[]*table.Batch
+	last      *table.Batch
+	open      int // workers that have not yet reported EOF or error
+}
+
+type exchResult struct {
+	batch *table.Batch
+	err   error
+	eof   bool
+}
+
+// Open starts one worker per subplan.
+func (o *Exchange) Open(p *sim.Proc) error {
+	if len(o.Plans) == 0 {
+		return fmt.Errorf("exec: exchange has no subplans")
+	}
+	depth := o.Depth
+	if depth <= 0 {
+		depth = 2 * len(o.Plans)
+	}
+	o.ch = sim.NewChan[exchResult](o.Env, depth)
+	cancelled := false
+	o.cancelled = &cancelled
+	if o.free == nil {
+		free := make([]*table.Batch, 0, depth+len(o.Plans))
+		o.free = &free
+	}
+	o.last = nil
+	o.open = len(o.Plans)
+	ch, free := o.ch, o.free
+	for i, plan := range o.Plans {
+		plan := plan
+		o.Env.Spawn(fmt.Sprintf("exchange-%d", i), func(pp *sim.Proc) {
+			defer plan.Close(pp)
+			if err := plan.Open(pp); err != nil {
+				ch.Put(pp, exchResult{err: err})
+				return
+			}
+			for !cancelled {
+				b, err := plan.Next(pp)
+				if err != nil {
+					ch.Put(pp, exchResult{err: err})
+					return
+				}
+				if b == nil {
+					ch.Put(pp, exchResult{eof: true})
+					return
+				}
+				var cp *table.Batch
+				if n := len(*free); n > 0 {
+					cp = (*free)[n-1]
+					*free = (*free)[:n-1]
+				} else {
+					cp = &table.Batch{}
+				}
+				cp.CopyFrom(b)
+				if !ch.Put(pp, exchResult{batch: cp}) {
+					// Consumer closed early (Close wakes parked putters);
+					// the copy goes back to the pool, the deferred Close
+					// shuts the subplan down.
+					*free = append(*free, cp)
+					return
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// Next returns the next batch from any worker, in deterministic arrival
+// order, until every worker has reported EOF. A worker error surfaces as
+// soon as it is dequeued.
+func (o *Exchange) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.last != nil {
+		*o.free = append(*o.free, o.last)
+		o.last = nil
+	}
+	for o.open > 0 {
+		res, ok := o.ch.Get(p)
+		if !ok {
+			return nil, nil
+		}
+		if res.err != nil {
+			o.open--
+			return nil, res.err
+		}
+		if res.eof {
+			o.open--
+			continue
+		}
+		o.last = res.batch
+		return res.batch, nil
+	}
+	return nil, nil
+}
+
+// Close cancels the workers, recycles in-flight copies, and shuts the
+// channel. Safe when Open failed or never ran (Drain/Collect close the plan
+// unconditionally); worker-side subplan Close runs in each worker's deferred
+// call.
+func (o *Exchange) Close(p *sim.Proc) {
+	if o.cancelled != nil {
+		*o.cancelled = true
+	}
+	if o.ch != nil {
+		for o.ch.Len() > 0 {
+			if res, ok := o.ch.Get(p); ok && res.batch != nil {
+				*o.free = append(*o.free, res.batch)
+			}
+		}
+		o.ch.Close()
+		o.ch = nil
+	}
+	if o.last != nil {
+		*o.free = append(*o.free, o.last)
+		o.last = nil
+	}
+	o.open = 0
+}

@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wattdb/internal/cc"
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+	"wattdb/internal/wal"
+)
+
+// exchWorld holds a table split across nparts partitions, each owned by its
+// own node so partition-parallel scans genuinely overlap in virtual time.
+type exchWorld struct {
+	env    *sim.Env
+	oracle *cc.Oracle
+	nodes  []*hw.Node
+	parts  []*table.Partition
+	schema *table.Schema
+	rows   int // total rows across all partitions
+}
+
+func newExchWorld(t testing.TB, nparts, rowsPerPart int) *exchWorld {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	oracle := cc.NewOracle()
+	schema := &table.Schema{
+		ID: 7, Name: "sharded", KeyCols: 1,
+		Columns: []table.Column{{Name: "k", Type: table.ColInt64}, {Name: "v", Type: table.ColInt64}},
+	}
+	w := &exchWorld{env: env, oracle: oracle, schema: schema, rows: nparts * rowsPerPart}
+	for i := 0; i < nparts; i++ {
+		node := hw.NewNode(env, i+1, cal, net)
+		node.ForceActive()
+		deps := table.Deps{
+			Env:         env,
+			Oracle:      oracle,
+			Locks:       cc.NewLockManager(env),
+			Log:         wal.NewLog(env, nullDevice{}),
+			Factory:     &memFactory{pageSize: 4096, segPages: 256},
+			LockTimeout: time.Second,
+			PageSize:    4096,
+			Compute:     node.Compute,
+			CPUPerOp:    cal.CPUBTreeOp,
+			CPUPerTuple: cal.CPUTupleScan,
+		}
+		part := table.NewPartition(table.PartID(i+1), schema, table.Physiological, nil, nil, deps)
+		w.nodes = append(w.nodes, node)
+		w.parts = append(w.parts, part)
+	}
+	env.Spawn("load", func(p *sim.Proc) {
+		for i, part := range w.parts {
+			txn := oracle.Begin(cc.SnapshotIsolation)
+			for j := 0; j < rowsPerPart; j++ {
+				k := int64(i*rowsPerPart + j)
+				row := table.Row{k, k * 2}
+				key, _ := schema.Key(row)
+				payload, _ := schema.EncodeRow(row)
+				if err := part.Put(p, txn, key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := table.CommitTxn(p, txn, part); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *exchWorld) scans(vector int) []Operator {
+	var plans []Operator
+	txn := w.oracle.Begin(cc.SnapshotIsolation)
+	for _, part := range w.parts {
+		plans = append(plans, &TableScan{Part: part, Txn: txn, Vector: vector})
+	}
+	return plans
+}
+
+// TestExchangeMergesAllPartitionsDeterministically checks that a
+// partition-parallel scan returns every row exactly once, and that the
+// merged arrival order is reproducible run over run (the chaos state hash
+// depends on it).
+func TestExchangeMergesAllPartitionsDeterministically(t *testing.T) {
+	w := newExchWorld(t, 4, 50)
+	defer w.env.Close()
+	ex := &Exchange{Plans: w.scans(16), Env: w.env}
+	collect := func() []int64 {
+		var keys []int64
+		w.env.Spawn("drain", func(p *sim.Proc) {
+			rows, err := Collect(p, ex)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, r := range rows {
+				keys = append(keys, r[0].(int64))
+			}
+		})
+		if err := w.env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return keys
+	}
+	first := collect()
+	if len(first) != w.rows {
+		t.Fatalf("merged %d rows, want %d", len(first), w.rows)
+	}
+	seen := make(map[int64]bool, len(first))
+	for _, k := range first {
+		if seen[k] {
+			t.Fatalf("key %d delivered twice", k)
+		}
+		seen[k] = true
+	}
+	second := collect()
+	if len(second) != len(first) {
+		t.Fatalf("second run merged %d rows, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("arrival order diverged at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestExchangeParallelScanSpeedup measures virtual time for the same
+// four-partition scan single-stream vs exchange-parallel: with each
+// partition on its own node, the parallel plan must be at least 2× faster
+// (the acceptance bar; ideal is ~4×).
+func TestExchangeParallelScanSpeedup(t *testing.T) {
+	w := newExchWorld(t, 4, 200)
+	defer w.env.Close()
+	var sequential, parallel time.Duration
+	w.env.Spawn("measure", func(p *sim.Proc) {
+		start := w.env.Now()
+		total := 0
+		for _, plan := range w.scans(16) {
+			n, err := Drain(p, plan)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			total += n
+		}
+		sequential = w.env.Now() - start
+		if total != w.rows {
+			t.Errorf("sequential drained %d rows, want %d", total, w.rows)
+		}
+
+		start = w.env.Now()
+		n, err := Drain(p, &Exchange{Plans: w.scans(16), Env: w.env})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		parallel = w.env.Now() - start
+		if n != w.rows {
+			t.Errorf("parallel drained %d rows, want %d", n, w.rows)
+		}
+	})
+	if err := w.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if parallel*2 > sequential {
+		t.Fatalf("parallel scan %v not 2x faster than sequential %v", parallel, sequential)
+	}
+}
+
+// TestExchangeWorkerErrorPropagates: a failing subplan surfaces its error
+// from Next, and closing the exchange shuts the surviving workers down.
+func TestExchangeWorkerErrorPropagates(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	rng := rand.New(rand.NewSource(9))
+	good := fuzzBatch(rng, joinIntSchemaL, 64, 8)
+	bad := fuzzBatch(rng, joinIntSchemaL, 64, 8)
+	ex := &Exchange{
+		Plans: []Operator{
+			&memSource{data: good, vector: 8},
+			&memSource{data: bad, vector: 8, errAfter: 2},
+			&memSource{data: good, vector: 8},
+		},
+		Env: env,
+	}
+	env.Spawn("drain", func(p *sim.Proc) {
+		if _, err := Drain(p, ex); err == nil {
+			t.Error("exchange swallowed a worker error")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeEarlyClose: a Limit above the exchange abandons the workers
+// mid-stream; Close must wake parked producers and recycle their copies so
+// the run terminates.
+func TestExchangeEarlyClose(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	rng := rand.New(rand.NewSource(10))
+	data := fuzzBatch(rng, joinIntSchemaL, 500, 8)
+	ex := &Exchange{
+		Plans: []Operator{
+			&memSource{data: data, vector: 8},
+			&memSource{data: data, vector: 8},
+		},
+		Env:   env,
+		Depth: 2,
+	}
+	env.Spawn("drain", func(p *sim.Proc) {
+		n, err := Drain(p, &Limit{Child: ex, N: 10})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if n != 10 {
+			t.Errorf("limit drained %d rows, want 10", n)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeMergeBoundedAllocs pins the exchange merge path's allocation
+// budget. A drain cannot be exactly zero-alloc — every Open spawns worker
+// processes — but the per-row path (copy into recycled batch, channel
+// hand-off, recycle on consume) must not allocate: the budget stays O(1)
+// per drain, independent of row count.
+func TestExchangeMergeBoundedAllocs(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	rng := rand.New(rand.NewSource(12))
+	data := fuzzBatch(rng, joinIntSchemaL, 1000, 8)
+	ex := &Exchange{
+		Plans: []Operator{
+			&memSource{data: data, vector: 16},
+			&memSource{data: data, vector: 16},
+			&memSource{data: data, vector: 16},
+			&memSource{data: data, vector: 16},
+		},
+		Env: env,
+	}
+	env.Spawn("measure", func(p *sim.Proc) {
+		drain := func() {
+			n, err := Drain(p, ex)
+			if err != nil {
+				t.Error(err)
+			}
+			if n != 4*1000 {
+				t.Errorf("drained %d rows, want %d", n, 4*1000)
+			}
+		}
+		drain() // warm the free list and worker batches
+		drain()
+		allocs := testing.AllocsPerRun(10, drain)
+		// Per-Open fixed costs: 4 worker spawns (proc + name + closure),
+		// one channel. 64 is far below the ~250 batches a drain moves.
+		if allocs > 64 {
+			t.Errorf("exchange drain allocates %.1f times, want O(1) per drain (<= 64)", allocs)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

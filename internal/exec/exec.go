@@ -36,6 +36,15 @@ import (
 // across Next calls (e.g. the asynchronous Buffer) must take a deep copy
 // with Batch.CopyFrom. Strings read via Batch.Bytes alias the batch's arena
 // and follow the same lifetime.
+//
+// Parallel lifetimes: operators that run producers concurrently (Buffer,
+// Exchange) deep-copy every batch into a recycled free list before it
+// crosses the process boundary, so a worker's reused batch never escapes
+// its producing process; the consumer-side batch stays valid until the
+// merging operator's following Next, exactly like the single-stream
+// contract. Close must be safe to call even when Open failed partway
+// through the tree (Drain/Collect always close the plan), so operators
+// guard their Close against unopened state.
 type Operator interface {
 	Open(p *sim.Proc) error
 	Next(p *sim.Proc) (*table.Batch, error)
@@ -237,6 +246,14 @@ type Sort struct {
 	Less      func(b *table.Batch, i, j int) bool
 	CPUPerRow time.Duration
 	Vector    int
+
+	// OrderBy declares the output ordering Less establishes, as ascending
+	// column indexes. Less stays the authority on comparison; OrderBy is the
+	// plan-level metadata order-sensitive consumers (MergeJoin) assert
+	// against via OrderingOf. Leave nil when Less encodes an ordering that
+	// column indexes cannot express (the output is then treated as
+	// unordered).
+	OrderBy []int
 
 	// Workspace, when set, is the node's shared sort memory (in bytes).
 	// A sort that cannot reserve its input size spills: it runs an
@@ -540,12 +557,14 @@ func (o *Limit) Next(p *sim.Proc) (*table.Batch, error) {
 func (o *Limit) Close(p *sim.Proc) { o.Child.Close(p) }
 
 // Drain runs a plan to exhaustion, returning the total row count. It is the
-// query's result sink.
+// query's result sink. The plan is closed even when Open fails: a partially
+// opened tree may already hold pooled batches or a spawned prefetcher, and
+// every operator's Close is safe on unopened state.
 func Drain(p *sim.Proc, op Operator) (int, error) {
+	defer op.Close(p)
 	if err := op.Open(p); err != nil {
 		return 0, err
 	}
-	defer op.Close(p)
 	n := 0
 	for {
 		batch, err := op.Next(p)
@@ -560,12 +579,12 @@ func Drain(p *sim.Proc, op Operator) (int, error) {
 }
 
 // Collect runs a plan to exhaustion and returns all rows boxed (testing
-// helper).
+// helper). Like Drain, it closes the plan even when Open fails.
 func Collect(p *sim.Proc, op Operator) ([]table.Row, error) {
+	defer op.Close(p)
 	if err := op.Open(p); err != nil {
 		return nil, err
 	}
-	defer op.Close(p)
 	var rows []table.Row
 	for {
 		batch, err := op.Next(p)

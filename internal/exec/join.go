@@ -1,0 +1,466 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// HashJoin is a vectorised equi-join: Open drains the Build side into one
+// accumulated batch and indexes it with a typed hash table (the GroupAgg
+// approach — no interface-keyed map on the hot path), Next streams the Probe
+// side and emits matches into a reused output batch over the concatenated
+// schema (left = build columns, right = probe columns).
+//
+// The index is a chained layout over row numbers: next[i] links row i to the
+// previous build row with the same key (+1, 0 terminates), so duplicate keys
+// cost no extra allocation and matches for one probe row emit in reverse
+// build order (deterministic). Single int64 keys take a map[int64] fast
+// path; composite and string keys are encoded with the order-preserving key
+// codec (injective, self-delimiting) into a scratch buffer and looked up via
+// a persistent bytes→slot map — probing a warm operator allocates nothing,
+// string keys included, because map reads through string(buf) do not copy.
+type HashJoin struct {
+	Build     Operator
+	Probe     Operator
+	Node      *hw.Node
+	BuildKeys []int // key columns in the build schema
+	ProbeKeys []int // key columns in the probe schema, position-matched
+	CPUPerRow time.Duration
+	Vector    int
+
+	built  *table.Batch
+	out    *table.Batch
+	outL   *table.Schema // schemas out was derived from
+	outR   *table.Schema
+	next   []int32
+	intKey bool
+	// Single-int64 fast path: key -> 1 + last build row with that key.
+	intHead map[int64]int32
+	// Composite/string path: encoded key bytes -> slot. The map persists
+	// across Opens (so warm rebuilds never re-allocate its string keys);
+	// heads carries the per-Open chain heads and is zeroed each Open, so a
+	// stale slot simply reads 0 = no match.
+	bytSlot map[string]int32
+	heads   []int32
+	keyBuf  []byte
+
+	pb    *table.Batch // current probe batch (valid until its next Next)
+	pi    int
+	match int32 // pending chain position for probe row pi (1+row, 0 = none)
+}
+
+// Open opens both children and builds the hash index from the build side.
+func (o *HashJoin) Open(p *sim.Proc) error {
+	if len(o.BuildKeys) == 0 || len(o.BuildKeys) != len(o.ProbeKeys) {
+		return fmt.Errorf("exec: hash join needs matching non-empty key lists, got build=%v probe=%v", o.BuildKeys, o.ProbeKeys)
+	}
+	if o.Vector <= 0 {
+		o.Vector = 1
+	}
+	o.pb, o.pi, o.match = nil, 0, 0
+	o.next = o.next[:0]
+	if o.built != nil {
+		o.built.Reset()
+	}
+	if err := o.Build.Open(p); err != nil {
+		return err
+	}
+	if err := o.Probe.Open(p); err != nil {
+		return err
+	}
+	for {
+		batch, err := o.Build.Next(p)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			break
+		}
+		o.Node.Compute(p, time.Duration(batch.Len())*o.CPUPerRow)
+		if o.built == nil {
+			o.built = table.NewBatch(batch.Schema)
+		} else if o.built.Schema != batch.Schema {
+			o.built.Init(batch.Schema)
+		}
+		if o.built.Len() == 0 {
+			for _, c := range o.BuildKeys {
+				if c < 0 || c >= len(batch.Schema.Columns) {
+					return fmt.Errorf("exec: hash join build key %d out of range for %s", c, batch.Schema.Name)
+				}
+			}
+			o.intKey = len(o.BuildKeys) == 1 && batch.Schema.Columns[o.BuildKeys[0]].Type == table.ColInt64
+		}
+		o.built.AppendBatch(batch)
+	}
+	if o.built == nil || o.built.Len() == 0 {
+		return nil
+	}
+	n := o.built.Len()
+	if o.intKey {
+		if o.intHead == nil {
+			o.intHead = make(map[int64]int32, n)
+		} else {
+			clear(o.intHead)
+		}
+		c := o.BuildKeys[0]
+		for i := 0; i < n; i++ {
+			k := o.built.Int(c, i)
+			o.next = append(o.next, o.intHead[k])
+			o.intHead[k] = int32(i) + 1
+		}
+		return nil
+	}
+	if o.bytSlot == nil {
+		o.bytSlot = make(map[string]int32, n)
+	}
+	for i := range o.heads {
+		o.heads[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		o.keyBuf = o.built.AppendColsKey(o.keyBuf[:0], o.BuildKeys, i)
+		slot, ok := o.bytSlot[string(o.keyBuf)]
+		if !ok {
+			slot = int32(len(o.bytSlot))
+			o.bytSlot[string(o.keyBuf)] = slot
+		}
+		for int(slot) >= len(o.heads) {
+			o.heads = append(o.heads, 0)
+		}
+		o.next = append(o.next, o.heads[slot])
+		o.heads[slot] = int32(i) + 1
+	}
+	return nil
+}
+
+// ensureOut lazily derives the joined output schema from the first probe
+// batch, type-checking the key columns once; the output batch is reused as
+// long as both child schemas stay the same pointers.
+func (o *HashJoin) ensureOut(probe *table.Schema) error {
+	if o.out != nil && o.outL == o.built.Schema && o.outR == probe {
+		return nil
+	}
+	for k, c := range o.ProbeKeys {
+		if c < 0 || c >= len(probe.Columns) {
+			return fmt.Errorf("exec: hash join probe key %d out of range for %s", c, probe.Name)
+		}
+		bt, pt := o.built.Schema.Columns[o.BuildKeys[k]].Type, probe.Columns[c].Type
+		if bt != pt {
+			return fmt.Errorf("exec: hash join key %d type mismatch: build %s col %d vs probe %s col %d",
+				k, o.built.Schema.Name, o.BuildKeys[k], probe.Name, c)
+		}
+	}
+	schema := table.JoinSchemas(o.built.Schema.Name+"⋈"+probe.Name, o.built.Schema, probe)
+	if o.out == nil {
+		o.out = table.NewBatch(schema)
+	} else {
+		o.out.Init(schema)
+	}
+	o.outL, o.outR = o.built.Schema, probe
+	return nil
+}
+
+// lookup returns the chain head for probe row i (1+row, 0 = no match).
+func (o *HashJoin) lookup(pb *table.Batch, i int) int32 {
+	if o.intKey {
+		return o.intHead[pb.Int(o.ProbeKeys[0], i)]
+	}
+	o.keyBuf = pb.AppendColsKey(o.keyBuf[:0], o.ProbeKeys, i)
+	slot, ok := o.bytSlot[string(o.keyBuf)]
+	if !ok {
+		return 0
+	}
+	return o.heads[slot]
+}
+
+// Next returns the next batch of joined rows (up to Vector).
+func (o *HashJoin) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.built == nil || o.built.Len() == 0 {
+		return nil, nil
+	}
+	if o.out != nil {
+		o.out.Reset()
+	}
+	for {
+		// Drain the pending match chain for the current probe row. The
+		// probe batch stays valid: its child's Next is not called again
+		// until the chain is exhausted.
+		for o.match != 0 {
+			row := int(o.match - 1)
+			o.out.AppendJoined(o.built, row, o.pb, o.pi)
+			o.match = o.next[row]
+			if o.out.Len() >= o.Vector {
+				return o.out, nil
+			}
+		}
+		o.pi++
+		for o.pb == nil || o.pi >= o.pb.Len() {
+			pb, err := o.Probe.Next(p)
+			if err != nil {
+				return nil, err
+			}
+			if pb == nil {
+				o.pb = nil
+				if o.out != nil && o.out.Len() > 0 {
+					return o.out, nil
+				}
+				return nil, nil
+			}
+			if pb.Len() == 0 {
+				continue
+			}
+			o.Node.Compute(p, time.Duration(pb.Len())*o.CPUPerRow)
+			if err := o.ensureOut(pb.Schema); err != nil {
+				return nil, err
+			}
+			o.pb, o.pi = pb, 0
+		}
+		o.match = o.lookup(o.pb, o.pi)
+	}
+}
+
+// Close releases the build state and closes both children (safe when Open
+// failed partway).
+func (o *HashJoin) Close(p *sim.Proc) {
+	o.pb, o.match = nil, 0
+	if o.built != nil {
+		o.built.Reset()
+	}
+	o.Build.Close(p)
+	o.Probe.Close(p)
+}
+
+// MergeJoin is a streaming equi-join over two inputs sorted on the join
+// keys. Open asserts — via the Ordered plan metadata — that both children
+// actually declare an ordering with the join keys as prefix; a plan that
+// merely hopes its inputs are sorted is rejected. Matching right-side runs
+// of equal keys are deep-copied into a small group batch so duplicate left
+// keys can replay the run after the right child has moved on; everything
+// else streams, so memory stays O(vector + largest duplicate-key run).
+type MergeJoin struct {
+	Left      Operator
+	Right     Operator
+	Node      *hw.Node
+	LeftKeys  []int
+	RightKeys []int
+	CPUPerRow time.Duration
+	Vector    int
+
+	out     *table.Batch
+	grp     *table.Batch // current equal-key right run (deep copy)
+	grpLive bool
+	gi      int
+	lb      *table.Batch
+	li      int
+	rb      *table.Batch
+	ri      int
+	done    bool
+	checked bool
+}
+
+// Open validates orderings and opens both children.
+func (o *MergeJoin) Open(p *sim.Proc) error {
+	if len(o.LeftKeys) == 0 || len(o.LeftKeys) != len(o.RightKeys) {
+		return fmt.Errorf("exec: merge join needs matching non-empty key lists, got left=%v right=%v", o.LeftKeys, o.RightKeys)
+	}
+	if lo := OrderingOf(o.Left); !orderedPrefix(lo, o.LeftKeys) {
+		return fmt.Errorf("exec: merge join left input not ordered by join keys %v (declares %v)", o.LeftKeys, lo)
+	}
+	if ro := OrderingOf(o.Right); !orderedPrefix(ro, o.RightKeys) {
+		return fmt.Errorf("exec: merge join right input not ordered by join keys %v (declares %v)", o.RightKeys, ro)
+	}
+	if o.Vector <= 0 {
+		o.Vector = 1
+	}
+	o.lb, o.rb, o.li, o.ri, o.gi = nil, nil, 0, 0, 0
+	o.grpLive, o.done, o.checked = false, false, false
+	if o.grp != nil {
+		o.grp.Reset()
+	}
+	if err := o.Left.Open(p); err != nil {
+		return err
+	}
+	return o.Right.Open(p)
+}
+
+// cmpKeys compares the join keys of row li of lb against row ri of rb
+// (rb carries the right schema, so RightKeys index it).
+func (o *MergeJoin) cmpKeys(lb *table.Batch, li int, rb *table.Batch, ri int) int {
+	for k := range o.LeftKeys {
+		lc, rc := o.LeftKeys[k], o.RightKeys[k]
+		switch lb.Schema.Columns[lc].Type {
+		case table.ColInt64:
+			a, b := lb.Int(lc, li), rb.Int(rc, ri)
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+		case table.ColFloat64:
+			a, b := lb.Float(lc, li), rb.Float(rc, ri)
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+		case table.ColString:
+			if c := bytes.Compare(lb.Bytes(lc, li), rb.Bytes(rc, ri)); c != 0 {
+				return c
+			}
+		}
+	}
+	return 0
+}
+
+// checkSchemas type-checks the key columns once per Open, when both sides'
+// schemas are first known.
+func (o *MergeJoin) checkSchemas(l, r *table.Schema) error {
+	for k := range o.LeftKeys {
+		lc, rc := o.LeftKeys[k], o.RightKeys[k]
+		if lc < 0 || lc >= len(l.Columns) {
+			return fmt.Errorf("exec: merge join left key %d out of range for %s", lc, l.Name)
+		}
+		if rc < 0 || rc >= len(r.Columns) {
+			return fmt.Errorf("exec: merge join right key %d out of range for %s", rc, r.Name)
+		}
+		if l.Columns[lc].Type != r.Columns[rc].Type {
+			return fmt.Errorf("exec: merge join key %d type mismatch: %s col %d vs %s col %d", k, l.Name, lc, r.Name, rc)
+		}
+	}
+	o.checked = true
+	return nil
+}
+
+// flush returns the partial output batch if it holds rows, else EOF.
+func (o *MergeJoin) flush() (*table.Batch, error) {
+	o.done = true
+	if o.out != nil && o.out.Len() > 0 {
+		return o.out, nil
+	}
+	return nil, nil
+}
+
+// Next returns the next batch of joined rows (up to Vector).
+func (o *MergeJoin) Next(p *sim.Proc) (*table.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	if o.out != nil {
+		o.out.Reset()
+	}
+	for {
+		// Ensure a current left row.
+		for o.lb == nil || o.li >= o.lb.Len() {
+			lb, err := o.Left.Next(p)
+			if err != nil {
+				return nil, err
+			}
+			if lb == nil {
+				return o.flush()
+			}
+			o.Node.Compute(p, time.Duration(lb.Len())*o.CPUPerRow)
+			o.lb, o.li = lb, 0
+		}
+		if o.grpLive {
+			switch c := o.cmpKeys(o.lb, o.li, o.grp, 0); {
+			case c == 0:
+				o.out.AppendJoined(o.lb, o.li, o.grp, o.gi)
+				o.gi++
+				if o.gi >= o.grp.Len() {
+					// Run replayed in full; duplicate left keys restart it.
+					o.gi = 0
+					o.li++
+				}
+				if o.out.Len() >= o.Vector {
+					return o.out, nil
+				}
+				continue
+			case c < 0:
+				o.li, o.gi = o.li+1, 0
+				continue
+			default:
+				o.grpLive = false
+			}
+		}
+		// Advance the right side to the current left key and collect its
+		// equal-key run.
+		for {
+			for o.rb == nil || o.ri >= o.rb.Len() {
+				rb, err := o.Right.Next(p)
+				if err != nil {
+					return nil, err
+				}
+				if rb == nil {
+					return o.flush()
+				}
+				o.Node.Compute(p, time.Duration(rb.Len())*o.CPUPerRow)
+				o.rb, o.ri = rb, 0
+			}
+			if !o.checked {
+				if err := o.checkSchemas(o.lb.Schema, o.rb.Schema); err != nil {
+					return nil, err
+				}
+			}
+			c := o.cmpKeys(o.lb, o.li, o.rb, o.ri)
+			if c > 0 { // right is behind: skip
+				o.ri++
+				continue
+			}
+			if c < 0 { // right is ahead: left row has no match
+				o.li++
+				break
+			}
+			// Equal: collect the run. The right child reuses its batch, so
+			// the run is deep-copied row by row into the group batch (which
+			// keeps its storage across runs — warm steady state allocates
+			// nothing).
+			if o.grp == nil {
+				o.grp = table.NewBatch(o.rb.Schema)
+			} else {
+				o.grp.Init(o.rb.Schema)
+			}
+			if o.out == nil {
+				o.out = table.NewBatch(table.JoinSchemas(o.lb.Schema.Name+"⋈"+o.rb.Schema.Name, o.lb.Schema, o.rb.Schema))
+			}
+			for {
+				o.grp.AppendFrom(o.rb, o.ri)
+				o.ri++
+				for o.ri >= o.rb.Len() {
+					rb, err := o.Right.Next(p)
+					if err != nil {
+						return nil, err
+					}
+					if rb == nil {
+						o.rb = nil
+						break
+					}
+					o.Node.Compute(p, time.Duration(rb.Len())*o.CPUPerRow)
+					o.rb, o.ri = rb, 0
+				}
+				if o.rb == nil || o.cmpKeys(o.lb, o.li, o.rb, o.ri) != 0 {
+					break
+				}
+			}
+			o.grpLive, o.gi = true, 0
+			break
+		}
+	}
+}
+
+// Close releases buffered state and closes both children (safe when Open
+// failed partway).
+func (o *MergeJoin) Close(p *sim.Proc) {
+	o.lb, o.rb = nil, nil
+	o.grpLive = false
+	if o.grp != nil {
+		o.grp.Reset()
+	}
+	o.Left.Close(p)
+	o.Right.Close(p)
+}

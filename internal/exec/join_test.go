@@ -1,0 +1,461 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"wattdb/internal/hw"
+	"wattdb/internal/sim"
+	"wattdb/internal/table"
+)
+
+// memSource serves a pre-built batch in vector-sized reused slices — the
+// minimal Operator for driving joins and exchanges without a partition
+// underneath. ord declares its output ordering (nil = unordered).
+type memSource struct {
+	data   *table.Batch
+	vector int
+	ord    []int
+	// errAfter, when > 0, fails the source after that many Next calls.
+	errAfter int
+
+	out   *table.Batch
+	pos   int
+	calls int
+}
+
+func (s *memSource) Open(*sim.Proc) error {
+	s.pos, s.calls = 0, 0
+	if s.out == nil {
+		s.out = table.NewBatch(s.data.Schema)
+	}
+	return nil
+}
+
+func (s *memSource) Next(*sim.Proc) (*table.Batch, error) {
+	s.calls++
+	if s.errAfter > 0 && s.calls > s.errAfter {
+		return nil, fmt.Errorf("memSource: induced failure")
+	}
+	if s.pos >= s.data.Len() {
+		return nil, nil
+	}
+	end := s.pos + s.vector
+	if end > s.data.Len() {
+		end = s.data.Len()
+	}
+	s.out.Reset()
+	for i := s.pos; i < end; i++ {
+		s.out.AppendFrom(s.data, i)
+	}
+	s.pos = end
+	return s.out, nil
+}
+
+func (s *memSource) Close(*sim.Proc) {}
+
+func (s *memSource) Ordering() []int { return s.ord }
+
+// joinEnv is a one-node harness for operator tests that need CPU accounting
+// but no storage.
+func joinEnv(t testing.TB) (*sim.Env, *hw.Node) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cal := hw.TestCalibration()
+	net := hw.NewNetwork(env, cal)
+	node := hw.NewNode(env, 1, cal, net)
+	node.ForceActive()
+	return env, node
+}
+
+func runJoin(t testing.TB, env *sim.Env, fn func(p *sim.Proc)) {
+	t.Helper()
+	env.Spawn("test", fn)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fuzzBatch fills a batch with rows whose key columns are drawn from a small
+// space (forcing duplicates) and include the type's zero value (the codebase's
+// null stand-in: 0, 0.0, "").
+func fuzzBatch(rng *rand.Rand, schema *table.Schema, rows, keySpace int) *table.Batch {
+	b := table.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		row := make(table.Row, len(schema.Columns))
+		for c, col := range schema.Columns {
+			switch col.Type {
+			case table.ColInt64:
+				row[c] = int64(rng.Intn(keySpace))
+			case table.ColFloat64:
+				row[c] = float64(rng.Intn(keySpace)) / 2
+			case table.ColString:
+				if rng.Intn(keySpace) == 0 {
+					row[c] = ""
+				} else {
+					row[c] = fmt.Sprintf("s%02d", rng.Intn(keySpace))
+				}
+			}
+		}
+		if err := b.AppendRow(row); err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+// nestedLoopExpected is the reference join: every (l, r) row pair agreeing on
+// the key columns, rendered as the boxed concatenated row.
+func nestedLoopExpected(l, r *table.Batch, lk, rk []int) []string {
+	var out []string
+	for li := 0; li < l.Len(); li++ {
+		for ri := 0; ri < r.Len(); ri++ {
+			match := true
+			for k := range lk {
+				if l.Value(lk[k], li) != r.Value(rk[k], ri) {
+					match = false
+					break
+				}
+			}
+			if match {
+				row := append(l.Row(li), r.Row(ri)...)
+				out = append(out, fmt.Sprint(row))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectJoined(t testing.TB, env *sim.Env, op Operator) []string {
+	var got []string
+	runJoin(t, env, func(p *sim.Proc) {
+		rows, err := Collect(p, op)
+		if err != nil {
+			t.Errorf("join failed: %v", err)
+			return
+		}
+		for _, r := range rows {
+			got = append(got, fmt.Sprint(r))
+		}
+	})
+	sort.Strings(got)
+	return got
+}
+
+func requireSameRows(t *testing.T, got, want []string, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d mismatch:\n got  %s\n want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+var (
+	joinIntSchemaL = &table.Schema{ID: 101, Name: "L", KeyCols: 1, Columns: []table.Column{
+		{Name: "k", Type: table.ColInt64}, {Name: "lv", Type: table.ColFloat64}}}
+	joinIntSchemaR = &table.Schema{ID: 102, Name: "R", KeyCols: 1, Columns: []table.Column{
+		{Name: "k", Type: table.ColInt64}, {Name: "rv", Type: table.ColString}}}
+	joinMixSchemaL = &table.Schema{ID: 103, Name: "ML", KeyCols: 2, Columns: []table.Column{
+		{Name: "k1", Type: table.ColInt64}, {Name: "k2", Type: table.ColString}, {Name: "lv", Type: table.ColInt64}}}
+	joinMixSchemaR = &table.Schema{ID: 104, Name: "MR", KeyCols: 2, Columns: []table.Column{
+		{Name: "j1", Type: table.ColInt64}, {Name: "j2", Type: table.ColString}, {Name: "rv", Type: table.ColFloat64}}}
+)
+
+// TestHashJoinMatchesNestedLoop fuzzes the hash join against the nested-loop
+// reference: single int keys and composite int+string keys, duplicate keys,
+// zero-value keys, empty sides, vector sizes that do and do not divide the
+// row counts.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, tc := range []struct {
+			name   string
+			ls, rs *table.Schema
+			lk, rk []int
+		}{
+			{"int", joinIntSchemaL, joinIntSchemaR, []int{0}, []int{0}},
+			{"composite", joinMixSchemaL, joinMixSchemaR, []int{0, 1}, []int{0, 1}},
+			{"string", joinMixSchemaL, joinMixSchemaR, []int{1}, []int{1}},
+		} {
+			lRows, rRows := rng.Intn(80), rng.Intn(80)
+			if seed == 1 {
+				lRows = 0 // empty build side
+			}
+			if seed == 2 {
+				rRows = 0 // empty probe side
+			}
+			l := fuzzBatch(rng, tc.ls, lRows, 7)
+			r := fuzzBatch(rng, tc.rs, rRows, 7)
+			env, node := joinEnv(t)
+			join := &HashJoin{
+				Build:     &memSource{data: l, vector: 13},
+				Probe:     &memSource{data: r, vector: 9},
+				Node:      node,
+				BuildKeys: tc.lk,
+				ProbeKeys: tc.rk,
+				CPUPerRow: time.Microsecond,
+				Vector:    16,
+			}
+			got := collectJoined(t, env, join)
+			want := nestedLoopExpected(l, r, tc.lk, tc.rk)
+			requireSameRows(t, got, want, fmt.Sprintf("hash/%s seed=%d", tc.name, seed))
+			env.Close()
+		}
+	}
+}
+
+// sortBatchByKeys returns a copy of b sorted ascending on the given columns
+// (key-codec order, matching MergeJoin's comparator).
+func sortBatchByKeys(b *table.Batch, keys []int) *table.Batch {
+	perm := make([]int, b.Len())
+	for i := range perm {
+		perm[i] = i
+	}
+	var ka, kb []byte
+	sort.SliceStable(perm, func(i, j int) bool {
+		ka = b.AppendColsKey(ka[:0], keys, perm[i])
+		kb = b.AppendColsKey(kb[:0], keys, perm[j])
+		return string(ka) < string(kb)
+	})
+	out := table.NewBatch(b.Schema)
+	for _, i := range perm {
+		out.AppendFrom(b, i)
+	}
+	return out
+}
+
+// TestMergeJoinMatchesNestedLoop fuzzes the merge join (inputs pre-sorted on
+// the join keys, as the Ordered metadata requires) against the nested-loop
+// reference, covering duplicate-key runs on both sides.
+func TestMergeJoinMatchesNestedLoop(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		for _, tc := range []struct {
+			name   string
+			ls, rs *table.Schema
+			lk, rk []int
+		}{
+			{"int", joinIntSchemaL, joinIntSchemaR, []int{0}, []int{0}},
+			{"composite", joinMixSchemaL, joinMixSchemaR, []int{0, 1}, []int{0, 1}},
+		} {
+			lRows, rRows := rng.Intn(80), rng.Intn(80)
+			if seed == 1 {
+				lRows = 0
+			}
+			if seed == 2 {
+				rRows = 0
+			}
+			l := sortBatchByKeys(fuzzBatch(rng, tc.ls, lRows, 6), tc.lk)
+			r := sortBatchByKeys(fuzzBatch(rng, tc.rs, rRows, 6), tc.rk)
+			env, node := joinEnv(t)
+			join := &MergeJoin{
+				Left:      &memSource{data: l, vector: 11, ord: tc.lk},
+				Right:     &memSource{data: r, vector: 5, ord: tc.rk},
+				Node:      node,
+				LeftKeys:  tc.lk,
+				RightKeys: tc.rk,
+				CPUPerRow: time.Microsecond,
+				Vector:    16,
+			}
+			got := collectJoined(t, env, join)
+			want := nestedLoopExpected(l, r, tc.lk, tc.rk)
+			requireSameRows(t, got, want, fmt.Sprintf("merge/%s seed=%d", tc.name, seed))
+			env.Close()
+		}
+	}
+}
+
+// TestMergeJoinAssertsOrdering verifies the satellite fix: a merge join over
+// an input that does not declare the join keys as an ordering prefix is
+// rejected at Open, instead of silently producing garbage.
+func TestMergeJoinAssertsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := fuzzBatch(rng, joinIntSchemaL, 10, 5)
+	r := fuzzBatch(rng, joinIntSchemaR, 10, 5)
+	env, node := joinEnv(t)
+	defer env.Close()
+	cases := []struct {
+		name     string
+		lo, ro   []int
+		wantOpen bool
+	}{
+		{"both declared", []int{0}, []int{0}, true},
+		{"left unordered", nil, []int{0}, false},
+		{"right wrong column", []int{0}, []int{1}, false},
+	}
+	runJoin(t, env, func(p *sim.Proc) {
+		for _, tc := range cases {
+			join := &MergeJoin{
+				Left:      &memSource{data: sortBatchByKeys(l, []int{0}), vector: 4, ord: tc.lo},
+				Right:     &memSource{data: sortBatchByKeys(r, []int{0}), vector: 4, ord: tc.ro},
+				Node:      node,
+				LeftKeys:  []int{0},
+				RightKeys: []int{0},
+				Vector:    8,
+			}
+			err := join.Open(p)
+			join.Close(p)
+			if tc.wantOpen && err != nil {
+				t.Errorf("%s: Open failed: %v", tc.name, err)
+			}
+			if !tc.wantOpen && err == nil {
+				t.Errorf("%s: Open accepted unordered input", tc.name)
+			}
+		}
+	})
+}
+
+// TestSortDeclaresOrdering verifies Sort's OrderBy metadata flows through
+// OrderingOf and feeds a MergeJoin whose inputs are sorted by explicit Sort
+// operators rather than index order.
+func TestSortDeclaresOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := fuzzBatch(rng, joinIntSchemaL, 40, 5)
+	r := fuzzBatch(rng, joinIntSchemaR, 40, 5)
+	env, node := joinEnv(t)
+	defer env.Close()
+	mkSort := func(src *table.Batch) *Sort {
+		return &Sort{
+			Child:     &memSource{data: src, vector: 8},
+			Node:      node,
+			Less:      func(b *table.Batch, i, j int) bool { return b.Int(0, i) < b.Int(0, j) },
+			OrderBy:   []int{0},
+			CPUPerRow: time.Microsecond,
+			Vector:    8,
+		}
+	}
+	join := &MergeJoin{
+		Left: mkSort(l), Right: mkSort(r),
+		Node: node, LeftKeys: []int{0}, RightKeys: []int{0},
+		CPUPerRow: time.Microsecond, Vector: 16,
+	}
+	if got := OrderingOf(join); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("merge join ordering = %v, want [0]", got)
+	}
+	got := collectJoined(t, env, join)
+	want := nestedLoopExpected(l, r, []int{0}, []int{0})
+	requireSameRows(t, got, want, "sorted-input merge join")
+}
+
+// TestDrainClosesPlanOnOpenError verifies the satellite fix: when Open fails
+// partway through the tree, Drain still closes the plan so partially opened
+// operators (a Buffer whose child opened, a Sort holding its accumulation)
+// release their state. Close must be a no-op on the unopened part.
+func TestDrainClosesPlanOnOpenError(t *testing.T) {
+	env, node := joinEnv(t)
+	defer env.Close()
+	rng := rand.New(rand.NewSource(3))
+	data := fuzzBatch(rng, joinIntSchemaL, 20, 5)
+	runJoin(t, env, func(p *sim.Proc) {
+		// MergeJoin.Open fails (unordered input) above an opened Buffer:
+		// Drain must still close the tree, stopping the prefetcher.
+		join := &MergeJoin{
+			Left:      &Buffer{Child: &memSource{data: data, vector: 4}, Env: env},
+			Right:     &memSource{data: data, vector: 4},
+			Node:      node,
+			LeftKeys:  []int{0},
+			RightKeys: []int{0},
+		}
+		if _, err := Drain(p, join); err == nil {
+			t.Error("Drain accepted a merge join over unordered input")
+		}
+		// The buffer was never opened; its Close must tolerate that.
+
+		// HashJoin.Open fails while draining its build side, with the probe
+		// side (a Buffer) already opened and prefetching: Drain's close must
+		// stop the prefetcher, or it would sit parked on the queue forever.
+		join2 := &HashJoin{
+			Build:     &memSource{data: data, vector: 4, errAfter: 2},
+			Probe:     &Buffer{Child: &memSource{data: data, vector: 4}, Env: env, Depth: 2},
+			Node:      node,
+			BuildKeys: []int{0},
+			ProbeKeys: []int{0},
+			Vector:    8,
+		}
+		if _, err := Drain(p, join2); err == nil {
+			t.Error("Drain swallowed the build-side failure")
+		}
+	})
+}
+
+// TestHashJoinProbeZeroAlloc pins the steady-state allocation count of the
+// full hash-join cycle — rebuild from a warm build side, probe, emit — at
+// zero, for both the int64 fast path and the byte-encoded composite path.
+func TestHashJoinProbeZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		ls, rs *table.Schema
+		lk, rk []int
+	}{
+		{"int", joinIntSchemaL, joinIntSchemaR, []int{0}, []int{0}},
+		{"composite", joinMixSchemaL, joinMixSchemaR, []int{0, 1}, []int{0, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			l := fuzzBatch(rng, tc.ls, 64, 8)
+			r := fuzzBatch(rng, tc.rs, 256, 8)
+			env, node := joinEnv(t)
+			defer env.Close()
+			join := &HashJoin{
+				Build:     &memSource{data: l, vector: 16},
+				Probe:     &memSource{data: r, vector: 16},
+				Node:      node,
+				BuildKeys: tc.lk,
+				ProbeKeys: tc.rk,
+				CPUPerRow: time.Microsecond,
+				Vector:    32,
+			}
+			runJoin(t, env, func(p *sim.Proc) {
+				drain := func() {
+					if _, err := Drain(p, join); err != nil {
+						t.Error(err)
+					}
+				}
+				drain() // warm: build accumulation, hash maps, output batch
+				drain()
+				if allocs := testing.AllocsPerRun(10, drain); allocs != 0 {
+					t.Errorf("hash join (%s keys) allocates %.1f times per drain, want 0", tc.name, allocs)
+				}
+			})
+		})
+	}
+}
+
+// TestMergeJoinZeroAlloc pins the warm merge-join cycle at zero allocations:
+// group-run copies, comparisons, and emission all reuse their storage.
+func TestMergeJoinZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := sortBatchByKeys(fuzzBatch(rng, joinIntSchemaL, 128, 16), []int{0})
+	r := sortBatchByKeys(fuzzBatch(rng, joinIntSchemaR, 128, 16), []int{0})
+	env, node := joinEnv(t)
+	defer env.Close()
+	join := &MergeJoin{
+		Left:      &memSource{data: l, vector: 16, ord: []int{0}},
+		Right:     &memSource{data: r, vector: 16, ord: []int{0}},
+		Node:      node,
+		LeftKeys:  []int{0},
+		RightKeys: []int{0},
+		CPUPerRow: time.Microsecond,
+		Vector:    32,
+	}
+	runJoin(t, env, func(p *sim.Proc) {
+		drain := func() {
+			if _, err := Drain(p, join); err != nil {
+				t.Error(err)
+			}
+		}
+		drain()
+		drain()
+		if allocs := testing.AllocsPerRun(10, drain); allocs != 0 {
+			t.Errorf("merge join allocates %.1f times per drain, want 0", allocs)
+		}
+	})
+}

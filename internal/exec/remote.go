@@ -136,14 +136,27 @@ func (o *Buffer) Next(p *sim.Proc) (*table.Batch, error) {
 	return res.batch, res.err
 }
 
-// Close stops the prefetcher and closes the child.
+// Close stops the prefetcher and closes the child. Safe when Open failed
+// before the prefetcher was started (Drain/Collect close the plan
+// unconditionally).
 func (o *Buffer) Close(p *sim.Proc) {
-	*o.cancelled = true
-	// Drain so a producer blocked on Put can finish and observe the flag.
-	for o.ch.Len() > 0 {
-		o.ch.Get(p)
+	if o.cancelled != nil {
+		*o.cancelled = true
 	}
-	o.ch.Close()
-	o.last = nil
+	if o.ch != nil {
+		// Drain so a producer blocked on Put can finish and observe the
+		// flag; queued deep copies go back to the free list, not the GC.
+		for o.ch.Len() > 0 {
+			if res, ok := o.ch.Get(p); ok && res.batch != nil {
+				*o.free = append(*o.free, res.batch)
+			}
+		}
+		o.ch.Close()
+		o.ch = nil
+	}
+	if o.last != nil {
+		*o.free = append(*o.free, o.last)
+		o.last = nil
+	}
 	o.Child.Close(p)
 }

@@ -399,3 +399,57 @@ func (s *Schema) AppendKey(dst []byte, b *Batch, i int) ([]byte, error) {
 	}
 	return dst, nil
 }
+
+// AppendColsKey encodes the listed columns of row i into dst using the
+// order-preserving key codec. Each column encoding is self-delimiting, so the
+// concatenation is injective: two rows produce the same bytes iff they agree
+// on every listed column. The executor's hash and merge joins use it as the
+// composite join key for multi-column and string-typed equality.
+func (b *Batch) AppendColsKey(dst []byte, cols []int, i int) []byte {
+	for _, c := range cols {
+		switch b.Schema.Columns[c].Type {
+		case ColInt64:
+			dst = keycodec.AppendInt64(dst, b.Int(c, i))
+		case ColString:
+			dst = keycodec.AppendBytes(dst, b.Bytes(c, i))
+		case ColFloat64:
+			dst = keycodec.AppendFloat64(dst, b.Float(c, i))
+		}
+	}
+	return dst
+}
+
+// JoinSchemas derives the output schema of a join: left columns followed by
+// right columns. The result is an executor-internal schema (never stored);
+// KeyCols is nominal.
+func JoinSchemas(name string, l, r *Schema) *Schema {
+	out := &Schema{Name: name, KeyCols: 1}
+	out.Columns = append(out.Columns, l.Columns...)
+	out.Columns = append(out.Columns, r.Columns...)
+	return out
+}
+
+// AppendJoined appends the concatenation of row li of l and row ri of r to b,
+// whose schema must be JoinSchemas(l.Schema, r.Schema). Column-typed copies;
+// refilling a warm batch allocates nothing.
+func (b *Batch) AppendJoined(l *Batch, li int, r *Batch, ri int) {
+	nl := len(l.Schema.Columns)
+	for c := range b.Schema.Columns {
+		src, si, sc := l, li, c
+		if c >= nl {
+			src, si, sc = r, ri, c-nl
+		}
+		dv, sv := &b.cols[c], &src.cols[sc]
+		switch b.Schema.Columns[c].Type {
+		case ColInt64:
+			dv.ints = append(dv.ints, sv.ints[si])
+		case ColFloat64:
+			dv.floats = append(dv.floats, sv.floats[si])
+		case ColString:
+			start := uint32(len(b.arena))
+			b.arena = append(b.arena, src.Bytes(sc, si)...)
+			dv.off = append(dv.off, start, uint32(len(b.arena)))
+		}
+	}
+	b.n++
+}
